@@ -1,0 +1,46 @@
+// Ablation: the computation-cost model (the paper's §III-A3 future-work
+// feature, implemented here). Sweeping the per-message verification cost
+// shows where each protocol's decision rate stops being network-bound and
+// becomes CPU-bound — the throughput estimate the plain simulator cannot
+// produce. Quadratic-message protocols saturate first.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bftsim;
+  const std::size_t repeats = bench::repeats_from_args(argc, argv, 30);
+  const std::vector<double> verify_costs{0.0, 0.5, 2.0, 5.0, 10.0};
+  const std::vector<std::string> protocols{"pbft", "hotstuff-ns", "librabft",
+                                           "tendermint"};
+
+  std::vector<std::string> headers{"protocol"};
+  for (const double c : verify_costs) {
+    headers.push_back("verify=" + Table::cell(c, "ms"));
+  }
+
+  bench::print_title(
+      "Ablation — throughput vs per-message verification cost",
+      "n=16, lambda=1000ms, delay=N(250,50), sign cost = verify/2, decisions/s, " +
+          std::to_string(repeats) + " runs");
+  Table table{headers, 15};
+  table.print_header(std::cout);
+
+  for (const std::string& protocol : protocols) {
+    std::vector<std::string> cells{protocol};
+    for (const double verify : verify_costs) {
+      SimConfig cfg =
+          experiment_config(protocol, 16, 1000, DelaySpec::normal(250, 50));
+      cfg.decisions = 10;  // sustained rate, not first-decision latency
+      cfg.cost.verify_ms = verify;
+      cfg.cost.sign_ms = verify / 2;
+      const Aggregate agg = run_repeated(cfg, repeats);
+      if (agg.per_decision_latency_ms.count == 0) {
+        cells.emplace_back("TIMEOUT");
+      } else {
+        cells.push_back(
+            Table::cell(1e3 / agg.per_decision_latency_ms.mean, "/s"));
+      }
+    }
+    table.print_row(std::cout, cells);
+  }
+  return 0;
+}

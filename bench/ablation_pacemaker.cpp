@@ -1,0 +1,64 @@
+// Ablation: the pacemaker / view-synchronization design space.
+//
+// The same chained-HotStuff safety core runs under two pacemakers
+// (HotStuff+NS: message-free exponential back-off; LibraBFT: timeout
+// certificates), PBFT brings the classic view-change sub-protocol, and
+// Tendermint the linearly growing round timeouts. This bench isolates the
+// pacemaker's contribution by sweeping the two stresses that only a
+// pacemaker can answer: a crashed-leader load and a healed partition.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bftsim;
+  const std::size_t repeats = bench::repeats_from_args(argc, argv, 30);
+  const std::vector<std::string> protocols{"hotstuff-ns", "librabft", "pbft",
+                                           "tendermint"};
+
+  bench::print_title(
+      "Ablation A — pacemakers under crashed leaders",
+      "n=16, lambda=1000ms, delay=N(1000,300), seconds per decision, " +
+          std::to_string(repeats) + " runs");
+  Table table_a{{"protocol", "f=0", "f=2", "f=4"}, 16};
+  table_a.print_header(std::cout);
+  for (const std::string& protocol : protocols) {
+    std::vector<std::string> cells{protocol};
+    for (const std::uint32_t f : {0u, 2u, 4u}) {
+      SimConfig cfg =
+          experiment_config(protocol, 16, 1000, DelaySpec::normal(1000, 300));
+      cfg.honest = 16 - f;
+      cells.push_back(bench::latency_cell(run_repeated(cfg, repeats)));
+    }
+    table_a.print_row(std::cout, cells);
+  }
+
+  bench::print_title(
+      "Ablation B — pacemakers after a healed partition",
+      "n=16, lambda=1000ms, delay=N(250,50), drop partition resolves at 33s;"
+      " seconds from resolution to the first decision");
+  Table table_b{{"protocol", "recovery (s)", "timeouts"}, 16};
+  table_b.print_header(std::cout);
+  for (const std::string& protocol : protocols) {
+    SimConfig cfg = experiment_config(protocol, 16, 1000, DelaySpec::normal(250, 50));
+    cfg.decisions = 1;
+    cfg.attack = "partition";
+    json::Object params;
+    params["resolve_ms"] = 33'000.0;
+    params["mode"] = "drop";
+    cfg.attack_params = json::Value{std::move(params)};
+    const Aggregate agg = run_repeated(cfg, repeats);
+    table_b.print_row(
+        std::cout,
+        {protocol,
+         agg.latency_ms.count > 0
+             ? Table::cell(agg.latency_ms.mean / 1e3 - 33.0,
+                           agg.latency_ms.stddev / 1e3, "")
+             : "TIMEOUT",
+         std::to_string(agg.timeouts)});
+  }
+
+  std::printf("\nReading guide: the certificate-driven pacemakers (LibraBFT,\n"
+              "and Tendermint's per-round votes) absorb both stresses with\n"
+              "bounded cost; the message-free back-off (HotStuff+NS) pays\n"
+              "exponentially under both.\n");
+  return 0;
+}

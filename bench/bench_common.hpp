@@ -1,0 +1,52 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "runner/runner.hpp"
+
+namespace bftsim::bench {
+
+/// Number of repetitions per configuration; the paper uses 100. Override
+/// with argv[1] (smaller values make smoke runs fast).
+inline std::size_t repeats_from_args(int argc, char** argv,
+                                     std::size_t fallback = 100) {
+  if (argc > 1) {
+    const long value = std::strtol(argv[1], nullptr, 10);
+    if (value > 0) return static_cast<std::size_t>(value);
+  }
+  return fallback;
+}
+
+inline void print_title(const std::string& title, const std::string& setup) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!setup.empty()) std::printf("%s\n", setup.c_str());
+}
+
+/// All eight builtin protocols in Table I order.
+inline const std::vector<std::string>& all_protocols() {
+  static const std::vector<std::string> kProtocols{
+      "addv1", "addv2", "addv3", "algorand",
+      "asyncba", "pbft", "hotstuff-ns", "librabft"};
+  return kProtocols;
+}
+
+/// Formats an aggregate latency as "mean±std s" (or TIMEOUT).
+inline std::string latency_cell(const Aggregate& agg) {
+  if (agg.latency_ms.count == 0) return "TIMEOUT";
+  std::string cell = Table::cell(agg.per_decision_latency_ms.mean / 1e3,
+                                 agg.per_decision_latency_ms.stddev / 1e3, "s");
+  if (agg.timeouts > 0) cell += "*";
+  return cell;
+}
+
+inline std::string message_cell(const Aggregate& agg) {
+  return Table::cell(agg.per_decision_messages.mean,
+                     agg.per_decision_messages.stddev, "");
+}
+
+}  // namespace bftsim::bench

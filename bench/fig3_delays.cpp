@@ -1,0 +1,48 @@
+// Fig. 3: performance of all eight protocols across four network
+// environments, from fast/stable to slow/unstable (λ = 1000 ms, n = 16).
+//   (a) time usage  — expected: HotStuff+NS shortest except at
+//       N(1000,1000), where PBFT edges it out;
+//   (b) message usage — expected: HotStuff+NS fewest (linear),
+//       async BA the outlier (n parallel reliable broadcasts).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bftsim;
+  const std::size_t repeats = bench::repeats_from_args(argc, argv);
+
+  const std::vector<DelaySpec> environments{
+      DelaySpec::normal(250, 50), DelaySpec::normal(500, 100),
+      DelaySpec::normal(1000, 300), DelaySpec::normal(1000, 1000)};
+
+  std::vector<std::string> headers{"protocol"};
+  for (const DelaySpec& env : environments) headers.push_back(env.describe());
+
+  bench::print_title("Fig. 3a — latency per decision across network environments",
+                     "n=16, lambda=1000ms, " + std::to_string(repeats) +
+                         " runs per cell (mean±std seconds; * = runs hit horizon)");
+  Table table{headers, 16};
+  table.print_header(std::cout);
+
+  std::vector<std::vector<Aggregate>> results;
+  for (const std::string& protocol : bench::all_protocols()) {
+    std::vector<Aggregate> row;
+    std::vector<std::string> cells{protocol};
+    for (const DelaySpec& env : environments) {
+      SimConfig cfg = experiment_config(protocol, 16, 1000, env);
+      row.push_back(run_repeated(cfg, repeats));
+      cells.push_back(bench::latency_cell(row.back()));
+    }
+    results.push_back(std::move(row));
+    table.print_row(std::cout, cells);
+  }
+
+  bench::print_title("Fig. 3b — messages per decision across network environments",
+                     "(mean±std transmitted messages)");
+  table.print_header(std::cout);
+  for (std::size_t p = 0; p < bench::all_protocols().size(); ++p) {
+    std::vector<std::string> cells{bench::all_protocols()[p]};
+    for (const Aggregate& agg : results[p]) cells.push_back(bench::message_cell(agg));
+    table.print_row(std::cout, cells);
+  }
+  return 0;
+}

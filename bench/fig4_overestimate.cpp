@@ -1,0 +1,37 @@
+// Fig. 4: responsiveness — latency as the timeout configuration λ is
+// raised from 1000 ms to 3000 ms while the real delays stay N(250, 50).
+// Expected: only the synchronous protocols (ADD+ variants, Algorand) get
+// slower; the responsive partially-synchronous protocols and async BA are
+// flat.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bftsim;
+  const std::size_t repeats = bench::repeats_from_args(argc, argv);
+
+  const std::vector<double> lambdas{1000, 1500, 2000, 2500, 3000};
+
+  std::vector<std::string> headers{"protocol"};
+  for (const double lambda : lambdas) {
+    headers.push_back("λ=" + std::to_string(static_cast<int>(lambda)));
+  }
+
+  bench::print_title("Fig. 4 — latency when the timeout is overestimated",
+                     "n=16, delay=N(250,50), " + std::to_string(repeats) +
+                         " runs per cell (mean±std seconds per decision)");
+  Table table{headers, 15};
+  table.print_header(std::cout);
+
+  for (const std::string& protocol : bench::all_protocols()) {
+    std::vector<std::string> cells{protocol};
+    for (const double lambda : lambdas) {
+      SimConfig cfg =
+          experiment_config(protocol, 16, lambda, DelaySpec::normal(250, 50));
+      cells.push_back(bench::latency_cell(run_repeated(cfg, repeats)));
+    }
+    table.print_row(std::cout, cells);
+  }
+  std::printf("\n(responsive protocols — right of the paper's dotted line —\n"
+              " are flat: asyncba, pbft, hotstuff-ns, librabft)\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig. 6: time usage under a network-partition attack. The network is
+// split into two subnets (neither has a quorum) until the resolve time
+// (dotted line in the paper). Expected: Algorand (partition-resilient by
+// design) and the message-driven pacemakers (PBFT's view-change storms,
+// LibraBFT's timeout certificates, async BA's retransmission) terminate
+// within seconds of resolution; HotStuff+NS has to wait out the
+// exponential back-off its naive synchronizer accumulated during the
+// partition and finishes far later.
+//
+// Synchronous protocols other than Algorand are excluded, as in the paper
+// (they are not partition-resilient).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bftsim;
+  const std::size_t repeats = bench::repeats_from_args(argc, argv, 30);
+
+  const double resolve_ms = 33'000;
+  const std::vector<std::string> protocols{"algorand", "asyncba", "pbft",
+                                           "hotstuff-ns", "librabft"};
+
+  bench::print_title(
+      "Fig. 6 — time usage under a network-partition attack",
+      "n=16, lambda=1000ms, delay=N(250,50), two subnets, partition resolves at " +
+          std::to_string(static_cast<int>(resolve_ms / 1000)) + "s, " +
+          std::to_string(repeats) + " runs");
+
+  Table table{{"protocol", "termination (s)", "after resolve (s)", "timeouts"}, 20};
+  table.print_header(std::cout);
+
+  for (const std::string& protocol : protocols) {
+    SimConfig cfg = experiment_config(protocol, 16, 1000, DelaySpec::normal(250, 50));
+    cfg.decisions = 1;  // time until the post-partition consensus completes
+    cfg.attack = "partition";
+    json::Object params;
+    params["resolve_ms"] = resolve_ms;
+    params["mode"] = "drop";
+    params["subnets"] = 2;
+    cfg.attack_params = json::Value{std::move(params)};
+    cfg.max_time_ms = 600'000;
+
+    const Aggregate agg = run_repeated(cfg, repeats);
+    const double term_s = agg.latency_ms.mean / 1e3;
+    table.print_row(
+        std::cout,
+        {protocol,
+         agg.latency_ms.count > 0
+             ? Table::cell(term_s, agg.latency_ms.stddev / 1e3, "")
+             : "TIMEOUT",
+         agg.latency_ms.count > 0
+             ? Table::cell(term_s - resolve_ms / 1e3, "")
+             : "-",
+         std::to_string(agg.timeouts)});
+  }
+  return 0;
+}

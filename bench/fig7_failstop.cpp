@@ -1,0 +1,36 @@
+// Fig. 7: time usage across different numbers of fail-stop nodes
+// (λ = 1000 ms, delays ~ N(1000, 300), n = 16). Expected: the
+// partially-synchronous protocols are less resilient — they rely on
+// quorums of honest messages to proceed — and HotStuff+NS degrades
+// drastically (dead leaders burn whole exponentially backed-off views).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bftsim;
+  const std::size_t repeats = bench::repeats_from_args(argc, argv, 50);
+
+  const std::vector<std::uint32_t> failstops{0, 1, 2, 3, 4, 5};
+
+  std::vector<std::string> headers{"protocol"};
+  for (const std::uint32_t f : failstops) headers.push_back("f=" + std::to_string(f));
+
+  bench::print_title("Fig. 7 — latency per decision vs fail-stop nodes",
+                     "n=16, lambda=1000ms, delay=N(1000,300), " +
+                         std::to_string(repeats) +
+                         " runs per cell (mean±std seconds; * = runs hit horizon)");
+  Table table{headers, 16};
+  table.print_header(std::cout);
+
+  for (const std::string& protocol : bench::all_protocols()) {
+    std::vector<std::string> cells{protocol};
+    for (const std::uint32_t f : failstops) {
+      SimConfig cfg =
+          experiment_config(protocol, 16, 1000, DelaySpec::normal(1000, 300));
+      cfg.honest = 16 - f;
+      cfg.max_time_ms = 600'000;
+      cells.push_back(bench::latency_cell(run_repeated(cfg, repeats)));
+    }
+    table.print_row(std::cout, cells);
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Micro-benchmarks of the simulation engine (google-benchmark): event
+// queue throughput, RNG sampling, and end-to-end runs per engine — the raw
+// numbers behind the simulator's Fig. 2 speed.
+#include <benchmark/benchmark.h>
+
+#include "baseline/baseline.hpp"
+#include "core/event_queue.hpp"
+#include "core/rng.hpp"
+#include "net/delay_model.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace bftsim;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng{1};
+  for (auto _ : state) {
+    EventQueue queue;
+    for (std::size_t i = 0; i < batch; ++i) {
+      queue.push(static_cast<Time>(rng.next_below(1'000'000)),
+                 TimerFire{TimerOwner::kNode, 0, i, 0});
+    }
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1'000)->Arg(100'000);
+
+void BM_RngNormalSample(benchmark::State& state) {
+  Rng rng{2};
+  DelaySampler sampler{DelaySpec::normal(250, 50)};
+  for (auto _ : state) benchmark::DoNotOptimize(sampler.sample(rng));
+}
+BENCHMARK(BM_RngNormalSample);
+
+void BM_SimulatePbft(benchmark::State& state) {
+  SimConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.n = static_cast<std::uint32_t>(state.range(0));
+  cfg.lambda_ms = 1000;
+  cfg.delay = DelaySpec::normal(250, 50);
+  std::uint64_t seed = 1;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    cfg.seed = seed++;
+    const RunResult result = run_simulation(cfg);
+    events += result.events_processed;
+    benchmark::DoNotOptimize(result.terminated);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("events/s");
+}
+BENCHMARK(BM_SimulatePbft)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SimulateHotStuffTenDecisions(benchmark::State& state) {
+  SimConfig cfg;
+  cfg.protocol = "hotstuff-ns";
+  cfg.n = 16;
+  cfg.lambda_ms = 1000;
+  cfg.delay = DelaySpec::normal(250, 50);
+  cfg.decisions = 10;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = seed++;
+    benchmark::DoNotOptimize(run_simulation(cfg).terminated);
+  }
+}
+BENCHMARK(BM_SimulateHotStuffTenDecisions);
+
+void BM_SimulatePbftPacketLevel(benchmark::State& state) {
+  SimConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.n = static_cast<std::uint32_t>(state.range(0));
+  cfg.lambda_ms = 1000;
+  cfg.delay = DelaySpec::normal(250, 50);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = seed++;
+    benchmark::DoNotOptimize(
+        baseline::run_baseline_simulation(cfg).terminated);
+  }
+}
+BENCHMARK(BM_SimulatePbftPacketLevel)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

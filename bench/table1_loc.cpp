@@ -1,0 +1,80 @@
+// Tables I and II: lines of code of each protocol and attack
+// implementation — the paper uses these to argue that the simulator's
+// abstractions keep protocol/attack code small. Counted over this
+// repository's sources at build time.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#ifndef BFTSIM_SOURCE_DIR
+#define BFTSIM_SOURCE_DIR "."
+#endif
+
+namespace {
+
+std::size_t count_lines(const std::vector<std::string>& relative_paths) {
+  std::size_t lines = 0;
+  for (const std::string& rel : relative_paths) {
+    const std::filesystem::path path =
+        std::filesystem::path(BFTSIM_SOURCE_DIR) / rel;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) ++lines;
+  }
+  return lines;
+}
+
+}  // namespace
+
+int main() {
+  struct Row {
+    const char* name;
+    const char* model;
+    std::vector<std::string> files;
+  };
+
+  const std::vector<Row> protocols{
+      {"ADD+ v1/v2/v3 (shared impl)", "Synchronous",
+       {"src/protocols/add/add.hpp", "src/protocols/add/add.cpp"}},
+      {"Algorand Agreement", "Synchronous",
+       {"src/protocols/algorand/algorand.hpp", "src/protocols/algorand/algorand.cpp"}},
+      {"async BA (Bracha)", "Asynchronous",
+       {"src/protocols/asyncba/asyncba.hpp", "src/protocols/asyncba/asyncba.cpp"}},
+      {"PBFT", "Partially-Synchronous",
+       {"src/protocols/pbft/pbft.hpp", "src/protocols/pbft/pbft.cpp"}},
+      {"HotStuff+NS", "Partially-Synchronous",
+       {"src/protocols/hotstuff/core.hpp", "src/protocols/hotstuff/core.cpp",
+        "src/protocols/hotstuff/hotstuff_ns.hpp",
+        "src/protocols/hotstuff/hotstuff_ns.cpp"}},
+      {"LibraBFT (reuses chained core)", "Partially-Synchronous",
+       {"src/protocols/librabft/librabft.hpp",
+        "src/protocols/librabft/librabft.cpp"}},
+  };
+
+  const std::vector<Row> attacks{
+      {"Network Partition Attack", "Partition", {"src/attacker/attacks.cpp"}},
+      {"ADD+ Static Attack", "Static", {}},
+      {"ADD+ Adaptive Attack", "Rushing + Adaptive", {}},
+  };
+
+  std::printf("\n=== Table I — implemented BFT protocols (LoC of this repo) ===\n");
+  std::printf("%-34s %-24s %8s\n", "Protocol", "Network Model", "LoC");
+  std::printf("%s\n", std::string(68, '-').c_str());
+  for (const Row& row : protocols) {
+    std::printf("%-34s %-24s %8zu\n", row.name, row.model, count_lines(row.files));
+  }
+
+  std::printf("\n=== Table II — implemented attacks ===\n");
+  std::printf("%-34s %-24s %8s\n", "Attack", "Attacker Capability", "LoC");
+  std::printf("%s\n", std::string(68, '-').c_str());
+  std::printf("%-34s %-24s %8s\n", "all three attacks (one module)", "see header",
+              std::to_string(count_lines({"src/attacker/attacks.hpp",
+                                          "src/attacker/attacks.cpp"}))
+                  .c_str());
+  std::printf("  - Network Partition Attack       Partition\n");
+  std::printf("  - ADD+ BA Static Attack          Static\n");
+  std::printf("  - ADD+ BA Adaptive Attack        Rushing + Adaptive\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Attack lab: runs every builtin attack scenario against the protocols it
+// targets and reports the damage — the simulator's core use case (§III-C):
+// comparing BFT protocols' performance while under attack.
+//
+// Usage: attack_lab [runs_per_cell]   (default 20)
+#include <cstdio>
+#include <cstdlib>
+
+#include "runner/runner.hpp"
+
+namespace {
+
+using namespace bftsim;
+
+void report(const char* label, const SimConfig& cfg, std::size_t repeats) {
+  const Aggregate agg = run_repeated(cfg, repeats);
+  if (agg.latency_ms.count == 0) {
+    std::printf("  %-44s -> no run terminated within %.0fs\n", label,
+                cfg.max_time_ms / 1e3);
+    return;
+  }
+  std::printf("  %-44s -> %6.2fs ± %.2fs   (%zu/%zu terminated)\n", label,
+              agg.latency_ms.mean / 1e3, agg.latency_ms.stddev / 1e3,
+              agg.runs - agg.timeouts, agg.runs);
+}
+
+SimConfig with_attack(SimConfig cfg, const std::string& attack,
+                      json::Value params = {}) {
+  cfg.attack = attack;
+  cfg.attack_params = std::move(params);
+  return cfg;
+}
+
+json::Value partition_params(double resolve_ms) {
+  json::Object obj;
+  obj["resolve_ms"] = resolve_ms;
+  obj["mode"] = "drop";
+  return json::Value{std::move(obj)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t repeats =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 20;
+
+  std::printf("== bftsim attack lab (n=16, %zu runs per line) ==\n", repeats);
+
+  std::printf("\n-- fail-stop: 5 of 16 nodes never start (config-level attack) --\n");
+  for (const char* protocol : {"pbft", "hotstuff-ns", "librabft", "asyncba"}) {
+    SimConfig cfg = experiment_config(protocol, 16, 1000, DelaySpec::normal(250, 50));
+    report((std::string(protocol) + " (clean)").c_str(), cfg, repeats);
+    cfg.honest = 11;
+    report((std::string(protocol) + " (5 fail-stop)").c_str(), cfg, repeats);
+  }
+
+  std::printf("\n-- partition attack: two subnets, heals at t=20s --\n");
+  for (const char* protocol : {"algorand", "pbft", "hotstuff-ns", "librabft"}) {
+    SimConfig cfg = experiment_config(protocol, 16, 1000, DelaySpec::normal(250, 50));
+    cfg.decisions = 1;
+    report(protocol, with_attack(cfg, "partition", partition_params(20'000)),
+           repeats);
+  }
+
+  std::printf("\n-- ADD+ attacks: static vs rushing-adaptive (f = 7) --\n");
+  for (const char* variant : {"addv1", "addv2", "addv3"}) {
+    SimConfig cfg = experiment_config(variant, 16, 1000, DelaySpec::normal(250, 50));
+    report((std::string(variant) + " (clean)").c_str(), cfg, repeats);
+    report((std::string(variant) + " + static").c_str(),
+           with_attack(cfg, "add-static"), repeats);
+    report((std::string(variant) + " + adaptive").c_str(),
+           with_attack(cfg, "add-adaptive"), repeats);
+  }
+
+  std::printf("\nReading guide: addv1 collapses under the static attack (its\n"
+              "leader schedule is public), addv2 under the adaptive attack\n"
+              "(credentials revealed before proposing), addv3 shrugs both off.\n");
+  return 0;
+}

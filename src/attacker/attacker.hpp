@@ -1,0 +1,100 @@
+// The global-attacker API (the attacker module of §III-A5 and §III-C).
+//
+// Unlike simulators that instantiate individual Byzantine nodes, this
+// simulator models an *abstracted global attacker* that every message
+// traverses before its delivery event is scheduled. The attacker may
+// observe, delay, drop or replace messages, inject new ones, and corrupt
+// nodes during execution (adaptive attacks) subject to the corruption
+// budget f. Because interception happens before delivery scheduling, every
+// attacker is rushing by construction.
+//
+// Corruption semantics (models the standard adaptive adversary without
+// erasures): corrupting a node at time t gives the attacker that node's
+// future behavior — messages *sent after t* can be dropped/forged freely
+// and incoming messages are swallowed — but messages the node sent while
+// still honest are already in flight and will be delivered. ADD+ v3's
+// prepare round defeats the rushing-adaptive attack precisely because of
+// this distinction (see src/protocols/add/).
+#pragma once
+
+#include <cstdint>
+
+#include "core/event.hpp"
+#include "core/rng.hpp"
+#include "core/types.hpp"
+#include "crypto/signature.hpp"
+#include "net/message.hpp"
+
+namespace bftsim {
+
+/// A message traversing the attacker. The attacker may rewrite `delay`
+/// (timing attacks) or `msg.payload` (modification attacks).
+struct MessageInFlight {
+  Message msg;
+  Time delay = 0;  ///< network-assigned delay; attacker may alter
+};
+
+/// Attacker's verdict for one intercepted message.
+enum class Disposition : std::uint8_t { kDeliver, kDrop };
+
+/// The attacker's handle to the simulator, implemented by the controller.
+class AttackerContext {
+ public:
+  virtual ~AttackerContext() = default;
+
+  [[nodiscard]] virtual std::uint32_t n() const noexcept = 0;
+  /// Corruption budget (maximum number of Byzantine nodes).
+  [[nodiscard]] virtual std::uint32_t f() const noexcept = 0;
+  [[nodiscard]] virtual Time now() const noexcept = 0;
+
+  /// Injects a forged/duplicated message, delivered after `delay`.
+  virtual void inject(Message msg, Time delay) = 0;
+
+  /// Adaptively corrupts `node`. Returns false (and does nothing) when the
+  /// budget f is exhausted or the node is already corrupt.
+  virtual bool corrupt(NodeId node) = 0;
+  [[nodiscard]] virtual bool is_corrupt(NodeId node) const noexcept = 0;
+  [[nodiscard]] virtual std::uint32_t corrupted_count() const noexcept = 0;
+
+  /// Signs `digest` with `node`'s key. Corrupting a node yields its key
+  /// material, so this succeeds only for corrupt nodes; for honest nodes an
+  /// invalid signature is returned (honest receivers will reject it), which
+  /// models unforgeability.
+  [[nodiscard]] virtual Signature sign_as(NodeId node, std::uint64_t digest) = 0;
+
+  /// Registers an attacker time event.
+  virtual TimerId set_timer(Time delay, std::uint64_t tag) = 0;
+
+  /// Attacker's private randomness stream.
+  [[nodiscard]] virtual Rng& rng() noexcept = 0;
+};
+
+/// Base class for attack implementations (the paper's two-function
+/// interface: attack() and onTimeEvent()).
+class Attacker {
+ public:
+  Attacker() = default;
+  Attacker(const Attacker&) = delete;
+  Attacker& operator=(const Attacker&) = delete;
+  virtual ~Attacker() = default;
+
+  /// Called once at simulated time 0.
+  virtual void on_start(AttackerContext& /*ctx*/) {}
+
+  /// Called for every message after the network assigned its delay and
+  /// before its delivery event is scheduled (rushing by construction).
+  virtual Disposition attack(MessageInFlight& in_flight, AttackerContext& ctx) = 0;
+
+  /// Called when an attacker-registered time event fires.
+  virtual void on_timer(const TimerEvent& /*ev*/, AttackerContext& /*ctx*/) {}
+};
+
+/// The no-op attacker used when no attack scenario is configured.
+class NullAttacker final : public Attacker {
+ public:
+  Disposition attack(MessageInFlight&, AttackerContext&) override {
+    return Disposition::kDeliver;
+  }
+};
+
+}  // namespace bftsim

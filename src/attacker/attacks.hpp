@@ -1,0 +1,109 @@
+// The builtin attack scenarios (§III-C, Table II) and the attacker factory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "attacker/attacker.hpp"
+#include "core/config.hpp"
+
+namespace bftsim {
+
+/// Network partition attack (as described for Algorand): splits the nodes
+/// into `subnets` groups (node id mod subnets); until `resolve_ms`,
+/// cross-subnet messages are dropped ("drop" mode) or held back and
+/// released at resolution time ("delay" mode, the default).
+class PartitionAttack final : public Attacker {
+ public:
+  PartitionAttack(std::uint32_t subnets, Time resolve_at, bool drop_mode);
+
+  Disposition attack(MessageInFlight& in_flight, AttackerContext& ctx) override;
+
+  [[nodiscard]] Time resolve_at() const noexcept { return resolve_at_; }
+
+ private:
+  [[nodiscard]] std::uint32_t group_of(NodeId id) const noexcept {
+    return id % subnets_;
+  }
+
+  std::uint32_t subnets_;
+  Time resolve_at_;
+  bool drop_mode_;
+};
+
+/// Static attack on ADD+: the Byzantine set is fixed before execution.
+/// Against ADD+ v1 the attacker exploits the deterministic round-robin
+/// schedule and picks exactly the first f leaders; against v2/v3 (VRF
+/// leader election) it can only pick f nodes at random.
+class AddStaticAttack final : public Attacker {
+ public:
+  explicit AddStaticAttack(bool deterministic_leaders);
+
+  void on_start(AttackerContext& ctx) override;
+  Disposition attack(MessageInFlight& in_flight, AttackerContext& ctx) override;
+
+ private:
+  bool deterministic_leaders_;
+};
+
+/// Rushing adaptive attack on ADD+ v2/v3: observes the VRF credentials
+/// revealed in each iteration (rushing — every message crosses the
+/// attacker before delivery) and corrupts the winning leader mid-protocol
+/// (adaptive), up to the budget f. Corruption respects causality: messages
+/// the victim sent while honest are already in flight and still delivered.
+class AddAdaptiveAttack final : public Attacker {
+ public:
+  /// `iteration_rounds` is the victim protocol's rounds per iteration
+  /// (4 for ADD+ v2, 3 for v3); λ comes from the run config.
+  AddAdaptiveAttack(Time lambda, int iteration_rounds);
+
+  void on_start(AttackerContext& ctx) override;
+  Disposition attack(MessageInFlight& in_flight, AttackerContext& ctx) override;
+  void on_timer(const TimerEvent& ev, AttackerContext& ctx) override;
+
+ private:
+  Time lambda_;
+  Time iteration_duration_;
+  /// Minimum credential observed per iteration: (credential, node).
+  std::map<std::uint64_t, std::pair<std::uint64_t, NodeId>> observed_min_;
+};
+
+/// Equivocation attack on PBFT: corrupts the first leader before the run
+/// and, in its stead, injects *conflicting* pre-prepare proposals — one
+/// value to even-numbered nodes, another to odd-numbered ones — signed with
+/// the corrupted leader's key. A correct PBFT keeps safety (neither value
+/// can gather 2f+1 prepares) and restores liveness through a view change.
+/// Demonstrates the attacker capabilities no other builtin uses: payload
+/// forging, message injection, and key material from corruption.
+class PbftEquivocationAttack final : public Attacker {
+ public:
+  void on_start(AttackerContext& ctx) override;
+  Disposition attack(MessageInFlight& in_flight, AttackerContext& ctx) override;
+
+ private:
+  NodeId victim_ = 0;  ///< leader of view 0
+};
+
+/// Equivocation attack on Sync HotStuff: the corrupted first leader sends
+/// conflicting height-0 proposals to the two halves of the network. The
+/// protocol's 2Δ commit rule plus proposal echoing must detect the
+/// conflict before any replica's commit timer fires, cancel the commits,
+/// and blame the leader into a view change — safety holds, one view is
+/// lost. (This is the detection mechanism Momose's force-locking attack
+/// targets with finer timing; here we exercise the defense.)
+class SyncHotStuffEquivocationAttack final : public Attacker {
+ public:
+  void on_start(AttackerContext& ctx) override;
+  Disposition attack(MessageInFlight& in_flight, AttackerContext& ctx) override;
+
+ private:
+  NodeId victim_ = 0;  ///< leader of view 0
+};
+
+/// Creates the attacker configured by `cfg` ("" => NullAttacker).
+/// Throws std::invalid_argument for unknown attack names.
+[[nodiscard]] std::unique_ptr<Attacker> make_attacker(const SimConfig& cfg);
+
+}  // namespace bftsim

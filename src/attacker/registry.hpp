@@ -1,0 +1,43 @@
+// Attack registry: maps attack names to factories so configurations can
+// select attack scenarios by name, and users can register custom attacks
+// exactly like the builtin ones (§III-C).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attacker/attacker.hpp"
+#include "core/config.hpp"
+
+namespace bftsim {
+
+using AttackFactory = std::function<std::unique_ptr<Attacker>(const SimConfig&)>;
+
+class AttackRegistry {
+ public:
+  /// The singleton registry, with all builtin attacks registered.
+  [[nodiscard]] static AttackRegistry& instance();
+
+  /// Registers an attack; throws std::invalid_argument on duplicate name.
+  void add(std::string name, AttackFactory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const noexcept;
+
+  /// Creates the named attack; throws std::invalid_argument when unknown.
+  [[nodiscard]] std::unique_ptr<Attacker> make(const std::string& name,
+                                               const SimConfig& cfg) const;
+
+  /// Names of all registered attacks, in registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  AttackRegistry() = default;
+  std::vector<std::pair<std::string, AttackFactory>> attacks_;
+};
+
+/// Registers the builtin attacks (idempotent).
+void register_builtin_attacks(AttackRegistry& registry);
+
+}  // namespace bftsim

@@ -1,0 +1,152 @@
+#include "core/config.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace bftsim {
+
+namespace {
+
+[[nodiscard]] std::string kind_name(DelaySpec::Kind kind) {
+  switch (kind) {
+    case DelaySpec::Kind::kConstant: return "constant";
+    case DelaySpec::Kind::kUniform: return "uniform";
+    case DelaySpec::Kind::kNormal: return "normal";
+    case DelaySpec::Kind::kExponential: return "exponential";
+  }
+  return "?";
+}
+
+[[nodiscard]] DelaySpec::Kind kind_from_name(const std::string& name) {
+  if (name == "constant") return DelaySpec::Kind::kConstant;
+  if (name == "uniform") return DelaySpec::Kind::kUniform;
+  if (name == "normal") return DelaySpec::Kind::kNormal;
+  if (name == "exponential") return DelaySpec::Kind::kExponential;
+  throw std::invalid_argument("unknown delay kind: " + name);
+}
+
+}  // namespace
+
+std::string DelaySpec::describe() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kConstant: os << "C(" << a << ")"; break;
+    case Kind::kUniform: os << "U(" << a << "," << b << ")"; break;
+    case Kind::kNormal: os << "N(" << a << "," << b << ")"; break;
+    case Kind::kExponential: os << "Exp(" << a << ")"; break;
+  }
+  return os.str();
+}
+
+json::Value DelaySpec::to_json() const {
+  json::Object o;
+  o["kind"] = kind_name(kind);
+  o["a"] = a;
+  o["b"] = b;
+  o["min_ms"] = min_ms;
+  o["max_ms"] = max_ms;
+  return json::Value{std::move(o)};
+}
+
+DelaySpec DelaySpec::from_json(const json::Value& v) {
+  DelaySpec spec;
+  spec.kind = kind_from_name(v.get_string("kind", "normal"));
+  spec.a = v.get_number("a", spec.a);
+  spec.b = v.get_number("b", spec.b);
+  spec.min_ms = v.get_number("min_ms", spec.min_ms);
+  spec.max_ms = v.get_number("max_ms", spec.max_ms);
+  return spec;
+}
+
+json::Value CostModel::to_json() const {
+  json::Object o;
+  o["verify_ms"] = verify_ms;
+  o["sign_ms"] = sign_ms;
+  return json::Value{std::move(o)};
+}
+
+CostModel CostModel::from_json(const json::Value& v) {
+  CostModel cost;
+  cost.verify_ms = v.get_number("verify_ms", cost.verify_ms);
+  cost.sign_ms = v.get_number("sign_ms", cost.sign_ms);
+  return cost;
+}
+
+void SimConfig::validate() const {
+  if (n == 0) throw std::invalid_argument("config: n must be positive");
+  if (honest > n) throw std::invalid_argument("config: honest > n");
+  if (lambda_ms <= 0) throw std::invalid_argument("config: lambda_ms must be positive");
+  if (decisions == 0) throw std::invalid_argument("config: decisions must be positive");
+  if (max_time_ms <= 0) throw std::invalid_argument("config: max_time_ms must be positive");
+  if (protocol.empty()) throw std::invalid_argument("config: protocol missing");
+  if (delay.min_ms < 0) throw std::invalid_argument("config: delay.min_ms negative");
+  if (delay.max_ms != 0 && delay.max_ms < delay.min_ms) {
+    throw std::invalid_argument("config: delay.max_ms < delay.min_ms");
+  }
+  if (delay.kind == DelaySpec::Kind::kUniform && delay.b < delay.a) {
+    throw std::invalid_argument("config: uniform delay hi < lo");
+  }
+  if (cost.verify_ms < 0 || cost.sign_ms < 0) {
+    throw std::invalid_argument("config: negative computation cost");
+  }
+}
+
+json::Value SimConfig::to_json() const {
+  json::Object o;
+  o["protocol"] = protocol;
+  o["n"] = static_cast<std::int64_t>(n);
+  o["honest"] = static_cast<std::int64_t>(honest);
+  o["lambda_ms"] = lambda_ms;
+  o["delay"] = delay.to_json();
+  o["seed"] = static_cast<std::int64_t>(seed);
+  o["decisions"] = static_cast<std::int64_t>(decisions);
+  o["max_time_ms"] = max_time_ms;
+  o["max_events"] = static_cast<std::int64_t>(max_events);
+  o["attack"] = attack;
+  if (attack_params.is_object()) o["attack_params"] = attack_params;
+  if (cost.enabled()) o["cost"] = cost.to_json();
+  if (topology.is_object()) o["topology"] = topology;
+  if (protocol_params.is_object()) o["protocol_params"] = protocol_params;
+  o["record_trace"] = record_trace;
+  o["record_views"] = record_views;
+  return json::Value{std::move(o)};
+}
+
+SimConfig SimConfig::from_json(const json::Value& v) {
+  SimConfig cfg;
+  cfg.protocol = v.get_string("protocol", cfg.protocol);
+  cfg.n = static_cast<std::uint32_t>(v.get_int("n", cfg.n));
+  cfg.honest = static_cast<std::uint32_t>(v.get_int("honest", cfg.honest));
+  cfg.lambda_ms = v.get_number("lambda_ms", cfg.lambda_ms);
+  if (const json::Value* d = v.as_object().find("delay")) {
+    cfg.delay = DelaySpec::from_json(*d);
+  }
+  cfg.seed = static_cast<std::uint64_t>(v.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
+  cfg.decisions = static_cast<std::uint32_t>(v.get_int("decisions", cfg.decisions));
+  cfg.max_time_ms = v.get_number("max_time_ms", cfg.max_time_ms);
+  cfg.max_events = static_cast<std::uint64_t>(
+      v.get_int("max_events", static_cast<std::int64_t>(cfg.max_events)));
+  cfg.attack = v.get_string("attack", cfg.attack);
+  if (const json::Value* p = v.as_object().find("attack_params")) {
+    cfg.attack_params = *p;
+  }
+  if (const json::Value* p = v.as_object().find("protocol_params")) {
+    cfg.protocol_params = *p;
+  }
+  if (const json::Value* c = v.as_object().find("cost")) {
+    cfg.cost = CostModel::from_json(*c);
+  }
+  if (const json::Value* t = v.as_object().find("topology")) {
+    cfg.topology = *t;
+  }
+  cfg.record_trace = v.get_bool("record_trace", cfg.record_trace);
+  cfg.record_views = v.get_bool("record_views", cfg.record_views);
+  cfg.validate();
+  return cfg;
+}
+
+SimConfig SimConfig::from_file(const std::string& path) {
+  return from_json(json::parse_file(path));
+}
+
+}  // namespace bftsim

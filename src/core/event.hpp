@@ -1,0 +1,50 @@
+// Simulation events.
+//
+// The simulator is a classic discrete-event system (Law, "Simulation
+// Modeling and Analysis"): a priority queue of timestamped events drives a
+// virtual clock. Two event kinds exist, mirroring the paper's design:
+//   - message events: a node receives a message;
+//   - time events:    a previously registered timer fires.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "core/types.hpp"
+#include "net/message.hpp"
+
+namespace bftsim {
+
+/// Who registered a timer (and therefore who receives its firing).
+enum class TimerOwner : std::uint8_t { kNode, kAttacker, kSystem };
+
+/// A message event: `msg` is delivered to `msg.dst`.
+struct MessageDelivery {
+  Message msg;
+};
+
+/// A time event: timer `timer` with user `tag` fires for its owner.
+struct TimerFire {
+  TimerOwner owner = TimerOwner::kNode;
+  NodeId node = kNoNode;  ///< meaningful when owner == kNode
+  TimerId timer = 0;
+  std::uint64_t tag = 0;
+};
+
+/// The timer-firing view handed to Node / Attacker callbacks.
+struct TimerEvent {
+  TimerId id = 0;
+  std::uint64_t tag = 0;
+  Time fired_at = 0;
+};
+
+/// A queued simulation event. `seq` is a global monotonically increasing
+/// tie-breaker so that events with equal timestamps pop in insertion order,
+/// making every run fully deterministic.
+struct Event {
+  Time at = 0;
+  std::uint64_t seq = 0;
+  std::variant<MessageDelivery, TimerFire> body;
+};
+
+}  // namespace bftsim

@@ -1,0 +1,56 @@
+// The simulator's event queue: a binary min-heap ordered by
+// (timestamp, insertion sequence number).
+#pragma once
+
+#include <cstddef>
+#include <queue>
+#include <vector>
+
+#include "core/event.hpp"
+
+namespace bftsim {
+
+/// Priority queue of simulation events, deterministic under ties.
+class EventQueue {
+ public:
+  /// Schedules `body` at absolute time `at`; returns the assigned sequence
+  /// number (unique per queue, usable as a stable event identity).
+  template <typename Body>
+  std::uint64_t push(Time at, Body&& body) {
+    const std::uint64_t seq = next_seq_++;
+    heap_.push(Event{at, seq, std::forward<Body>(body)});
+    return seq;
+  }
+
+  /// True when no events remain.
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Timestamp of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] Time next_time() const { return heap_.top().at; }
+
+  /// Removes and returns the earliest pending event. Precondition: !empty().
+  [[nodiscard]] Event pop() {
+    Event ev = heap_.top();
+    heap_.pop();
+    return ev;
+  }
+
+  /// Total number of events ever scheduled on this queue.
+  [[nodiscard]] std::uint64_t total_scheduled() const noexcept { return next_seq_; }
+
+ private:
+  struct Later {
+    [[nodiscard]] bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace bftsim

@@ -1,0 +1,105 @@
+// Minimal JSON support for configuration files and result dumps.
+//
+// Implements the subset of RFC 8259 the simulator needs: objects, arrays,
+// strings (with \uXXXX escapes for the BMP), numbers, booleans and null.
+// Parsing is strict (trailing garbage is an error); serialization is
+// deterministic (object keys keep insertion order).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bftsim::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+
+/// Order-preserving string->Value map (configs are small; linear is fine).
+class Object {
+ public:
+  [[nodiscard]] bool contains(const std::string& key) const noexcept;
+  [[nodiscard]] const Value* find(const std::string& key) const noexcept;
+  Value& operator[](const std::string& key);  ///< inserts null if absent
+  [[nodiscard]] const Value& at(const std::string& key) const;  ///< throws
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] auto begin() const noexcept { return entries_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return entries_.end(); }
+
+ private:
+  std::vector<std::pair<std::string, Value>> entries_;
+};
+
+enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+/// Error thrown on parse failures and type mismatches.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A JSON value (tagged union with value semantics).
+class Value {
+ public:
+  Value() : kind_(Kind::kNull) {}
+  Value(std::nullptr_t) : kind_(Kind::kNull) {}
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Value(double d) : kind_(Kind::kNumber), num_(d) {}
+  Value(int i) : kind_(Kind::kNumber), num_(i) {}
+  Value(std::int64_t i) : kind_(Kind::kNumber), num_(static_cast<double>(i)) {}
+  Value(std::uint64_t u) : kind_(Kind::kNumber), num_(static_cast<double>(u)) {}
+  Value(const char* s) : kind_(Kind::kString), str_(s) {}
+  Value(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  Value(Array a) : kind_(Kind::kArray), arr_(std::make_shared<Array>(std::move(a))) {}
+  Value(Object o) : kind_(Kind::kObject), obj_(std::make_shared<Object>(std::move(o))) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] Object& as_object();
+
+  /// Typed lookups with defaults, for config reading.
+  [[nodiscard]] double get_number(const std::string& key, double fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+
+  /// Serializes this value. `indent` > 0 pretty-prints.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::shared_ptr<Array> arr_;   // shared for cheap copies; treated as value
+  std::shared_ptr<Object> obj_;  // (copy-on-write is unnecessary for configs)
+};
+
+/// Parses a complete JSON document; throws json::Error on malformed input.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Parses the JSON document in file `path`; throws json::Error on failure.
+[[nodiscard]] Value parse_file(const std::string& path);
+
+}  // namespace bftsim::json

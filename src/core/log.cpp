@@ -1,0 +1,22 @@
+#include "core/log.hpp"
+
+#include <iostream>
+
+namespace bftsim {
+
+LogLevel Log::level_ = LogLevel::kOff;
+std::ostream* Log::sink_ = &std::cerr;
+
+void Log::write(LogLevel level, const std::string& line) {
+  if (!enabled(level)) return;
+  const char* tag = "";
+  switch (level) {
+    case LogLevel::kError: tag = "[error] "; break;
+    case LogLevel::kInfo: tag = "[info]  "; break;
+    case LogLevel::kDebug: tag = "[debug] "; break;
+    case LogLevel::kOff: return;
+  }
+  (*sink_) << tag << line << '\n';
+}
+
+}  // namespace bftsim

@@ -1,0 +1,39 @@
+// Lightweight leveled logging. Off by default; enabled by examples and by
+// debugging sessions. Not used on simulation hot paths unless enabled.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace bftsim {
+
+enum class LogLevel : int { kOff = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log configuration.
+class Log {
+ public:
+  static void set_level(LogLevel level) noexcept { level_ = level; }
+  static void set_sink(std::ostream* sink) noexcept { sink_ = sink; }
+  [[nodiscard]] static bool enabled(LogLevel level) noexcept {
+    return static_cast<int>(level) <= static_cast<int>(level_) && sink_ != nullptr;
+  }
+  static void write(LogLevel level, const std::string& line);
+
+ private:
+  static LogLevel level_;
+  static std::ostream* sink_;
+};
+
+}  // namespace bftsim
+
+/// Usage: BFTSIM_LOG(kDebug, "node " << id << " entered view " << v);
+#define BFTSIM_LOG(level, expr)                                        \
+  do {                                                                 \
+    if (::bftsim::Log::enabled(::bftsim::LogLevel::level)) {           \
+      std::ostringstream bftsim_log_os__;                              \
+      bftsim_log_os__ << expr;                                         \
+      ::bftsim::Log::write(::bftsim::LogLevel::level,                  \
+                           bftsim_log_os__.str());                     \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,83 @@
+// Performance metrics collected during a run (§II-C of the paper):
+// time usage and message usage, plus per-node decision timestamps, view
+// trajectories (for view-synchronization analysis, Fig. 9) and event counts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace bftsim {
+
+/// One decision reported by one node.
+struct Decision {
+  NodeId node = kNoNode;
+  Time at = 0;
+  std::uint64_t height = 0;  ///< 0-based index of this node's decisions
+  Value value = kBottom;
+};
+
+/// One view-entry record (node `node` entered `view` at time `at`).
+struct ViewRecord {
+  NodeId node = kNoNode;
+  Time at = 0;
+  View view = 0;
+};
+
+/// Mutable metrics sink owned by the controller.
+class Metrics {
+ public:
+  void on_send() noexcept { ++messages_sent_; }
+  void on_bytes(std::uint64_t bytes) noexcept { bytes_sent_ += bytes; }
+  void on_deliver() noexcept { ++messages_delivered_; }
+  void on_drop() noexcept { ++messages_dropped_; }
+  void on_inject() noexcept { ++messages_injected_; }
+  void on_timer() noexcept { ++timers_fired_; }
+  void on_event() noexcept { ++events_processed_; }
+  void count_type(const std::string& type) { ++per_type_[type]; }
+
+  void on_decision(Decision d) { decisions_.push_back(d); }
+  void on_view(ViewRecord v) { views_.push_back(v); }
+
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept { return messages_sent_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const noexcept { return messages_delivered_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const noexcept { return messages_dropped_; }
+  [[nodiscard]] std::uint64_t messages_injected() const noexcept { return messages_injected_; }
+  [[nodiscard]] std::uint64_t timers_fired() const noexcept { return timers_fired_; }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_processed_; }
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& per_type() const noexcept {
+    return per_type_;
+  }
+  [[nodiscard]] const std::vector<Decision>& decisions() const noexcept {
+    return decisions_;
+  }
+  [[nodiscard]] const std::vector<ViewRecord>& views() const noexcept {
+    return views_;
+  }
+
+  /// Number of decisions reported so far by `node`.
+  [[nodiscard]] std::uint64_t decision_count(NodeId node) const noexcept;
+
+  /// Time at which every node in `nodes` had reported at least `k`
+  /// decisions, or kNoTime if some node has not.
+  [[nodiscard]] Time completion_time(const std::vector<NodeId>& nodes,
+                                     std::uint64_t k) const noexcept;
+
+ private:
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+  std::uint64_t messages_injected_ = 0;
+  std::uint64_t timers_fired_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::map<std::string, std::uint64_t> per_type_;
+  std::vector<Decision> decisions_;
+  std::vector<ViewRecord> views_;
+};
+
+}  // namespace bftsim

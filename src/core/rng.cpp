@@ -1,0 +1,24 @@
+#include "core/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace bftsim {
+
+double Rng::normal(double mean, double stddev) noexcept {
+  // Box-Muller, using the cosine branch only so that exactly two raw draws
+  // are consumed per sample regardless of caller interleaving.
+  double u1 = next_double();
+  const double u2 = next_double();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;  // guard log(0)
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::exponential(double mean) noexcept {
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+}  // namespace bftsim

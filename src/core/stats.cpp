@@ -1,0 +1,56 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bftsim {
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::vector<double> sample) {
+  Summary s;
+  if (sample.empty()) return s;
+  std::sort(sample.begin(), sample.end());
+  s.count = sample.size();
+  s.min = sample.front();
+  s.max = sample.back();
+  s.median = percentile_sorted(sample, 0.5);
+  s.p90 = percentile_sorted(sample, 0.9);
+  s.p99 = percentile_sorted(sample, 0.99);
+  Accumulator acc;
+  for (double x : sample) acc.add(x);
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  return s;
+}
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace bftsim

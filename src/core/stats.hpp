@@ -1,0 +1,47 @@
+// Small descriptive-statistics helpers used by the experiment runner and
+// the figure-reproduction benches (mean, standard deviation, percentiles).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bftsim {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes summary statistics of `sample` (empty input yields all zeros).
+[[nodiscard]] Summary summarize(std::vector<double> sample);
+
+/// Linear-interpolation percentile of a sorted sample, q in [0, 1].
+[[nodiscard]] double percentile_sorted(const std::vector<double>& sorted, double q);
+
+/// Incremental mean/variance accumulator (Welford's algorithm).
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace bftsim

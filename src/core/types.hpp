@@ -1,0 +1,59 @@
+// Fundamental value types shared by every subsystem of the simulator.
+//
+// The simulator measures time in integer microseconds ("Time") so that event
+// ordering is exact and runs are bit-for-bit reproducible; configuration
+// surfaces use floating-point milliseconds, matching the units of the paper.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace bftsim {
+
+/// Identifier of a simulated node. Nodes are numbered 0..n-1.
+using NodeId = std::uint32_t;
+
+/// Simulated time in integer microseconds since the start of the run.
+using Time = std::int64_t;
+
+/// A view / round number of a view-based protocol.
+using View = std::uint64_t;
+
+/// An opaque proposed/decided value (e.g. a block or request digest).
+using Value = std::uint64_t;
+
+/// Identifier of a pending timer registration.
+using TimerId = std::uint64_t;
+
+/// One microsecond, expressed in Time units.
+inline constexpr Time kMicrosecond = 1;
+/// One millisecond, expressed in Time units.
+inline constexpr Time kMillisecond = 1000;
+/// One second, expressed in Time units.
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+/// Sentinel meaning "no time" / "unset".
+inline constexpr Time kNoTime = std::numeric_limits<Time>::min();
+
+/// Sentinel meaning "no node" (used for e.g. broadcast origins).
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for an undecided / bottom value (Bracha's "⊥").
+inline constexpr Value kBottom = std::numeric_limits<Value>::max();
+
+/// Converts floating-point milliseconds (config units) to simulated Time.
+[[nodiscard]] constexpr Time from_ms(double ms) noexcept {
+  return static_cast<Time>(ms * static_cast<double>(kMillisecond));
+}
+
+/// Converts simulated Time to floating-point milliseconds (report units).
+[[nodiscard]] constexpr double to_ms(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/// Converts simulated Time to floating-point seconds (report units).
+[[nodiscard]] constexpr double to_sec(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+}  // namespace bftsim

@@ -1,0 +1,57 @@
+// Quorum and timeout certificates, shared by the HotStuff-family protocols.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "crypto/hash.hpp"
+
+namespace bftsim {
+
+/// A quorum certificate: proof that `quorum` distinct nodes voted for block
+/// `block` in view `view`.
+struct QuorumCert {
+  View view = 0;
+  Value block = kBottom;  ///< block id the votes certify
+  std::vector<NodeId> signers;
+
+  [[nodiscard]] bool valid(std::uint32_t quorum) const noexcept {
+    if (signers.size() < quorum) return false;
+    std::vector<NodeId> s = signers;
+    std::sort(s.begin(), s.end());
+    return std::adjacent_find(s.begin(), s.end()) == s.end();  // distinct
+  }
+
+  [[nodiscard]] std::uint64_t digest() const noexcept {
+    std::uint64_t h = hash_words({view, block});
+    for (const NodeId id : signers) h = hash_combine(h, id);
+    return h;
+  }
+
+  /// The genesis certificate (view 0, genesis block) that bootstraps chains.
+  [[nodiscard]] static QuorumCert genesis() { return QuorumCert{0, 0, {}}; }
+};
+
+/// A timeout certificate (LibraBFT): proof that `quorum` distinct nodes
+/// timed out in view `view`.
+struct TimeoutCert {
+  View view = 0;
+  std::vector<NodeId> signers;
+
+  [[nodiscard]] bool valid(std::uint32_t quorum) const noexcept {
+    if (signers.size() < quorum) return false;
+    std::vector<NodeId> s = signers;
+    std::sort(s.begin(), s.end());
+    return std::adjacent_find(s.begin(), s.end()) == s.end();
+  }
+
+  [[nodiscard]] std::uint64_t digest() const noexcept {
+    std::uint64_t h = hash_words({view, 0x5443ULL});
+    for (const NodeId id : signers) h = hash_combine(h, id);
+    return h;
+  }
+};
+
+}  // namespace bftsim

@@ -1,0 +1,48 @@
+// Deterministic non-cryptographic hashing used throughout the simulator:
+// payload digests, trace fingerprints, the simulated VRF, and value ids.
+//
+// These are *models* of cryptographic primitives: within the simulation they
+// provide the protocol-visible properties (determinism, collision resistance
+// at simulation scale, unpredictability of seeded outputs to components that
+// lack the seed) without real cryptography, which the simulated protocols do
+// not need (see DESIGN.md, substitution #3).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string_view>
+
+namespace bftsim {
+
+/// 64-bit FNV-1a over a byte string.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Strong 64-bit finalizer (SplitMix64's mixer).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Combines a hash with another value (boost-style, 64-bit).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                                   std::uint64_t v) noexcept {
+  return seed ^ (mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Hashes a fixed list of 64-bit words.
+[[nodiscard]] constexpr std::uint64_t hash_words(
+    std::initializer_list<std::uint64_t> words) noexcept {
+  std::uint64_t h = 0x9ae16a3b2f90404fULL;
+  for (const std::uint64_t w : words) h = hash_combine(h, w);
+  return h;
+}
+
+}  // namespace bftsim

@@ -1,0 +1,52 @@
+// Simulated Verifiable Random Function.
+//
+// Used by ADD+ v2/v3 and Algorand Agreement for unpredictable leader
+// election. The model preserves the protocol-visible properties:
+//   - determinism: evaluate(node, round) is a fixed function of the run seed;
+//   - unpredictability: outputs depend on a per-run secret, so attacker
+//     implementations cannot compute a node's credential before that node
+//     reveals it in a message (attacks only use revealed credentials);
+//   - verifiability: verify() recomputes and checks an evaluation, so honest
+//     nodes can reject forged credentials injected by the attacker.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+#include "crypto/hash.hpp"
+
+namespace bftsim {
+
+/// Output of a VRF evaluation: a pseudorandom value and its proof.
+struct VrfOutput {
+  std::uint64_t value = 0;
+  std::uint64_t proof = 0;
+
+  friend bool operator==(const VrfOutput&, const VrfOutput&) = default;
+};
+
+/// A per-run VRF instance. All nodes share one instance (each node's
+/// evaluations are domain-separated by its id, modeling per-node keys).
+class Vrf {
+ public:
+  explicit Vrf(std::uint64_t run_secret) noexcept
+      : secret_(mix64(run_secret ^ 0x5652465f53414c54ULL)) {}  // "VRF_SALT"
+
+  /// Evaluates node `node`'s VRF at input `round`.
+  [[nodiscard]] VrfOutput evaluate(NodeId node, std::uint64_t round) const noexcept {
+    const std::uint64_t value = hash_words({secret_, node, round, 0x76616c75ULL});
+    const std::uint64_t proof = hash_words({secret_, node, round, value, 0x70726f6fULL});
+    return VrfOutput{value, proof};
+  }
+
+  /// Checks that `out` is node `node`'s evaluation at `round`.
+  [[nodiscard]] bool verify(NodeId node, std::uint64_t round,
+                            const VrfOutput& out) const noexcept {
+    return evaluate(node, round) == out;
+  }
+
+ private:
+  std::uint64_t secret_;
+};
+
+}  // namespace bftsim

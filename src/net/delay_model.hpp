@@ -1,0 +1,43 @@
+// Message-delay sampling.
+//
+// The network module assigns each message a delay sampled from a
+// configurable distribution (§III-A4): constant, uniform, normal (the
+// paper's N(mu, sigma)) or exponential (Poisson-process inter-arrivals).
+// Clamping bounds let a user emulate the common network models:
+//   - synchronous:            max_ms <= the protocol's lambda,
+//   - partially synchronous:  max_ms set but unknown to the protocol,
+//   - asynchronous:           no max_ms (unbounded tail).
+#pragma once
+
+#include "core/config.hpp"
+#include "core/rng.hpp"
+#include "core/types.hpp"
+
+namespace bftsim {
+
+/// Samples message delays according to a DelaySpec.
+class DelaySampler {
+ public:
+  explicit DelaySampler(const DelaySpec& spec) noexcept : spec_(spec) {}
+
+  /// Draws one delay; always >= spec.min_ms (and <= spec.max_ms if set).
+  [[nodiscard]] Time sample(Rng& rng) const noexcept {
+    double ms = 0.0;
+    switch (spec_.kind) {
+      case DelaySpec::Kind::kConstant: ms = spec_.a; break;
+      case DelaySpec::Kind::kUniform: ms = rng.uniform(spec_.a, spec_.b); break;
+      case DelaySpec::Kind::kNormal: ms = rng.normal(spec_.a, spec_.b); break;
+      case DelaySpec::Kind::kExponential: ms = rng.exponential(spec_.a); break;
+    }
+    if (ms < spec_.min_ms) ms = spec_.min_ms;
+    if (spec_.max_ms > 0.0 && ms > spec_.max_ms) ms = spec_.max_ms;
+    return from_ms(ms);
+  }
+
+  [[nodiscard]] const DelaySpec& spec() const noexcept { return spec_; }
+
+ private:
+  DelaySpec spec_;
+};
+
+}  // namespace bftsim

@@ -1,0 +1,62 @@
+// Protocol message model.
+//
+// A Message is an envelope (source, destination, send time, unique id)
+// around an immutable, shared Payload. Protocols define their own payload
+// types by deriving from Payload; the attacker module may replace a
+// message's payload (modification attack) but never mutates a payload in
+// place, since payloads are shared between the fan-out copies of a
+// broadcast.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "core/types.hpp"
+
+namespace bftsim {
+
+/// Base class for all protocol message payloads.
+///
+/// `type()` is a stable, human-readable tag used by traces, the validator
+/// and attackers; `digest()` is a deterministic fingerprint of the payload
+/// contents used for trace hashing and cross-validation.
+class Payload {
+ public:
+  Payload() = default;
+  Payload(const Payload&) = default;
+  Payload& operator=(const Payload&) = default;
+  virtual ~Payload() = default;
+
+  [[nodiscard]] virtual std::string_view type() const noexcept = 0;
+  [[nodiscard]] virtual std::uint64_t digest() const noexcept = 0;
+
+  /// Estimated wire size in bytes, used by the packet-level baseline
+  /// simulator to fragment messages. Message-level simulation ignores it.
+  [[nodiscard]] virtual std::size_t wire_size() const noexcept { return 128; }
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+/// Convenience factory: `make_payload<VoteMsg>(view, value)`.
+template <typename T, typename... Args>
+[[nodiscard]] PayloadPtr make_payload(Args&&... args) {
+  return std::make_shared<const T>(std::forward<Args>(args)...);
+}
+
+/// A message in the simulated network.
+struct Message {
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  Time send_time = 0;
+  std::uint64_t id = 0;  ///< unique per transmission, assigned by the network
+  PayloadPtr payload;
+
+  /// Downcasts the payload to a concrete type; returns nullptr on mismatch.
+  template <typename T>
+  [[nodiscard]] const T* as() const noexcept {
+    return dynamic_cast<const T*>(payload.get());
+  }
+};
+
+}  // namespace bftsim

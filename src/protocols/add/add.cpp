@@ -1,0 +1,207 @@
+#include "protocols/add/add.hpp"
+
+#include "core/log.hpp"
+
+namespace bftsim::add {
+
+namespace {
+/// Timer tags encode (iteration, round-within-iteration).
+[[nodiscard]] constexpr std::uint64_t tag_of(std::uint64_t iter,
+                                             std::uint64_t round) noexcept {
+  return iter * 8 + round;
+}
+}  // namespace
+
+AddNode::AddNode(NodeId id, Variant variant, const SimConfig&)
+    : id_(id), variant_(variant) {}
+
+void AddNode::on_start(Context& ctx) { enter_iteration(0, ctx); }
+
+void AddNode::enter_iteration(std::uint64_t iter, Context& ctx) {
+  iter_ = iter;
+  ctx.record_view(iter);
+  // Lock-step rounds: all nodes schedule the same absolute round times, so
+  // iterations stay aligned without any synchronization messages.
+  const int rounds = rounds_per_iteration();
+  for (int r = 0; r <= rounds; ++r) {
+    ctx.set_timer(static_cast<Time>(r) * ctx.lambda(), tag_of(iter, r));
+  }
+  step(iter, 0, ctx);  // round 0 actions happen on entry
+}
+
+void AddNode::on_timer(const TimerEvent& ev, Context& ctx) {
+  const std::uint64_t iter = ev.tag / 8;
+  const std::uint64_t round = ev.tag % 8;
+  if (iter != iter_ || decided_) return;
+  if (round == 0) return;  // already executed on entry
+  step(iter, round, ctx);
+}
+
+void AddNode::step(std::uint64_t iter, std::uint64_t round, Context& ctx) {
+  switch (variant_) {
+    case Variant::kV1:
+      // rounds: 0 propose (leader), 1 vote, 2 commit happens on quorum,
+      // 3 iteration end.
+      if (round == 0) {
+        if (ctx.id() == iter % ctx.n()) {
+          ctx.broadcast(make_payload<AddPropose>(iter, own_proposal(iter, ctx)));
+        }
+      } else if (round == 1) {
+        do_vote(iter, ctx);
+      } else if (round == 3) {
+        enter_iteration(iter + 1, ctx);
+      }
+      break;
+
+    case Variant::kV2:
+      // rounds: 0 elect, 1 propose (winner), 2 vote, 3 commit on quorum,
+      // 4 iteration end.
+      if (round == 0) {
+        ctx.broadcast(make_payload<AddElect>(iter, ctx.vrf().evaluate(id_, iter)));
+      } else if (round == 1) {
+        const auto it = min_elect_.find(iter);
+        if (it != min_elect_.end() && it->second.second == id_) {
+          ctx.broadcast(make_payload<AddPropose>(iter, own_proposal(iter, ctx)));
+        }
+      } else if (round == 2) {
+        do_vote(iter, ctx);
+      } else if (round == 4) {
+        enter_iteration(iter + 1, ctx);
+      }
+      break;
+
+    case Variant::kV3:
+      // rounds: 0 propose (everyone, credential attached), 1 prepare the
+      // minimum-credential value, 2 commit on quorum, 3 iteration end.
+      if (round == 0) {
+        ctx.broadcast(make_payload<AddPropose>(iter, own_proposal(iter, ctx),
+                                               ctx.vrf().evaluate(id_, iter)));
+      } else if (round == 1) {
+        do_vote(iter, ctx);
+      } else if (round == 3) {
+        enter_iteration(iter + 1, ctx);
+      }
+      break;
+  }
+}
+
+void AddNode::do_vote(std::uint64_t iter, Context& ctx) {
+  // Determine the leader's value for this iteration, per variant.
+  Value value = kBottom;
+  switch (variant_) {
+    case Variant::kV1:
+    case Variant::kV2: {
+      const auto it = leader_proposal_.find(iter);
+      if (it == leader_proposal_.end() || !it->second.has_value()) {
+        // v2: the proposal may have arrived before the elect quorum
+        // identified the leader; re-check the stored proposals now.
+        if (variant_ == Variant::kV2) {
+          const auto elect = min_elect_.find(iter);
+          const auto props = proposals_.find(iter);
+          if (elect != min_elect_.end() && props != proposals_.end()) {
+            const auto p = props->second.find(elect->second.second);
+            if (p != props->second.end()) value = p->second;
+          }
+        }
+      } else {
+        value = *it->second;
+      }
+      break;
+    }
+    case Variant::kV3: {
+      const auto it = best_proposal_.find(iter);
+      if (it != best_proposal_.end()) value = it->second.second;
+      break;
+    }
+  }
+  if (value == kBottom) return;  // silent / corrupted leader: skip iteration
+  if (lock_ != kBottom && lock_ != value) return;  // never vote against a lock
+  const auto payload = variant_ == Variant::kV3
+                           ? PayloadPtr(make_payload<AddPrepare>(iter, value))
+                           : PayloadPtr(make_payload<AddVote>(iter, value));
+  ctx.broadcast(payload);
+}
+
+void AddNode::try_commit_phase(std::uint64_t iter, Value value, Context& ctx) {
+  if (!votes_.reached({iter, value}, quorum(ctx))) return;
+  if (!commit_sent_.mark(iter)) return;
+  lock_ = value;
+  ctx.broadcast(make_payload<AddCommit>(iter, value));
+}
+
+void AddNode::on_message(const Message& msg, Context& ctx) {
+  if (const auto* elect = msg.as<AddElect>()) {
+    if (variant_ != Variant::kV2) return;
+    if (!ctx.vrf().verify(msg.src, elect->iter, elect->credential)) return;
+    const auto it = min_elect_.find(elect->iter);
+    if (it == min_elect_.end() || elect->credential.value < it->second.first) {
+      min_elect_[elect->iter] = {elect->credential.value, msg.src};
+    }
+    return;
+  }
+
+  if (const auto* prop = msg.as<AddPropose>()) {
+    switch (variant_) {
+      case Variant::kV1:
+        if (msg.src == prop->iter % ctx.n()) {
+          auto& slot = leader_proposal_[prop->iter];
+          if (!slot.has_value()) slot = prop->value;
+          // A different second value would be equivocation; first wins.
+        }
+        break;
+      case Variant::kV2: {
+        proposals_[prop->iter][msg.src] = prop->value;
+        const auto elect = min_elect_.find(prop->iter);
+        if (elect != min_elect_.end() && elect->second.second == msg.src) {
+          auto& slot = leader_proposal_[prop->iter];
+          if (!slot.has_value()) slot = prop->value;
+        }
+        break;
+      }
+      case Variant::kV3: {
+        if (!prop->has_credential ||
+            !ctx.vrf().verify(msg.src, prop->iter, prop->credential)) {
+          return;
+        }
+        const auto it = best_proposal_.find(prop->iter);
+        if (it == best_proposal_.end() ||
+            prop->credential.value < it->second.first) {
+          best_proposal_[prop->iter] = {prop->credential.value, prop->value};
+        }
+        break;
+      }
+    }
+    return;
+  }
+
+  if (const auto* prep = msg.as<AddPrepare>()) {
+    if (variant_ != Variant::kV3) return;
+    votes_.add({prep->iter, prep->value}, msg.src);
+    try_commit_phase(prep->iter, prep->value, ctx);
+    return;
+  }
+
+  if (const auto* vote = msg.as<AddVote>()) {
+    if (variant_ == Variant::kV3) return;
+    votes_.add({vote->iter, vote->value}, msg.src);
+    try_commit_phase(vote->iter, vote->value, ctx);
+    return;
+  }
+
+  if (const auto* commit = msg.as<AddCommit>()) {
+    if (commits_.add_reaches({commit->iter, commit->value}, msg.src, quorum(ctx)) &&
+        !decided_) {
+      decided_ = true;
+      lock_ = commit->value;
+      ctx.report_decision(commit->value);
+    }
+    return;
+  }
+}
+
+std::unique_ptr<Node> make_add_node(NodeId id, Variant variant,
+                                    const SimConfig& cfg) {
+  return std::make_unique<AddNode>(id, variant, cfg);
+}
+
+}  // namespace bftsim::add

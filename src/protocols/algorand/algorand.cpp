@@ -1,0 +1,124 @@
+#include "protocols/algorand/algorand.hpp"
+
+#include "core/log.hpp"
+
+namespace bftsim::algorand {
+
+AlgorandNode::AlgorandNode(NodeId id, const SimConfig&) : id_(id) {}
+
+void AlgorandNode::on_start(Context& ctx) {
+  ctx.record_view(period_);
+  broadcast_proposal(ctx);
+  ctx.set_timer(2 * ctx.lambda(), tag_of(period_, Step::kSoft));
+  ctx.set_timer(4 * ctx.lambda(), tag_of(period_, Step::kNext));
+}
+
+void AlgorandNode::broadcast_proposal(Context& ctx) {
+  const Value value = starting_ != kBottom
+                          ? starting_
+                          : hash_words({0x414cULL, period_, id_});
+  ctx.broadcast(make_payload<AlgoProposal>(period_, value,
+                                           ctx.vrf().evaluate(id_, period_)));
+}
+
+void AlgorandNode::enter_period(std::uint64_t period, Value starting, Context& ctx) {
+  if (period <= period_) return;
+  period_ = period;
+  starting_ = starting;
+  ctx.record_view(period_);
+  broadcast_proposal(ctx);
+  ctx.set_timer(2 * ctx.lambda(), tag_of(period_, Step::kSoft));
+  ctx.set_timer(4 * ctx.lambda(), tag_of(period_, Step::kNext));
+}
+
+void AlgorandNode::do_soft_vote(Context& ctx) {
+  if (soft_voted_.contains(period_)) return;
+  Value value = starting_;
+  if (value == kBottom) {
+    const auto it = best_proposal_.find(period_);
+    // Saw no proposals yet: stay eligible — the retransmission timer
+    // retries once (re-sent) proposals arrive.
+    if (it == best_proposal_.end()) return;
+    value = it->second.second;
+  }
+  soft_voted_.mark(period_);
+  soft_value_[period_] = value;
+  ctx.broadcast(make_payload<AlgoSoftVote>(period_, value));
+}
+
+void AlgorandNode::do_next_vote(Context& ctx) {
+  if (!next_voted_.mark(period_)) return;
+  Value value = kBottom;
+  if (const auto it = cert_value_.find(period_); it != cert_value_.end()) {
+    value = it->second;  // help the decided value spread
+  } else if (starting_ != kBottom) {
+    value = starting_;
+  }
+  next_value_[period_] = value;
+  ctx.broadcast(make_payload<AlgoNextVote>(period_, value));
+  // Keep retransmitting until the system leaves this period (liveness
+  // through partitions and message loss).
+  ctx.set_timer(2 * ctx.lambda(), tag_of(period_, Step::kRepeat));
+}
+
+void AlgorandNode::retransmit(Context& ctx) {
+  broadcast_proposal(ctx);
+  do_soft_vote(ctx);  // catch up if the 2λ mark passed before any proposal
+  if (const auto it = soft_value_.find(period_); it != soft_value_.end()) {
+    ctx.broadcast(make_payload<AlgoSoftVote>(period_, it->second));
+  }
+  if (const auto it = next_value_.find(period_); it != next_value_.end()) {
+    ctx.broadcast(make_payload<AlgoNextVote>(period_, it->second));
+  }
+  ctx.set_timer(2 * ctx.lambda(), tag_of(period_, Step::kRepeat));
+}
+
+void AlgorandNode::on_timer(const TimerEvent& ev, Context& ctx) {
+  const std::uint64_t period = ev.tag / 4;
+  if (period != period_) return;  // stale timer from an earlier period
+  switch (static_cast<Step>(ev.tag % 4)) {
+    case Step::kSoft: do_soft_vote(ctx); break;
+    case Step::kNext: do_next_vote(ctx); break;
+    case Step::kRepeat: retransmit(ctx); break;
+  }
+}
+
+void AlgorandNode::on_message(const Message& msg, Context& ctx) {
+  if (const auto* prop = msg.as<AlgoProposal>()) {
+    if (!ctx.vrf().verify(msg.src, prop->period, prop->credential)) return;
+    const auto it = best_proposal_.find(prop->period);
+    if (it == best_proposal_.end() || prop->credential.value < it->second.first) {
+      best_proposal_[prop->period] = {prop->credential.value, prop->value};
+    }
+    return;
+  }
+  if (const auto* soft = msg.as<AlgoSoftVote>()) {
+    if (soft_votes_.add_reaches({soft->period, soft->value}, msg.src, quorum(ctx)) &&
+        soft->period == period_ && cert_voted_.mark(soft->period)) {
+      cert_value_[soft->period] = soft->value;
+      ctx.broadcast(make_payload<AlgoCertVote>(soft->period, soft->value));
+    }
+    return;
+  }
+  if (const auto* cert = msg.as<AlgoCertVote>()) {
+    if (cert_votes_.add_reaches({cert->period, cert->value}, msg.src, quorum(ctx)) &&
+        !decided_) {
+      decided_ = true;
+      ctx.report_decision(cert->value);
+    }
+    return;
+  }
+  if (const auto* next = msg.as<AlgoNextVote>()) {
+    if (next_votes_.add_reaches({next->period, next->value}, msg.src, quorum(ctx)) &&
+        next->period >= period_) {
+      enter_period(next->period + 1, next->value, ctx);
+    }
+    return;
+  }
+}
+
+std::unique_ptr<Node> make_algorand_node(NodeId id, const SimConfig& cfg) {
+  return std::make_unique<AlgorandNode>(id, cfg);
+}
+
+}  // namespace bftsim::algorand

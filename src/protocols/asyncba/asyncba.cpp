@@ -1,0 +1,177 @@
+#include "protocols/asyncba/asyncba.hpp"
+
+#include <algorithm>
+
+#include "core/log.hpp"
+
+namespace bftsim::asyncba {
+
+AsyncBaNode::AsyncBaNode(NodeId id, const SimConfig& cfg) : id_(id) {
+  std::string mode = "ones";
+  if (cfg.protocol_params.is_object()) {
+    mode = cfg.protocol_params.get_string("input", mode);
+  }
+  if (mode == "zeros") {
+    input_ = 0;
+  } else if (mode == "split") {
+    input_ = id % 2;
+  } else if (mode == "random") {
+    input_ = kBottom;  // resolved from the node's RNG stream in on_start
+  } else {
+    input_ = 1;
+  }
+}
+
+void AsyncBaNode::on_start(Context& ctx) {
+  if (input_ == kBottom) input_ = ctx.rng().next_bool() ? 1 : 0;
+  value_ = input_;
+  ctx.record_view(round_);
+  rbc_broadcast(ctx);
+  ctx.set_timer(kRetransmitFactor * ctx.lambda(), 0);
+}
+
+void AsyncBaNode::rbc_broadcast(Context& ctx) {
+  ctx.broadcast(make_payload<BrachaInit>(round_, step_, value_));
+}
+
+void AsyncBaNode::on_message(const Message& msg, Context& ctx) {
+  if (const auto* init = msg.as<BrachaInit>()) {
+    // Echo the originator's value (first value only: conflicting inits from
+    // an equivocating origin are ignored, which is RBC's whole point).
+    const RbcKey key{init->round, init->step, msg.src};
+    if (echo_sent_.mark(key)) {
+      echoed_[key] = init->value;
+      ctx.broadcast(
+          make_payload<BrachaEcho>(init->round, init->step, msg.src, init->value));
+    }
+    return;
+  }
+  if (const auto* echo = msg.as<BrachaEcho>()) {
+    const RbcKey key{echo->round, echo->step, echo->origin};
+    if (echoes_.add_reaches({key, echo->value}, msg.src, echo_quorum(ctx)) &&
+        ready_sent_.mark(key)) {
+      readied_[key] = echo->value;
+      ctx.broadcast(
+          make_payload<BrachaReady>(echo->round, echo->step, echo->origin, echo->value));
+    }
+    return;
+  }
+  if (const auto* ready = msg.as<BrachaReady>()) {
+    const RbcKey key{ready->round, ready->step, ready->origin};
+    readies_.add(std::pair{key, ready->value}, msg.src);
+    // Amplification: f+1 readies are proof enough to join the broadcast.
+    if (readies_.count({key, ready->value}) >= ctx.f() + 1 && ready_sent_.mark(key)) {
+      readied_[key] = ready->value;
+      ctx.broadcast(
+          make_payload<BrachaReady>(ready->round, ready->step, ready->origin, ready->value));
+    }
+    if (readies_.count({key, ready->value}) >= 2 * ctx.f() + 1) {
+      try_accept(key, ready->value, ctx);
+    }
+    return;
+  }
+}
+
+void AsyncBaNode::try_accept(const RbcKey& key, Value value, Context& ctx) {
+  if (!accepted_once_.mark(key)) return;
+  const auto& [round, step, origin] = key;
+  accepted_[{round, step}][origin] = value;
+  try_process(ctx);
+}
+
+void AsyncBaNode::try_process(Context& ctx) {
+  // Process as many of our own pending steps as have enough accepted RBCs.
+  while (true) {
+    const auto it = accepted_.find({round_, step_});
+    if (it == accepted_.end() || it->second.size() < ctx.n() - ctx.f()) return;
+    if (!processed_.mark({round_, step_})) return;
+    process_step(it->second, ctx);
+  }
+}
+
+void AsyncBaNode::process_step(const std::map<NodeId, Value>& accepted, Context& ctx) {
+  const std::uint32_t n = ctx.n();
+  const std::uint32_t f = ctx.f();
+
+  std::map<Value, std::uint32_t> tally;
+  for (const auto& [origin, v] : accepted) ++tally[v];
+  const auto count_of = [&](Value v) {
+    const auto t = tally.find(v);
+    return t == tally.end() ? 0u : t->second;
+  };
+
+  switch (step_) {
+    case 1: {
+      // Majority of the accepted values (ties broken toward 1).
+      value_ = count_of(1) >= count_of(0) ? 1 : 0;
+      step_ = 2;
+      break;
+    }
+    case 2: {
+      // Lock a value seen in a strict majority of all n nodes, else ⊥.
+      value_ = kBottom;
+      for (const auto& [v, c] : tally) {
+        if (v != kBottom && c > n / 2) value_ = v;
+      }
+      step_ = 3;
+      break;
+    }
+    case 3: {
+      Value locked = kBottom;
+      std::uint32_t locked_count = 0;
+      for (const auto& [v, c] : tally) {
+        if (v != kBottom && c > locked_count) {
+          locked = v;
+          locked_count = c;
+        }
+      }
+      if (locked != kBottom && locked_count >= 2 * f + 1) {
+        value_ = locked;
+        if (!decided_) {
+          decided_ = true;
+          ctx.report_decision(value_);
+        }
+      } else if (locked != kBottom && locked_count >= f + 1) {
+        value_ = locked;
+      } else {
+        value_ = ctx.rng().next_bool() ? 1 : 0;  // Bracha's local coin
+      }
+      step_ = 1;
+      ++round_;
+      ctx.record_view(round_);
+      break;
+    }
+    default: break;
+  }
+  rbc_broadcast(ctx);
+}
+
+void AsyncBaNode::retransmit(Context& ctx) {
+  // Re-broadcast everything we have said about the step we are stuck on;
+  // duplicate receptions are idempotent (vote trackers are per-sender).
+  ctx.broadcast(make_payload<BrachaInit>(round_, step_, value_));
+  for (const auto& [key, value] : echoed_) {
+    if (std::get<0>(key) == round_ && std::get<1>(key) == step_) {
+      ctx.broadcast(make_payload<BrachaEcho>(round_, step_, std::get<2>(key), value));
+    }
+  }
+  for (const auto& [key, value] : readied_) {
+    if (std::get<0>(key) == round_ && std::get<1>(key) == step_) {
+      ctx.broadcast(make_payload<BrachaReady>(round_, step_, std::get<2>(key), value));
+    }
+  }
+}
+
+void AsyncBaNode::on_timer(const TimerEvent&, Context& ctx) {
+  // The protocol logic is purely asynchronous (no timeouts); this timer
+  // only drives retransmission, which the "reliable eventual delivery"
+  // assumption otherwise provides for free.
+  if (!decided_) retransmit(ctx);
+  ctx.set_timer(kRetransmitFactor * ctx.lambda(), 0);
+}
+
+std::unique_ptr<Node> make_asyncba_node(NodeId id, const SimConfig& cfg) {
+  return std::make_unique<AsyncBaNode>(id, cfg);
+}
+
+}  // namespace bftsim::asyncba

@@ -1,0 +1,68 @@
+// Vote-counting utilities shared by the protocol implementations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "core/types.hpp"
+
+namespace bftsim {
+
+/// Counts distinct voters per key (e.g. per (view, value) pair) and reports
+/// when a quorum is first reached.
+template <typename Key>
+class QuorumTracker {
+ public:
+  /// Records `voter`'s vote for `key`; returns false on duplicate votes.
+  bool add(const Key& key, NodeId voter) {
+    return votes_[key].insert(voter).second;
+  }
+
+  [[nodiscard]] std::size_t count(const Key& key) const noexcept {
+    const auto it = votes_.find(key);
+    return it == votes_.end() ? 0 : it->second.size();
+  }
+
+  [[nodiscard]] bool reached(const Key& key, std::uint32_t quorum) const noexcept {
+    return count(key) >= quorum;
+  }
+
+  /// Records a vote and returns true exactly when this vote makes the
+  /// quorum transition from unreached to reached.
+  bool add_reaches(const Key& key, NodeId voter, std::uint32_t quorum) {
+    auto& voters = votes_[key];
+    const bool was_reached = voters.size() >= quorum;
+    voters.insert(voter);
+    return !was_reached && voters.size() >= quorum;
+  }
+
+  /// The distinct voters recorded for `key`.
+  [[nodiscard]] const std::set<NodeId>& voters(const Key& key) const {
+    static const std::set<NodeId> kEmpty;
+    const auto it = votes_.find(key);
+    return it == votes_.end() ? kEmpty : it->second;
+  }
+
+  void clear() noexcept { votes_.clear(); }
+
+ private:
+  std::map<Key, std::set<NodeId>> votes_;
+};
+
+/// Remembers keys for which an action was already performed (e.g. "already
+/// broadcast my echo for this value"), so handlers stay idempotent.
+template <typename Key>
+class OnceSet {
+ public:
+  /// Returns true the first time `key` is marked, false afterwards.
+  bool mark(const Key& key) { return seen_.insert(key).second; }
+  [[nodiscard]] bool contains(const Key& key) const noexcept {
+    return seen_.contains(key);
+  }
+
+ private:
+  std::set<Key> seen_;
+};
+
+}  // namespace bftsim

@@ -1,0 +1,85 @@
+// The protocol-author API (the consensus module of §III-A3).
+//
+// To simulate a custom protocol a user implements one class deriving from
+// Node, overriding the paper's three entry points:
+//   - on_message  (the paper's onMsgEvent),
+//   - on_timer    (the paper's onTimeEvent),
+//   - and reports results via Context::report_decision (reportToSystem).
+//
+// The Context is the node's handle to the simulator: sending/broadcasting
+// messages through the network module, registering time events with the
+// controller, reading protocol parameters (n, f, lambda) and run services
+// (per-node RNG stream, the VRF, the signing oracle).
+#pragma once
+
+#include <memory>
+
+#include "core/event.hpp"
+#include "core/rng.hpp"
+#include "core/types.hpp"
+#include "crypto/signature.hpp"
+#include "crypto/vrf.hpp"
+#include "net/message.hpp"
+
+namespace bftsim {
+
+/// Per-node simulator handle, implemented by the controller.
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  // --- identity and parameters -------------------------------------------
+  [[nodiscard]] virtual NodeId id() const noexcept = 0;
+  [[nodiscard]] virtual std::uint32_t n() const noexcept = 0;
+  /// The fault threshold the protocol was configured with (derived from n
+  /// per protocol family; see protocol headers).
+  [[nodiscard]] virtual std::uint32_t f() const noexcept = 0;
+  /// The protocol's configured network-delay bound λ.
+  [[nodiscard]] virtual Time lambda() const noexcept = 0;
+  [[nodiscard]] virtual Time now() const noexcept = 0;
+
+  // --- communication ------------------------------------------------------
+  /// Sends `payload` to `dst` through the network module.
+  virtual void send(NodeId dst, PayloadPtr payload) = 0;
+  /// Sends `payload` to every node (including self iff `include_self`).
+  /// Self-delivery is immediate and does not count as a network message.
+  virtual void broadcast(PayloadPtr payload, bool include_self = true) = 0;
+
+  // --- time events ---------------------------------------------------------
+  /// Registers a timer firing `delay` from now; `tag` is returned in the
+  /// TimerEvent so the protocol can multiplex timers.
+  virtual TimerId set_timer(Time delay, std::uint64_t tag) = 0;
+  /// Cancels a pending timer (no-op if already fired or unknown).
+  virtual void cancel_timer(TimerId id) = 0;
+
+  // --- reporting -----------------------------------------------------------
+  /// Reports that this node decided `value` (next height). The controller
+  /// stops the run once every live honest node reported the configured
+  /// number of decisions.
+  virtual void report_decision(Value value) = 0;
+  /// Records that this node entered `view` (view-synchronization analysis).
+  virtual void record_view(View view) = 0;
+
+  // --- run services ----------------------------------------------------------
+  [[nodiscard]] virtual Rng& rng() noexcept = 0;
+  [[nodiscard]] virtual const Vrf& vrf() const noexcept = 0;
+  [[nodiscard]] virtual const Signer& signer() const noexcept = 0;
+};
+
+/// Base class for protocol node implementations.
+class Node {
+ public:
+  Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+  virtual ~Node() = default;
+
+  /// Called once at simulated time 0, before any message/timer.
+  virtual void on_start(Context& ctx) = 0;
+  /// Called when a message addressed to this node is delivered.
+  virtual void on_message(const Message& msg, Context& ctx) = 0;
+  /// Called when a timer registered by this node fires.
+  virtual void on_timer(const TimerEvent& ev, Context& ctx) = 0;
+};
+
+}  // namespace bftsim

@@ -1,0 +1,270 @@
+#include "protocols/pbft/pbft.hpp"
+
+#include <algorithm>
+
+#include "core/log.hpp"
+
+namespace bftsim::pbft {
+
+namespace {
+constexpr std::uint64_t kViewTimerTag = 1;
+
+/// Deterministic proposal value for (view, seq, proposer).
+[[nodiscard]] Value proposal_value(View view, std::uint64_t seq, NodeId proposer) {
+  return hash_words({0x70726f70ULL, view, seq, proposer});
+}
+}  // namespace
+
+PbftNode::PbftNode(NodeId id, const SimConfig& cfg) : id_(id) {
+  base_timeout_ = from_ms(cfg.lambda_ms) * kTimeoutFactor;
+  timeout_ = base_timeout_;
+}
+
+void PbftNode::on_start(Context& ctx) {
+  ctx.record_view(0);
+  start_view_timer(ctx);
+  if (leader_of(view_, ctx) == id_) propose(ctx);
+}
+
+void PbftNode::start_view_timer(Context& ctx) {
+  if (view_timer_ != 0) ctx.cancel_timer(view_timer_);
+  view_timer_ = ctx.set_timer(timeout_, kViewTimerTag);
+}
+
+void PbftNode::propose(Context& ctx) {
+  // Re-propose the prepared value if one exists for this sequence (we may
+  // be re-proposing after a view change); otherwise mint a fresh proposal.
+  Value value = proposal_value(view_, working_seq_, id_);
+  if (const auto it = prepared_at_.find(working_seq_); it != prepared_at_.end()) {
+    value = it->second.second;
+  }
+  const auto payload = std::make_shared<const PrePrepare>(
+      view_, working_seq_, value,
+      ctx.signer().sign(id_, hash_words({0x5050ULL, view_, working_seq_, value})));
+  ctx.broadcast(payload);
+}
+
+void PbftNode::on_message(const Message& msg, Context& ctx) {
+  if (msg.as<PrePrepare>() != nullptr) {
+    handle_pre_prepare(msg, ctx);
+  } else if (msg.as<Prepare>() != nullptr) {
+    handle_prepare(msg, ctx);
+  } else if (msg.as<Commit>() != nullptr) {
+    handle_commit(msg, ctx);
+  } else if (msg.as<ViewChange>() != nullptr) {
+    handle_view_change(msg, ctx);
+  } else if (msg.as<NewView>() != nullptr) {
+    handle_new_view(msg, ctx);
+  }
+}
+
+void PbftNode::handle_pre_prepare(const Message& msg, Context& ctx) {
+  const auto& m = *msg.as<PrePrepare>();
+  if (!ctx.signer().verify(m.sig) || m.sig.signer != msg.src) return;
+  if (msg.src != leader_of(m.view, ctx)) return;
+  if (m.view < view_) return;
+  if (m.seq < working_seq_) return;  // already decided
+
+  Instance& inst = instance(m.view, m.seq);
+  if (inst.pre_prepared.has_value()) {
+    if (*inst.pre_prepared != m.value) return;  // leader equivocation
+  } else {
+    inst.pre_prepared = m.value;
+  }
+  // Only participate when the pre-prepare is for our active view; a
+  // pre-prepare that raced ahead of its new-view message is kept in the
+  // instance and acted on in enter_view().
+  if (m.view != view_ || in_view_change_) return;
+  send_prepare(m.view, m.seq, m.value, ctx);
+  maybe_prepare(m.view, m.seq, ctx);
+}
+
+void PbftNode::send_prepare(View view, std::uint64_t seq, Value value, Context& ctx) {
+  Instance& inst = instance(view, seq);
+  if (inst.sent_prepare) return;
+  inst.sent_prepare = true;
+  const auto prepare = std::make_shared<const Prepare>(
+      view, seq, value,
+      ctx.signer().sign(id_, hash_words({0x5052ULL, view, seq, value})));
+  ctx.broadcast(prepare);
+}
+
+void PbftNode::handle_prepare(const Message& msg, Context& ctx) {
+  const auto& m = *msg.as<Prepare>();
+  if (!ctx.signer().verify(m.sig) || m.sig.signer != msg.src) return;
+  if (m.view < view_) return;
+  instance(m.view, m.seq).prepares.add(m.value, msg.src);
+  if (m.view != view_ || in_view_change_) return;  // counted; acted on later
+  maybe_prepare(m.view, m.seq, ctx);
+}
+
+void PbftNode::maybe_prepare(View view, std::uint64_t seq, Context& ctx) {
+  Instance& inst = instance(view, seq);
+  if (inst.prepared || !inst.pre_prepared.has_value()) return;
+  const Value value = *inst.pre_prepared;
+  if (!inst.prepares.reached(value, quorum(ctx))) return;
+  inst.prepared = true;
+  // Remember the highest view in which this sequence prepared, for VCs.
+  auto& slot = prepared_at_[seq];
+  if (view >= slot.first) slot = {view, value};
+
+  if (!inst.sent_commit) {
+    inst.sent_commit = true;
+    const auto commit = std::make_shared<const Commit>(
+        view, seq, value,
+        ctx.signer().sign(id_, hash_words({0x434dULL, view, seq, value})));
+    ctx.broadcast(commit);
+  }
+  maybe_commit(view, seq, value, ctx);
+}
+
+void PbftNode::handle_commit(const Message& msg, Context& ctx) {
+  const auto& m = *msg.as<Commit>();
+  if (!ctx.signer().verify(m.sig) || m.sig.signer != msg.src) return;
+  // Commits are accepted for any view: a 2f+1 commit certificate is final
+  // regardless of the receiver's local view (this lets laggards catch up).
+  instance(m.view, m.seq).commits.add(m.value, msg.src);
+  maybe_commit(m.view, m.seq, m.value, ctx);
+}
+
+void PbftNode::maybe_commit(View view, std::uint64_t seq, Value value, Context& ctx) {
+  Instance& inst = instance(view, seq);
+  if (inst.committed.has_value()) return;
+  if (!inst.commits.reached(value, quorum(ctx))) return;
+  inst.committed = value;
+  try_decide(seq, value, ctx);
+}
+
+void PbftNode::try_decide(std::uint64_t seq, Value value, Context& ctx) {
+  if (seq != working_seq_) return;  // decide in order; later seqs flush below
+  ctx.report_decision(value);
+  ++working_seq_;
+  // Progress: reset the view-change back-off and re-arm the view timer.
+  timeout_ = base_timeout_;
+  in_view_change_ = false;
+  start_view_timer(ctx);
+  if (leader_of(view_, ctx) == id_) propose(ctx);
+
+  // Flush any sequences that already committed out of order.
+  for (const auto& [key, inst] : instances_) {
+    if (key.second == working_seq_ && inst.committed.has_value()) {
+      try_decide(working_seq_, *inst.committed, ctx);
+      break;
+    }
+  }
+}
+
+void PbftNode::on_timer(const TimerEvent& ev, Context& ctx) {
+  if (ev.tag != kViewTimerTag || ev.id != view_timer_) return;
+  initiate_view_change(std::max(view_, target_view_) + 1, ctx);
+}
+
+void PbftNode::initiate_view_change(View target, Context& ctx) {
+  in_view_change_ = true;
+  target_view_ = target;
+  // PBFT doubles its timeout on every view change, capped so view-change
+  // messages keep being retransmitted at a bounded interval.
+  timeout_ = std::min(timeout_ * 2, base_timeout_ << kMaxTimeoutDoublings);
+  start_view_timer(ctx);
+
+  VcInfo info;
+  info.seq = working_seq_;
+  if (const auto it = prepared_at_.find(working_seq_); it != prepared_at_.end()) {
+    info.has_prepared = true;
+    info.prepared_view = it->second.first;
+    info.prepared_value = it->second.second;
+  }
+  const auto vc = std::make_shared<const ViewChange>(
+      target, info.seq, info.has_prepared, info.prepared_view, info.prepared_value,
+      ctx.signer().sign(id_, hash_words({0x5643ULL, target, info.seq,
+                                         static_cast<std::uint64_t>(info.has_prepared),
+                                         info.prepared_view, info.prepared_value})));
+  ctx.broadcast(vc);
+}
+
+void PbftNode::handle_view_change(const Message& msg, Context& ctx) {
+  const auto& m = *msg.as<ViewChange>();
+  if (!ctx.signer().verify(m.sig) || m.sig.signer != msg.src) return;
+  if (m.new_view <= view_) return;
+
+  view_changes_[m.new_view][msg.src] =
+      VcInfo{m.has_prepared, m.prepared_view, m.prepared_value, m.seq};
+  latest_vc_of_[msg.src] = std::max(latest_vc_of_[msg.src], m.new_view);
+
+  // Join rule: if f+1 nodes are trying to move past our target view, join
+  // the smallest such view (keeps laggards from stalling the view change).
+  const View my_target = in_view_change_ ? target_view_ : view_;
+  std::vector<View> ahead;
+  for (const auto& [node, v] : latest_vc_of_) {
+    if (v > my_target) ahead.push_back(v);
+  }
+  if (ahead.size() >= ctx.f() + 1) {
+    const View join = *std::min_element(ahead.begin(), ahead.end());
+    if (!in_view_change_ || join > target_view_) initiate_view_change(join, ctx);
+  }
+
+  maybe_complete_view_change(m.new_view, ctx);
+}
+
+void PbftNode::maybe_complete_view_change(View target, Context& ctx) {
+  if (leader_of(target, ctx) != id_) return;
+  const auto it = view_changes_.find(target);
+  if (it == view_changes_.end() || it->second.size() < quorum(ctx)) return;
+  if (!new_view_sent_.mark(target)) return;
+
+  // Choose the value prepared in the highest view among the certificates,
+  // for the highest working sequence reported.
+  std::uint64_t seq = working_seq_;
+  for (const auto& [node, info] : it->second) seq = std::max(seq, info.seq);
+  bool has_prepared = false;
+  View best_view = 0;
+  Value best_value = kBottom;
+  for (const auto& [node, info] : it->second) {
+    if (info.has_prepared && info.seq == seq &&
+        (!has_prepared || info.prepared_view > best_view)) {
+      has_prepared = true;
+      best_view = info.prepared_view;
+      best_value = info.prepared_value;
+    }
+  }
+  const auto nv = std::make_shared<const NewView>(
+      target, seq, has_prepared, best_value,
+      ctx.signer().sign(id_, hash_words({0x4e56ULL, target, seq,
+                                         static_cast<std::uint64_t>(has_prepared),
+                                         best_value})));
+  ctx.broadcast(nv);
+}
+
+void PbftNode::handle_new_view(const Message& msg, Context& ctx) {
+  const auto& m = *msg.as<NewView>();
+  if (!ctx.signer().verify(m.sig) || m.sig.signer != msg.src) return;
+  if (msg.src != leader_of(m.new_view, ctx)) return;
+  if (m.new_view <= view_) return;
+  enter_view(m.new_view, ctx);
+  if (m.has_prepared && m.seq >= working_seq_) {
+    prepared_at_[m.seq] = {m.new_view, m.prepared_value};
+  }
+  if (leader_of(view_, ctx) == id_) propose(ctx);
+}
+
+void PbftNode::enter_view(View v, Context& ctx) {
+  view_ = v;
+  in_view_change_ = false;
+  target_view_ = std::max(target_view_, v);
+  ctx.record_view(v);
+  start_view_timer(ctx);
+  // Act on any pre-prepares/prepares that arrived for this view while we
+  // were still completing the view change.
+  for (auto& [key, inst] : instances_) {
+    if (key.first != v || !inst.pre_prepared.has_value()) continue;
+    if (key.second < working_seq_) continue;
+    send_prepare(v, key.second, *inst.pre_prepared, ctx);
+    maybe_prepare(v, key.second, ctx);
+  }
+}
+
+std::unique_ptr<Node> make_pbft_node(NodeId id, const SimConfig& cfg) {
+  return std::make_unique<PbftNode>(id, cfg);
+}
+
+}  // namespace bftsim::pbft

@@ -1,0 +1,98 @@
+#include "protocols/registry.hpp"
+
+#include <stdexcept>
+
+#include "protocols/add/add.hpp"
+#include "protocols/algorand/algorand.hpp"
+#include "protocols/asyncba/asyncba.hpp"
+#include "protocols/hotstuff/hotstuff_ns.hpp"
+#include "protocols/librabft/librabft.hpp"
+#include "protocols/pbft/pbft.hpp"
+#include "protocols/synchotstuff/synchotstuff.hpp"
+#include "protocols/tendermint/tendermint.hpp"
+
+namespace bftsim {
+
+std::string_view to_string(NetModel model) noexcept {
+  switch (model) {
+    case NetModel::kSync: return "synchronous";
+    case NetModel::kPartialSync: return "partially-synchronous";
+    case NetModel::kAsync: return "asynchronous";
+  }
+  return "?";
+}
+
+ProtocolRegistry& ProtocolRegistry::instance() {
+  static ProtocolRegistry registry = [] {
+    ProtocolRegistry r;
+    register_builtin_protocols(r);
+    return r;
+  }();
+  return registry;
+}
+
+void ProtocolRegistry::add(ProtocolInfo info) {
+  if (contains(info.name)) {
+    throw std::invalid_argument("protocol already registered: " + info.name);
+  }
+  protocols_.push_back(std::move(info));
+}
+
+const ProtocolInfo& ProtocolRegistry::get(const std::string& name) const {
+  for (const ProtocolInfo& info : protocols_) {
+    if (info.name == name) return info;
+  }
+  throw std::invalid_argument("unknown protocol: " + name);
+}
+
+bool ProtocolRegistry::contains(const std::string& name) const noexcept {
+  for (const ProtocolInfo& info : protocols_) {
+    if (info.name == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> ProtocolRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(protocols_.size());
+  for (const ProtocolInfo& info : protocols_) out.push_back(info.name);
+  return out;
+}
+
+void register_builtin_protocols(ProtocolRegistry& registry) {
+  if (registry.contains("pbft")) return;  // already registered
+
+  registry.add(ProtocolInfo{
+      "addv1", NetModel::kSync, byzantine_half, 1,
+      [](NodeId id, const SimConfig& cfg) {
+        return add::make_add_node(id, add::Variant::kV1, cfg);
+      }});
+  registry.add(ProtocolInfo{
+      "addv2", NetModel::kSync, byzantine_half, 1,
+      [](NodeId id, const SimConfig& cfg) {
+        return add::make_add_node(id, add::Variant::kV2, cfg);
+      }});
+  registry.add(ProtocolInfo{
+      "addv3", NetModel::kSync, byzantine_half, 1,
+      [](NodeId id, const SimConfig& cfg) {
+        return add::make_add_node(id, add::Variant::kV3, cfg);
+      }});
+  registry.add(ProtocolInfo{"algorand", NetModel::kSync, byzantine_third, 1,
+                            algorand::make_algorand_node});
+  registry.add(ProtocolInfo{"asyncba", NetModel::kAsync, byzantine_third, 1,
+                            asyncba::make_asyncba_node});
+  registry.add(ProtocolInfo{"pbft", NetModel::kPartialSync, byzantine_third, 1,
+                            pbft::make_pbft_node});
+  registry.add(ProtocolInfo{"hotstuff-ns", NetModel::kPartialSync, byzantine_third,
+                            10, hotstuff::make_hotstuff_ns_node});
+  registry.add(ProtocolInfo{"librabft", NetModel::kPartialSync, byzantine_third,
+                            10, librabft::make_librabft_node});
+
+  // Extensions beyond the paper's eight (see DESIGN.md).
+  registry.add(ProtocolInfo{"tendermint", NetModel::kPartialSync, byzantine_third,
+                            1, tendermint::make_tendermint_node});
+  registry.add(ProtocolInfo{"sync-hotstuff", NetModel::kSync, byzantine_half, 1,
+                            synchotstuff::make_sync_hotstuff_node});
+}
+
+}  // namespace bftsim

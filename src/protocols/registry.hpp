@@ -1,0 +1,67 @@
+// Protocol registry: maps protocol names to factories and static traits,
+// so that configurations can select protocols by name (as in the paper's
+// configuration files).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/types.hpp"
+#include "protocols/node.hpp"
+
+namespace bftsim {
+
+/// The network model a protocol is designed for (Table I).
+enum class NetModel : std::uint8_t { kSync, kPartialSync, kAsync };
+
+[[nodiscard]] std::string_view to_string(NetModel model) noexcept;
+
+/// Static description of a registered protocol.
+struct ProtocolInfo {
+  std::string name;
+  NetModel model = NetModel::kPartialSync;
+  /// Fault threshold f as a function of n (n-1)/3 or (n-1)/2 etc.
+  std::function<std::uint32_t(std::uint32_t)> fault_threshold;
+  /// Decisions to average over when measuring, per §IV (pipelined: 10).
+  std::uint32_t measured_decisions = 1;
+  /// Creates the node with the given id for a run with this config.
+  std::function<std::unique_ptr<Node>(NodeId, const SimConfig&)> create;
+};
+
+/// Global protocol registry (builtins are registered on first access).
+class ProtocolRegistry {
+ public:
+  /// The singleton registry, with all builtin protocols registered.
+  [[nodiscard]] static ProtocolRegistry& instance();
+
+  /// Registers a protocol; throws std::invalid_argument on duplicate name.
+  void add(ProtocolInfo info);
+
+  /// Finds a protocol by name; throws std::invalid_argument when unknown.
+  [[nodiscard]] const ProtocolInfo& get(const std::string& name) const;
+
+  [[nodiscard]] bool contains(const std::string& name) const noexcept;
+
+  /// Names of all registered protocols, in registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  ProtocolRegistry() = default;
+  std::vector<ProtocolInfo> protocols_;
+};
+
+/// Registers the eight builtin protocols (idempotent).
+void register_builtin_protocols(ProtocolRegistry& registry);
+
+/// Fault thresholds of the two protocol families.
+[[nodiscard]] constexpr std::uint32_t byzantine_third(std::uint32_t n) noexcept {
+  return (n - 1) / 3;
+}
+[[nodiscard]] constexpr std::uint32_t byzantine_half(std::uint32_t n) noexcept {
+  return (n - 1) / 2;
+}
+
+}  // namespace bftsim

@@ -1,0 +1,160 @@
+#include "protocols/synchotstuff/synchotstuff.hpp"
+
+#include "core/log.hpp"
+
+namespace bftsim::synchotstuff {
+
+namespace {
+/// Timer tags: kind in the low bits, height/view above.
+[[nodiscard]] constexpr std::uint64_t tag_of(std::uint64_t index,
+                                             std::uint64_t kind) noexcept {
+  return index * 2 + kind;
+}
+}  // namespace
+
+SyncHotStuffNode::SyncHotStuffNode(NodeId id, const SimConfig&) : id_(id) {}
+
+void SyncHotStuffNode::on_start(Context& ctx) { enter_view(0, ctx); }
+
+void SyncHotStuffNode::enter_view(View view, Context& ctx) {
+  view_ = view;
+  view_quit_ = false;
+  ctx.record_view(view_);
+  // Status resync: everything above the committed frontier was provisional
+  // (commits only finalize after 2Δ without equivocation evidence, and the
+  // evidence that triggered this view change cancelled them everywhere
+  // within the synchrony bound). The new leader re-proposes from there.
+  next_height_ = committed_;
+  chain_.erase(chain_.lower_bound(committed_), chain_.end());
+  for (auto& [height, timer] : commit_timers_) ctx.cancel_timer(timer);
+  commit_timers_.clear();
+  restart_blame_timer(ctx);
+  if (leader_of(view_, ctx) == id_) propose(ctx);
+}
+
+void SyncHotStuffNode::restart_blame_timer(Context& ctx) {
+  if (blame_timer_ != 0) ctx.cancel_timer(blame_timer_);
+  blame_timer_ = ctx.set_timer(
+      kBlameFactor * ctx.lambda(),
+      tag_of(view_, static_cast<std::uint64_t>(TimerKind::kBlame)));
+}
+
+void SyncHotStuffNode::propose(Context& ctx) {
+  const std::uint64_t height = next_height_;
+  const Value value = hash_words({0x534850ULL, view_, height, id_});
+  const Signature sig =
+      ctx.signer().sign(id_, hash_words({0x5348ULL, height, view_, value}));
+  ctx.broadcast(make_payload<ShsProposal>(height, view_, value, sig));
+}
+
+void SyncHotStuffNode::on_message(const Message& msg, Context& ctx) {
+  if (msg.as<ShsProposal>() != nullptr) {
+    handle_proposal(msg, ctx);
+  } else if (msg.as<ShsVote>() != nullptr) {
+    handle_vote(msg, ctx);
+  } else if (msg.as<ShsBlame>() != nullptr) {
+    handle_blame(msg, ctx);
+  }
+}
+
+void SyncHotStuffNode::handle_proposal(const Message& msg, Context& ctx) {
+  const auto& m = *msg.as<ShsProposal>();
+  // Proposals are authenticated by the leader's signature and travel both
+  // directly and as replica echoes, so equivocating proposals reach every
+  // replica within one extra delay (the detection synchrony relies on it).
+  if (!ctx.signer().verify(m.sig)) return;
+  if (m.sig.signer != leader_of(m.view, ctx)) return;
+  if (m.view != view_ || view_quit_) return;
+
+  const auto [it, fresh] = accepted_.emplace(std::pair{m.view, m.height}, m.value);
+  if (!fresh && it->second != m.value) {
+    // Equivocation: two signed proposals for the same (view, height).
+    // Cancel pending commits of this view's blocks and force a view change.
+    for (auto& [height, timer] : commit_timers_) ctx.cancel_timer(timer);
+    commit_timers_.clear();
+    if (blamed_.mark(view_)) {
+      const Signature sig = ctx.signer().sign(id_, hash_words({0x5342ULL, view_}));
+      ctx.broadcast(make_payload<ShsBlame>(view_, sig));
+    }
+    return;
+  }
+  if (!fresh) return;               // duplicate of the accepted proposal
+  // Echo the signed proposal so conflicting ones cannot stay hidden from
+  // part of the network.
+  if (msg.src == leader_of(m.view, ctx)) ctx.broadcast(msg.payload, false);
+  if (m.height != next_height_) return;  // only vote in order
+  if (!voted_height_.mark({m.view, m.height})) return;
+
+  chain_[m.height] = m.value;
+  ++next_height_;
+  restart_blame_timer(ctx);  // leader made progress
+
+  const Signature vote_sig =
+      ctx.signer().sign(id_, hash_words({0x5356ULL, m.height, m.view, m.value}));
+  ctx.broadcast(make_payload<ShsVote>(m.height, m.view, m.value, vote_sig));
+
+  // The 2Δ commit rule: commit unless equivocation surfaces in time.
+  commit_timers_[m.height] = ctx.set_timer(
+      kCommitFactor * ctx.lambda(),
+      tag_of(m.height, static_cast<std::uint64_t>(TimerKind::kCommit)));
+}
+
+void SyncHotStuffNode::handle_vote(const Message& msg, Context& ctx) {
+  const auto& m = *msg.as<ShsVote>();
+  if (!ctx.signer().verify(m.sig) || m.sig.signer != msg.src) return;
+  if (m.view != view_ || view_quit_) return;
+  if (!votes_.add_reaches({m.view, m.height, m.value}, msg.src, quorum(ctx))) {
+    return;
+  }
+  // A certificate for the tip justifies the leader's next proposal.
+  if (leader_of(view_, ctx) == id_ && m.height + 1 == next_height_) {
+    propose(ctx);
+  }
+}
+
+void SyncHotStuffNode::handle_blame(const Message& msg, Context& ctx) {
+  const auto& m = *msg.as<ShsBlame>();
+  if (!ctx.signer().verify(m.sig) || m.sig.signer != msg.src) return;
+  if (m.view < view_) return;
+  if (!blames_.add_reaches(m.view, msg.src, quorum(ctx))) return;
+  // Quit-view certificate: move every replica to the next leader.
+  if (m.view >= view_) enter_view(m.view + 1, ctx);
+}
+
+void SyncHotStuffNode::on_timer(const TimerEvent& ev, Context& ctx) {
+  const std::uint64_t index = ev.tag / 2;
+  const auto kind = static_cast<TimerKind>(ev.tag % 2);
+
+  if (kind == TimerKind::kCommit) {
+    const auto it = commit_timers_.find(index);
+    if (it == commit_timers_.end() || it->second != ev.id) return;
+    commit_timers_.erase(it);
+    commit_up_to(index, ctx);
+    return;
+  }
+
+  // Blame timer: the leader made no progress for 3Δ. Blames are
+  // re-broadcast every period so quit-view certificates eventually form
+  // even over lossy links.
+  if (ev.id != blame_timer_ || index != view_) return;
+  blamed_.mark(view_);
+  const Signature sig = ctx.signer().sign(id_, hash_words({0x5342ULL, view_}));
+  ctx.broadcast(make_payload<ShsBlame>(view_, sig));
+  restart_blame_timer(ctx);  // re-blame if the view refuses to die
+}
+
+void SyncHotStuffNode::commit_up_to(std::uint64_t height, Context& ctx) {
+  // Committing a block commits its whole prefix.
+  while (committed_ <= height) {
+    const auto it = chain_.find(committed_);
+    if (it == chain_.end()) break;
+    ctx.report_decision(it->second);
+    ++committed_;
+  }
+}
+
+std::unique_ptr<Node> make_sync_hotstuff_node(NodeId id, const SimConfig& cfg) {
+  return std::make_unique<SyncHotStuffNode>(id, cfg);
+}
+
+}  // namespace bftsim::synchotstuff

@@ -1,0 +1,190 @@
+#include "protocols/tendermint/tendermint.hpp"
+
+#include "core/log.hpp"
+
+namespace bftsim::tendermint {
+
+TendermintNode::TendermintNode(NodeId id, const SimConfig&) : id_(id) {}
+
+void TendermintNode::on_start(Context& ctx) { start_round(0, ctx); }
+
+void TendermintNode::start_round(std::uint64_t round, Context& ctx) {
+  round_ = round;
+  step_ = Step::kPropose;
+  ctx.record_view(height_ * 64 + round);  // height-dominant view trace
+
+  if (proposer_of(height_, round_, ctx) == id_) {
+    // Propose validValue if a newer prevote quorum certified one, else mint.
+    const Value value = valid_value_ != kBottom
+                            ? valid_value_
+                            : hash_words({0x544dULL, height_, round_, id_});
+    const Signature sig = ctx.signer().sign(
+        id_, hash_words({0x5450ULL, height_, round_, value,
+                         static_cast<std::uint64_t>(valid_round_)}));
+    ctx.broadcast(
+        make_payload<TmProposal>(height_, round_, value, valid_round_, sig));
+  }
+  // timeout_propose: prevote nil if the proposer stays silent.
+  ctx.set_timer(timeout_of(round_, ctx), tag_of(round_, Step::kPropose));
+}
+
+void TendermintNode::broadcast_prevote(Value value, Context& ctx) {
+  if (!prevoted_.mark(round_)) return;
+  step_ = Step::kPrevote;
+  const Signature sig =
+      ctx.signer().sign(id_, hash_words({0x5456ULL, height_, round_, value}));
+  ctx.broadcast(make_payload<TmPrevote>(height_, round_, value, sig));
+  // timeout_prevote: precommit nil if no quorum materializes.
+  ctx.set_timer(timeout_of(round_, ctx), tag_of(round_, Step::kPrevote));
+}
+
+void TendermintNode::broadcast_precommit(Value value, Context& ctx) {
+  if (!precommitted_.mark(round_)) return;
+  step_ = Step::kPrecommit;
+  if (value != kBottom) {
+    locked_value_ = value;
+    locked_round_ = static_cast<std::int64_t>(round_);
+  }
+  const Signature sig =
+      ctx.signer().sign(id_, hash_words({0x5443ULL, height_, round_, value}));
+  ctx.broadcast(make_payload<TmPrecommit>(height_, round_, value, sig));
+  // timeout_precommit: advance to the next round if the height stalls.
+  ctx.set_timer(timeout_of(round_, ctx), tag_of(round_, Step::kPrecommit));
+}
+
+void TendermintNode::on_timer(const TimerEvent& ev, Context& ctx) {
+  const std::uint64_t round = ev.tag / 4;
+  const auto step = static_cast<Step>(ev.tag % 4);
+  if (round != round_ || decided_this_height_) return;
+
+  switch (step) {
+    case Step::kPropose:
+      // Silent/slow proposer: prevote nil (unless we already prevoted).
+      if (step_ == Step::kPropose) broadcast_prevote(kBottom, ctx);
+      break;
+    case Step::kPrevote:
+      if (step_ == Step::kPrevote) broadcast_precommit(kBottom, ctx);
+      break;
+    case Step::kPrecommit:
+      if (step_ == Step::kPrecommit) start_round(round_ + 1, ctx);
+      break;
+  }
+}
+
+void TendermintNode::on_message(const Message& msg, Context& ctx) {
+  if (msg.as<TmProposal>() != nullptr) {
+    handle_proposal(msg, ctx);
+  } else if (msg.as<TmPrevote>() != nullptr) {
+    handle_prevote(msg, ctx);
+  } else if (msg.as<TmPrecommit>() != nullptr) {
+    handle_precommit(msg, ctx);
+  }
+}
+
+void TendermintNode::handle_proposal(const Message& msg, Context& ctx) {
+  const auto& m = *msg.as<TmProposal>();
+  if (!ctx.signer().verify(m.sig) || m.sig.signer != msg.src) return;
+  if (m.height != height_) return;
+  if (msg.src != proposer_of(m.height, m.round, ctx)) return;
+  proposals_.emplace(m.round, std::pair{m.value, m.valid_round});
+  try_prevote(ctx);
+}
+
+void TendermintNode::try_prevote(Context& ctx) {
+  if (step_ != Step::kPropose) return;
+  const auto it = proposals_.find(round_);
+  if (it == proposals_.end()) return;
+  const auto [value, valid_round] = it->second;
+
+  // Locking rule: accept a fresh proposal only if we are not locked on a
+  // different value; accept a re-proposal when its valid-round quorum is
+  // at least as new as our lock.
+  bool acceptable = false;
+  if (valid_round < 0) {
+    acceptable = locked_round_ == -1 || locked_value_ == value;
+  } else {
+    acceptable = locked_round_ <= valid_round || locked_value_ == value;
+    // The valid-round prevote quorum itself should be visible.
+    acceptable = acceptable &&
+                 prevotes_.reached({static_cast<std::uint64_t>(valid_round), value},
+                                   quorum(ctx));
+  }
+  broadcast_prevote(acceptable ? value : kBottom, ctx);
+}
+
+void TendermintNode::handle_prevote(const Message& msg, Context& ctx) {
+  const auto& m = *msg.as<TmPrevote>();
+  if (!ctx.signer().verify(m.sig) || m.sig.signer != msg.src) return;
+  if (m.height != height_) return;
+  prevotes_.add({m.round, m.value}, msg.src);
+  if (m.value != kBottom) maybe_precommit(m.round, m.value, ctx);
+  // A nil-prevote quorum lets the prevote step conclude early with nil.
+  if (m.round == round_ && step_ == Step::kPrevote &&
+      prevotes_.reached({m.round, kBottom}, quorum(ctx))) {
+    broadcast_precommit(kBottom, ctx);
+  }
+  try_prevote(ctx);  // a late valid-round quorum may unblock the proposal
+}
+
+void TendermintNode::maybe_precommit(std::uint64_t round, Value value,
+                                     Context& ctx) {
+  if (!prevotes_.reached({round, value}, quorum(ctx))) return;
+  // 2f+1 prevotes for v: v becomes the valid value of this height.
+  if (static_cast<std::int64_t>(round) > valid_round_) {
+    valid_value_ = value;
+    valid_round_ = static_cast<std::int64_t>(round);
+  }
+  if (round == round_ &&
+      (step_ == Step::kPrevote ||
+       (step_ == Step::kPropose && proposals_.contains(round_)))) {
+    broadcast_precommit(value, ctx);
+  }
+}
+
+void TendermintNode::handle_precommit(const Message& msg, Context& ctx) {
+  const auto& m = *msg.as<TmPrecommit>();
+  if (!ctx.signer().verify(m.sig) || m.sig.signer != msg.src) return;
+  if (m.height != height_) return;
+  precommits_.add({m.round, m.value}, msg.src);
+  any_precommits_.add(m.round, msg.src);
+  if (m.value != kBottom) maybe_decide(m.round, m.value, ctx);
+  // 2f+1 precommits of any kind mean a quorum has finished this round: if
+  // nothing decided, move on (regardless of our own step — the peers have
+  // already moved past it; this is what timeout_precommit + the jump rule
+  // achieve in the spec, without waiting out the timer).
+  if (m.round == round_ && any_precommits_.reached(m.round, quorum(ctx)) &&
+      !decided_this_height_ &&
+      (m.value == kBottom || !precommits_.reached({m.round, m.value}, quorum(ctx)))) {
+    start_round(round_ + 1, ctx);
+  }
+}
+
+void TendermintNode::maybe_decide(std::uint64_t round, Value value, Context& ctx) {
+  if (decided_this_height_) return;
+  if (!precommits_.reached({round, value}, quorum(ctx))) return;
+  decided_this_height_ = true;
+  ctx.report_decision(value);
+  advance_height(value, ctx);
+}
+
+void TendermintNode::advance_height(Value, Context& ctx) {
+  ++height_;
+  decided_this_height_ = false;
+  locked_value_ = kBottom;
+  locked_round_ = -1;
+  valid_value_ = kBottom;
+  valid_round_ = -1;
+  proposals_.clear();
+  prevotes_.clear();
+  precommits_.clear();
+  any_precommits_.clear();
+  prevoted_ = OnceSet<std::uint64_t>{};
+  precommitted_ = OnceSet<std::uint64_t>{};
+  start_round(0, ctx);
+}
+
+std::unique_ptr<Node> make_tendermint_node(NodeId id, const SimConfig& cfg) {
+  return std::make_unique<TendermintNode>(id, cfg);
+}
+
+}  // namespace bftsim::tendermint

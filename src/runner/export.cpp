@@ -1,0 +1,90 @@
+#include "runner/export.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace bftsim {
+
+json::Value summary_to_json(const Summary& summary) {
+  json::Object o;
+  o["count"] = static_cast<std::int64_t>(summary.count);
+  o["mean"] = summary.mean;
+  o["stddev"] = summary.stddev;
+  o["min"] = summary.min;
+  o["max"] = summary.max;
+  o["median"] = summary.median;
+  o["p90"] = summary.p90;
+  o["p99"] = summary.p99;
+  return json::Value{std::move(o)};
+}
+
+json::Value result_to_json(const RunResult& result, bool include_views) {
+  json::Object o;
+  o["terminated"] = result.terminated;
+  o["termination_ms"] = result.terminated ? json::Value{to_ms(result.termination_time)}
+                                          : json::Value{nullptr};
+  o["decisions_target"] = static_cast<std::int64_t>(result.decisions_target);
+  o["per_decision_latency_ms"] = result.per_decision_latency_ms();
+  o["messages_sent"] = static_cast<std::int64_t>(result.messages_sent);
+  o["bytes_sent"] = static_cast<std::int64_t>(result.bytes_sent);
+  o["messages_delivered"] = static_cast<std::int64_t>(result.messages_delivered);
+  o["messages_dropped"] = static_cast<std::int64_t>(result.messages_dropped);
+  o["messages_injected"] = static_cast<std::int64_t>(result.messages_injected);
+  o["events_processed"] = static_cast<std::int64_t>(result.events_processed);
+  o["rounds_used"] = static_cast<std::int64_t>(result.rounds_used());
+  o["wall_seconds"] = result.wall_seconds;
+  o["safety_consistent"] = result.decisions_consistent();
+
+  json::Array decisions;
+  for (const Decision& d : result.decisions) {
+    json::Object dec;
+    dec["node"] = static_cast<std::int64_t>(d.node);
+    dec["at_ms"] = to_ms(d.at);
+    dec["height"] = static_cast<std::int64_t>(d.height);
+    dec["value"] = static_cast<std::int64_t>(static_cast<std::uint32_t>(d.value));
+    decisions.push_back(json::Value{std::move(dec)});
+  }
+  o["decisions"] = json::Value{std::move(decisions)};
+
+  json::Array ids;
+  for (const NodeId id : result.failstopped) ids.emplace_back(static_cast<std::int64_t>(id));
+  o["failstopped"] = json::Value{std::move(ids)};
+  json::Array corrupted;
+  for (const NodeId id : result.corrupted) corrupted.emplace_back(static_cast<std::int64_t>(id));
+  o["corrupted"] = json::Value{std::move(corrupted)};
+
+  if (include_views) {
+    json::Array views;
+    for (const ViewRecord& v : result.views) {
+      json::Object rec;
+      rec["node"] = static_cast<std::int64_t>(v.node);
+      rec["at_ms"] = to_ms(v.at);
+      rec["view"] = static_cast<std::int64_t>(v.view);
+      views.push_back(json::Value{std::move(rec)});
+    }
+    o["views"] = json::Value{std::move(views)};
+  }
+  return json::Value{std::move(o)};
+}
+
+json::Value aggregate_to_json(const Aggregate& aggregate) {
+  json::Object o;
+  o["runs"] = static_cast<std::int64_t>(aggregate.runs);
+  o["timeouts"] = static_cast<std::int64_t>(aggregate.timeouts);
+  o["latency_ms"] = summary_to_json(aggregate.latency_ms);
+  o["per_decision_latency_ms"] = summary_to_json(aggregate.per_decision_latency_ms);
+  o["messages"] = summary_to_json(aggregate.messages);
+  o["per_decision_messages"] = summary_to_json(aggregate.per_decision_messages);
+  o["events"] = summary_to_json(aggregate.events);
+  o["wall_seconds_total"] = aggregate.wall_seconds_total;
+  return json::Value{std::move(o)};
+}
+
+void write_json_file(const std::string& path, const json::Value& value) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << value.dump(2) << '\n';
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace bftsim

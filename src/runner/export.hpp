@@ -1,0 +1,28 @@
+// JSON export of run results and aggregates, for plotting pipelines and
+// archival of experiment outputs.
+#pragma once
+
+#include <string>
+
+#include "core/json.hpp"
+#include "runner/runner.hpp"
+#include "sim/result.hpp"
+
+namespace bftsim {
+
+/// Serializes one run's outcome (metrics, decisions, optional views).
+/// `include_views` controls the potentially large view trajectory.
+[[nodiscard]] json::Value result_to_json(const RunResult& result,
+                                         bool include_views = false);
+
+/// Serializes an aggregate (mean/stddev/min/max/percentiles per metric).
+[[nodiscard]] json::Value aggregate_to_json(const Aggregate& aggregate);
+
+/// Serializes a Summary.
+[[nodiscard]] json::Value summary_to_json(const Summary& summary);
+
+/// Writes `value` to `path` pretty-printed; throws std::runtime_error on
+/// I/O failure.
+void write_json_file(const std::string& path, const json::Value& value);
+
+}  // namespace bftsim

@@ -1,0 +1,87 @@
+#include "runner/runner.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "protocols/registry.hpp"
+#include "sim/simulation.hpp"
+
+namespace bftsim {
+
+Aggregate run_repeated(const SimConfig& base, std::size_t repeats) {
+  Aggregate agg;
+  std::vector<double> latency;
+  std::vector<double> per_dec_latency;
+  std::vector<double> messages;
+  std::vector<double> per_dec_messages;
+  std::vector<double> events;
+
+  for (std::size_t i = 0; i < repeats; ++i) {
+    SimConfig cfg = base;
+    cfg.seed = base.seed + i;
+    const RunResult result = run_simulation(cfg);
+    ++agg.runs;
+    agg.wall_seconds_total += result.wall_seconds;
+    messages.push_back(static_cast<double>(result.messages_sent));
+    per_dec_messages.push_back(result.per_decision_messages());
+    events.push_back(static_cast<double>(result.events_processed));
+    if (!result.terminated) {
+      ++agg.timeouts;
+      continue;
+    }
+    latency.push_back(result.latency_ms());
+    per_dec_latency.push_back(result.per_decision_latency_ms());
+  }
+
+  agg.latency_ms = summarize(std::move(latency));
+  agg.per_decision_latency_ms = summarize(std::move(per_dec_latency));
+  agg.messages = summarize(std::move(messages));
+  agg.per_decision_messages = summarize(std::move(per_dec_messages));
+  agg.events = summarize(std::move(events));
+  return agg;
+}
+
+SimConfig experiment_config(const std::string& protocol, std::uint32_t n,
+                            double lambda_ms, const DelaySpec& delay) {
+  SimConfig cfg;
+  cfg.protocol = protocol;
+  cfg.n = n;
+  cfg.lambda_ms = lambda_ms;
+  cfg.delay = delay;
+  cfg.decisions = ProtocolRegistry::instance().get(protocol).measured_decisions;
+  return cfg;
+}
+
+Table::Table(std::vector<std::string> headers, int width)
+    : headers_(std::move(headers)), width_(width) {}
+
+void Table::print_header(std::ostream& os) const {
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    os << std::setw(i == 0 ? 16 : width_) << std::left << headers_[i];
+  }
+  os << '\n';
+  os << std::string(16 + width_ * (headers_.size() - 1), '-') << '\n';
+}
+
+void Table::print_row(std::ostream& os, const std::vector<std::string>& cells) const {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    os << std::setw(i == 0 ? 16 : width_) << std::left << cells[i];
+  }
+  os << '\n';
+}
+
+std::string Table::cell(double mean, double stddev, const std::string& unit) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(mean < 10 ? 2 : 0) << mean << "±"
+     << std::setprecision(stddev < 10 ? 1 : 0) << stddev << unit;
+  return os.str();
+}
+
+std::string Table::cell(double value, const std::string& unit) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(value < 10 ? 2 : 0) << value << unit;
+  return os.str();
+}
+
+}  // namespace bftsim

@@ -1,0 +1,64 @@
+// Repeated-trial experiment driver: runs a configuration R times with
+// derived seeds, aggregates the paper's metrics (mean and standard
+// deviation of time usage and message usage, §IV), and prints aligned
+// tables for the figure-reproduction benches.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/stats.hpp"
+#include "sim/result.hpp"
+
+namespace bftsim {
+
+/// Aggregated outcome of repeated runs of one configuration.
+struct Aggregate {
+  std::size_t runs = 0;
+  std::size_t timeouts = 0;  ///< runs that hit the horizon without deciding
+
+  Summary latency_ms;               ///< time to full termination
+  Summary per_decision_latency_ms;  ///< termination time / decisions target
+  Summary messages;                 ///< total protocol messages
+  Summary per_decision_messages;
+  Summary events;
+  double wall_seconds_total = 0.0;
+
+  /// Simulated seconds per decision, mean (negative when nothing decided).
+  [[nodiscard]] double mean_latency_sec() const noexcept {
+    return per_decision_latency_ms.mean / 1e3;
+  }
+};
+
+/// Runs `base` `repeats` times (seeds base.seed, base.seed+1, ...) and
+/// aggregates. Runs that fail to terminate count as timeouts and are
+/// excluded from the latency summaries (message counts still included).
+[[nodiscard]] Aggregate run_repeated(const SimConfig& base, std::size_t repeats);
+
+/// Convenience: configure `protocol` with the registry's measurement
+/// count (10 decisions for pipelined protocols, else 1), per §IV.
+[[nodiscard]] SimConfig experiment_config(const std::string& protocol,
+                                          std::uint32_t n, double lambda_ms,
+                                          const DelaySpec& delay);
+
+/// Fixed-width table printer for bench output.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int width = 14);
+  void print_header(std::ostream& os) const;
+  void print_row(std::ostream& os, const std::vector<std::string>& cells) const;
+
+  /// Formats "mean ± stddev" with the given unit suffix.
+  [[nodiscard]] static std::string cell(double mean, double stddev,
+                                        const std::string& unit = "");
+  [[nodiscard]] static std::string cell(double value, const std::string& unit = "");
+
+ private:
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+}  // namespace bftsim

@@ -1,0 +1,423 @@
+#include "sim/controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "attacker/attacks.hpp"
+#include "core/log.hpp"
+#include "protocols/registry.hpp"
+
+namespace bftsim {
+
+// ---------------------------------------------------------------------------
+// Contexts
+// ---------------------------------------------------------------------------
+
+class Controller::NodeCtx final : public Context {
+ public:
+  NodeCtx(Controller& c, NodeId id) : c_(c), id_(id) {}
+
+  NodeId id() const noexcept override { return id_; }
+  std::uint32_t n() const noexcept override { return c_.cfg_.n; }
+  std::uint32_t f() const noexcept override { return c_.f_; }
+  Time lambda() const noexcept override { return c_.lambda_; }
+  Time now() const noexcept override { return c_.now_; }
+
+  void send(NodeId dst, PayloadPtr payload) override {
+    // One signature per send call: the message leaves once the CPU is done.
+    const Time wire_at = c_.charge_cpu(id_, c_.sign_cost_);
+    if (dst == id_) {
+      c_.deliver_self(id_, std::move(payload));
+    } else {
+      c_.network_send(id_, dst, std::move(payload), wire_at - c_.now_);
+    }
+  }
+
+  void broadcast(PayloadPtr payload, bool include_self) override {
+    // One signature covers the whole fan-out.
+    const Time wire_at = c_.charge_cpu(id_, c_.sign_cost_);
+    for (NodeId dst = 0; dst < c_.cfg_.n; ++dst) {
+      if (dst == id_) continue;
+      c_.network_send(id_, dst, payload, wire_at - c_.now_);
+    }
+    if (include_self) c_.deliver_self(id_, std::move(payload));
+  }
+
+  TimerId set_timer(Time delay, std::uint64_t tag) override {
+    return c_.set_timer(TimerOwner::kNode, id_, delay, tag);
+  }
+  void cancel_timer(TimerId id) override { c_.cancel_timer(id); }
+
+  void report_decision(Value value) override { c_.report_decision(id_, value); }
+  void record_view(View view) override { c_.record_view(id_, view); }
+
+  Rng& rng() noexcept override { return c_.node_rngs_[id_]; }
+  const Vrf& vrf() const noexcept override { return c_.vrf_; }
+  const Signer& signer() const noexcept override { return c_.signer_; }
+
+ private:
+  Controller& c_;
+  NodeId id_;
+};
+
+class Controller::AtkCtx final : public AttackerContext {
+ public:
+  explicit AtkCtx(Controller& c) : c_(c) {}
+
+  std::uint32_t n() const noexcept override { return c_.cfg_.n; }
+  std::uint32_t f() const noexcept override { return c_.f_; }
+  Time now() const noexcept override { return c_.now_; }
+
+  void inject(Message msg, Time delay) override {
+    c_.inject_message(std::move(msg), delay);
+  }
+
+  bool corrupt(NodeId node) override { return c_.corrupt(node); }
+
+  bool is_corrupt(NodeId node) const noexcept override {
+    return c_.corrupt_.contains(node);
+  }
+
+  std::uint32_t corrupted_count() const noexcept override {
+    return static_cast<std::uint32_t>(c_.corrupt_.size());
+  }
+
+  Signature sign_as(NodeId node, std::uint64_t digest) override {
+    if (!c_.corrupt_.contains(node)) {
+      return Signature{node, digest, 0};  // unforgeable: invalid tag
+    }
+    return c_.signer_.sign(node, digest);
+  }
+
+  TimerId set_timer(Time delay, std::uint64_t tag) override {
+    return c_.set_timer(TimerOwner::kAttacker, kNoNode, delay, tag);
+  }
+
+  Rng& rng() noexcept override { return c_.atk_rng_; }
+
+ private:
+  Controller& c_;
+};
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+Controller::Controller(SimConfig cfg)
+    : cfg_(std::move(cfg)),
+      run_rng_(0),
+      net_rng_(0),
+      atk_rng_(0),
+      vrf_(0),
+      signer_(0),
+      delay_sampler_(cfg_.delay) {
+  cfg_.validate();
+  const ProtocolInfo& info = ProtocolRegistry::instance().get(cfg_.protocol);
+
+  f_ = info.fault_threshold(cfg_.n);
+  lambda_ = from_ms(cfg_.lambda_ms);
+  horizon_ = from_ms(cfg_.max_time_ms);
+
+  run_rng_.reseed(cfg_.seed);
+  net_rng_ = run_rng_.fork(0x6e6574);            // "net"
+  atk_rng_ = run_rng_.fork(0x61746b);            // "atk"
+  const std::uint64_t crypto_seed = run_rng_.next_u64();
+  vrf_ = Vrf{crypto_seed};
+  signer_ = Signer{crypto_seed ^ 0x736967ULL};
+
+  // Choose which nodes are fail-stopped: a random subset of size n - live.
+  const std::uint32_t live = cfg_.live_nodes();
+  std::vector<NodeId> ids(cfg_.n);
+  for (NodeId i = 0; i < cfg_.n; ++i) ids[i] = i;
+  Rng pick = run_rng_.fork(0x6673);  // "fs"
+  for (std::uint32_t i = 0; i + 1 < cfg_.n; ++i) {  // Fisher-Yates
+    const auto j = i + static_cast<std::uint32_t>(pick.next_below(cfg_.n - i));
+    std::swap(ids[i], ids[j]);
+  }
+  std::unordered_set<NodeId> dead;
+  for (std::uint32_t i = live; i < cfg_.n; ++i) {
+    dead.insert(ids[i]);
+    failstopped_.push_back(ids[i]);
+  }
+  std::sort(failstopped_.begin(), failstopped_.end());
+
+  nodes_.resize(cfg_.n);
+  ctxs_.resize(cfg_.n);
+  node_rngs_.reserve(cfg_.n);
+  Rng node_seed = run_rng_.fork(0x6e6f6465);  // "node"
+  for (NodeId i = 0; i < cfg_.n; ++i) {
+    node_rngs_.push_back(node_seed.fork(i));
+    ctxs_[i] = std::make_unique<NodeCtx>(*this, i);
+    if (!dead.contains(i)) nodes_[i] = info.create(i, cfg_);
+  }
+  decided_count_.assign(cfg_.n, 0);
+
+  if (cfg_.topology.is_object()) {
+    topology_ = TopologySpec::from_json(cfg_.topology);
+  }
+  verify_cost_ = from_ms(cfg_.cost.verify_ms);
+  sign_cost_ = from_ms(cfg_.cost.sign_ms);
+  cost_model_on_ = cfg_.cost.enabled();
+  cpu_free_.assign(cfg_.n, 0);
+
+  attacker_ = make_attacker(cfg_);
+  atk_ctx_ = std::make_unique<AtkCtx>(*this);
+}
+
+Controller::~Controller() = default;
+
+// ---------------------------------------------------------------------------
+// Network module
+// ---------------------------------------------------------------------------
+
+void Controller::network_send(NodeId src, NodeId dst, PayloadPtr payload,
+                              Time extra_delay) {
+  assert(payload != nullptr);
+  Message msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.send_time = now_;
+  msg.id = next_msg_id_++;
+  msg.payload = std::move(payload);
+
+  metrics_.on_send();
+  metrics_.on_bytes(msg.payload->wire_size());
+  metrics_.count_type(std::string(msg.payload->type()));
+  if (cfg_.record_trace) {
+    trace_.add(TraceRecord{TraceKind::kSend, now_, src, dst,
+                           std::string(msg.payload->type()),
+                           msg.payload->digest(), msg.id, 0, 0});
+  }
+
+  const Time sampled =
+      topology_.adjust(delay_sampler_.sample(net_rng_), src, dst);
+  MessageInFlight in_flight{std::move(msg), extra_delay + sampled};
+  const Disposition verdict = attacker_->attack(in_flight, *atk_ctx_);
+  if (verdict == Disposition::kDrop) {
+    metrics_.on_drop();
+    if (cfg_.record_trace) {
+      trace_.add(TraceRecord{TraceKind::kDrop, now_, in_flight.msg.src,
+                             in_flight.msg.dst,
+                             std::string(in_flight.msg.payload->type()),
+                             in_flight.msg.payload->digest(), in_flight.msg.id,
+                             0, 0});
+    }
+    return;
+  }
+  schedule_network_delivery(std::move(in_flight.msg),
+                            std::max<Time>(in_flight.delay, 0));
+}
+
+void Controller::schedule_network_delivery(Message msg, Time delay) {
+  queue_.push(now_ + delay, MessageDelivery{std::move(msg)});
+}
+
+void Controller::deliver_self(NodeId id, PayloadPtr payload) {
+  // A node's message to itself does not traverse the network or the
+  // attacker and is not counted as a transmitted message; it is scheduled
+  // (rather than dispatched inline) so handlers never re-enter.
+  Message msg;
+  msg.src = id;
+  msg.dst = id;
+  msg.send_time = now_;
+  msg.id = next_msg_id_++;
+  msg.payload = std::move(payload);
+  queue_.push(now_, MessageDelivery{std::move(msg)});
+}
+
+void Controller::inject_message(Message msg, Time delay) {
+  msg.id = next_msg_id_++;
+  msg.send_time = now_;
+  metrics_.on_inject();
+  if (cfg_.record_trace && msg.payload != nullptr) {
+    trace_.add(TraceRecord{TraceKind::kSend, now_, msg.src, msg.dst,
+                           std::string(msg.payload->type()),
+                           msg.payload->digest(), msg.id, 0, 0});
+  }
+  queue_.push(now_ + std::max<Time>(delay, 0), MessageDelivery{std::move(msg)});
+}
+
+Time Controller::charge_cpu(NodeId node, Time cost) {
+  if (node >= cpu_free_.size()) return now_;
+  if (cost <= 0) return std::max(cpu_free_[node], now_);
+  cpu_free_[node] = std::max(cpu_free_[node], now_) + cost;
+  return cpu_free_[node];
+}
+
+void Controller::deliver_now(const Message& msg) {
+  if (!is_live(msg.dst)) {
+    metrics_.on_drop();
+    return;
+  }
+  // Computation-cost model: verifying a network message occupies the
+  // receiver's CPU, and a CPU still busy (verifying or signing) defers the
+  // processing of new arrivals — messages queue behind each other, which
+  // is what makes throughput saturate. Self-deliveries are internal and
+  // free.
+  if (cost_model_on_ && msg.src != msg.dst && !cpu_charged_.contains(msg.id)) {
+    cpu_charged_.insert(msg.id);
+    charge_cpu(msg.dst, verify_cost_);
+    if (cpu_free_[msg.dst] > now_) {
+      queue_.push(cpu_free_[msg.dst], MessageDelivery{msg});
+      return;
+    }
+  }
+  cpu_charged_.erase(msg.id);
+  if (msg.src != msg.dst) metrics_.on_deliver();  // self-delivery is free
+  if (cfg_.record_trace && msg.payload != nullptr) {
+    trace_.add(TraceRecord{TraceKind::kDeliver, now_, msg.src, msg.dst,
+                           std::string(msg.payload->type()),
+                           msg.payload->digest(), msg.id, 0, 0});
+  }
+  if (corrupt_.contains(msg.dst)) return;  // attacker swallows its nodes' input
+  nodes_[msg.dst]->on_message(msg, *ctxs_[msg.dst]);
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
+
+TimerId Controller::set_timer(TimerOwner owner, NodeId node, Time delay,
+                              std::uint64_t tag) {
+  const TimerId id = next_timer_id_++;
+  queue_.push(now_ + std::max<Time>(delay, 0), TimerFire{owner, node, id, tag});
+  return id;
+}
+
+void Controller::cancel_timer(TimerId id) { cancelled_timers_.insert(id); }
+
+void Controller::schedule_system_event(Time at, std::uint64_t tag) {
+  queue_.push(std::max(at, now_),
+              TimerFire{TimerOwner::kSystem, kNoNode, next_timer_id_++, tag});
+}
+
+// ---------------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------------
+
+void Controller::report_decision(NodeId node, Value value) {
+  const std::uint64_t height = decided_count_[node]++;
+  metrics_.on_decision(Decision{node, now_, height, value});
+  if (cfg_.record_trace) {
+    trace_.add(
+        TraceRecord{TraceKind::kDecide, now_, node, kNoNode, {}, 0, 0, height, value});
+  }
+  BFTSIM_LOG(kDebug, "node " << node << " decided height " << height
+                             << " value " << value << " at " << to_ms(now_) << "ms");
+  check_termination();
+}
+
+void Controller::record_view(NodeId node, View view) {
+  if (cfg_.record_views) metrics_.on_view(ViewRecord{node, now_, view});
+  if (cfg_.record_trace) {
+    trace_.add(TraceRecord{TraceKind::kViewChange, now_, node, kNoNode, {}, 0, 0,
+                           view, 0});
+  }
+}
+
+bool Controller::corrupt(NodeId node) {
+  if (node >= cfg_.n) return false;
+  if (corrupt_.contains(node)) return false;
+  if (corrupt_.size() + failstopped_.size() >= f_) return false;
+  corrupt_.insert(node);
+  corrupted_order_.push_back(node);
+  if (cfg_.record_trace) {
+    trace_.add(TraceRecord{TraceKind::kCorrupt, now_, node, kNoNode, {}, 0, 0, 0, 0});
+  }
+  BFTSIM_LOG(kInfo, "attacker corrupted node " << node << " at " << to_ms(now_) << "ms");
+  check_termination();
+  return true;
+}
+
+void Controller::check_termination() {
+  if (stopped_) return;
+  for (NodeId i = 0; i < cfg_.n; ++i) {
+    if (!is_honest(i)) continue;
+    if (decided_count_[i] < cfg_.decisions) return;
+  }
+  stopped_ = true;
+  termination_time_ = now_;
+}
+
+bool Controller::is_live(NodeId id) const noexcept {
+  return id < cfg_.n && nodes_[id] != nullptr;
+}
+
+bool Controller::is_honest(NodeId id) const noexcept {
+  return is_live(id) && !corrupt_.contains(id);
+}
+
+// ---------------------------------------------------------------------------
+// Run loop
+// ---------------------------------------------------------------------------
+
+void Controller::dispatch(Event& ev) {
+  if (auto* delivery = std::get_if<MessageDelivery>(&ev.body)) {
+    deliver_now(delivery->msg);
+    return;
+  }
+  auto& fire = std::get<TimerFire>(ev.body);
+  if (cancelled_timers_.erase(fire.timer) > 0) return;
+  metrics_.on_timer();
+  const TimerEvent te{fire.timer, fire.tag, now_};
+  switch (fire.owner) {
+    case TimerOwner::kNode:
+      if (is_live(fire.node) && !corrupt_.contains(fire.node)) {
+        nodes_[fire.node]->on_timer(te, *ctxs_[fire.node]);
+      }
+      break;
+    case TimerOwner::kAttacker:
+      attacker_->on_timer(te, *atk_ctx_);
+      break;
+    case TimerOwner::kSystem:
+      on_system_event(fire.tag);
+      break;
+  }
+}
+
+RunResult Controller::run() {
+  if (ran_) throw std::logic_error("Controller::run() called twice");
+  ran_ = true;
+
+  attacker_->on_start(*atk_ctx_);
+  for (NodeId i = 0; i < cfg_.n; ++i) {
+    if (is_live(i)) nodes_[i]->on_start(*ctxs_[i]);
+  }
+  check_termination();  // degenerate configs (decisions == 0 is rejected)
+
+  while (!stopped_ && !queue_.empty()) {
+    Event ev = queue_.pop();
+    if (ev.at > horizon_) {
+      now_ = horizon_;
+      break;
+    }
+    now_ = ev.at;
+    metrics_.on_event();
+    if (metrics_.events_processed() > cfg_.max_events) break;
+    dispatch(ev);
+  }
+
+  RunResult result;
+  result.terminated = stopped_;
+  result.termination_time = termination_time_;
+  result.decisions_target = cfg_.decisions;
+  result.messages_sent = metrics_.messages_sent();
+  result.bytes_sent = metrics_.bytes_sent();
+  result.messages_delivered = metrics_.messages_delivered();
+  result.messages_dropped = metrics_.messages_dropped();
+  result.messages_injected = metrics_.messages_injected();
+  result.events_processed = metrics_.events_processed();
+  result.timers_fired = metrics_.timers_fired();
+  result.decisions = metrics_.decisions();
+  result.views = metrics_.views();
+  result.failstopped = failstopped_;
+  result.corrupted = corrupted_order_;
+  for (NodeId i = 0; i < cfg_.n; ++i) {
+    if (is_honest(i)) result.honest.push_back(i);
+  }
+  result.trace = std::move(trace_);
+  return result;
+}
+
+}  // namespace bftsim

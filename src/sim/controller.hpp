@@ -1,0 +1,140 @@
+// The controller (§III-A1): owns the event queue, the simulation clock, the
+// consensus module (the n node instances), the network module and the
+// attacker module; dispatches events; collects metrics; and decides when
+// the run terminates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "attacker/attacker.hpp"
+#include "core/config.hpp"
+#include "core/event_queue.hpp"
+#include "core/metrics.hpp"
+#include "core/rng.hpp"
+#include "core/trace.hpp"
+#include "crypto/signature.hpp"
+#include "crypto/vrf.hpp"
+#include "net/delay_model.hpp"
+#include "net/topology.hpp"
+#include "protocols/node.hpp"
+#include "sim/result.hpp"
+
+namespace bftsim {
+
+/// Drives one simulation run. Construct with a validated SimConfig, call
+/// run() once. The packet-level baseline simulator subclasses this and
+/// overrides the network-delivery hook (see src/baseline/).
+class Controller {
+ public:
+  explicit Controller(SimConfig cfg);
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+  virtual ~Controller();
+
+  /// Runs the simulation to termination / horizon; call at most once.
+  RunResult run();
+
+  [[nodiscard]] const SimConfig& config() const noexcept { return cfg_; }
+
+ protected:
+  /// Network-delivery hook: schedules the delivery event for a message that
+  /// passed the attacker with final `delay`. The default implementation
+  /// models message-level delivery (one event). The baseline simulator
+  /// overrides this with per-packet, per-hop event cascades.
+  virtual void schedule_network_delivery(Message msg, Time delay);
+
+  /// Hook for subclass-defined system events (e.g. baseline packet hops).
+  virtual void on_system_event(std::uint64_t /*tag*/) {}
+
+  /// Schedules a system event (owner kSystem) at absolute time `at`.
+  void schedule_system_event(Time at, std::uint64_t tag);
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] Metrics& metrics() noexcept { return metrics_; }
+  [[nodiscard]] EventQueue& queue() noexcept { return queue_; }
+  [[nodiscard]] Rng& net_rng() noexcept { return net_rng_; }
+
+  /// Final-delivery step shared with subclasses: counts, traces and hands
+  /// the message to its destination node (if live and honest).
+  void deliver_now(const Message& msg);
+
+ private:
+  class NodeCtx;
+  class AtkCtx;
+
+  // --- network module -------------------------------------------------------
+  /// `extra_delay` models sender-side cost (e.g. signing) already incurred
+  /// before the message reaches the wire.
+  void network_send(NodeId src, NodeId dst, PayloadPtr payload,
+                    Time extra_delay = 0);
+  void deliver_self(NodeId id, PayloadPtr payload);
+  void inject_message(Message msg, Time delay);
+
+  // --- timers ---------------------------------------------------------------
+  TimerId set_timer(TimerOwner owner, NodeId node, Time delay, std::uint64_t tag);
+  void cancel_timer(TimerId id);
+
+  /// Charges `cost` of CPU time to `node` (computation-cost model).
+  /// Returns when the node's CPU becomes free again.
+  Time charge_cpu(NodeId node, Time cost);
+
+  // --- reporting --------------------------------------------------------------
+  void report_decision(NodeId node, Value value);
+  void record_view(NodeId node, View view);
+  bool corrupt(NodeId node);
+  void check_termination();
+
+  // --- run loop ---------------------------------------------------------------
+  void dispatch(Event& ev);
+  [[nodiscard]] bool is_live(NodeId id) const noexcept;
+  [[nodiscard]] bool is_honest(NodeId id) const noexcept;
+
+  SimConfig cfg_;
+  std::uint32_t f_ = 0;       ///< protocol fault threshold (= attacker budget)
+  Time lambda_ = 0;           ///< cfg.lambda_ms in Time units
+  Time horizon_ = 0;          ///< cfg.max_time_ms in Time units
+
+  EventQueue queue_;
+  Time now_ = 0;
+  bool stopped_ = false;
+  Time termination_time_ = kNoTime;
+
+  Rng run_rng_;   ///< master stream (seeds everything else)
+  Rng net_rng_;   ///< network delay sampling
+  Rng atk_rng_;   ///< attacker randomness
+  Vrf vrf_;
+  Signer signer_;
+  DelaySampler delay_sampler_;
+  TopologySpec topology_;
+
+  std::vector<std::unique_ptr<Node>> nodes_;     ///< nullptr => fail-stopped
+  std::vector<std::unique_ptr<NodeCtx>> ctxs_;   ///< parallel to nodes_
+  std::vector<Rng> node_rngs_;
+  std::unique_ptr<Attacker> attacker_;
+  std::unique_ptr<AtkCtx> atk_ctx_;
+
+  // Computation-cost model state: per-node CPU availability and the set of
+  // deliveries whose verification cost has already been paid.
+  Time verify_cost_ = 0;
+  Time sign_cost_ = 0;
+  bool cost_model_on_ = false;
+  std::vector<Time> cpu_free_;
+  std::unordered_set<std::uint64_t> cpu_charged_;
+
+  std::vector<NodeId> failstopped_;
+  std::unordered_set<NodeId> corrupt_;
+  std::vector<NodeId> corrupted_order_;
+  std::vector<std::uint32_t> decided_count_;
+
+  Metrics metrics_;
+  Trace trace_;
+  std::uint64_t next_msg_id_ = 1;
+  std::uint64_t next_timer_id_ = 1;
+  std::unordered_set<TimerId> cancelled_timers_;
+  bool ran_ = false;
+};
+
+}  // namespace bftsim

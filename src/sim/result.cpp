@@ -1,0 +1,49 @@
+#include "sim/result.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace bftsim {
+
+Time RunResult::kth_completion(std::uint64_t k) const noexcept {
+  if (k == 0) return 0;
+  Time latest = kNoTime;
+  for (const NodeId node : honest) {
+    std::uint64_t seen = 0;
+    Time at = kNoTime;
+    for (const Decision& d : decisions) {
+      if (d.node != node) continue;
+      if (++seen == k) {
+        at = d.at;
+        break;
+      }
+    }
+    if (at == kNoTime) return kNoTime;
+    latest = std::max(latest, at);
+  }
+  return latest;
+}
+
+View RunResult::rounds_used() const noexcept {
+  View highest = 0;
+  const Time end = termination_time == kNoTime
+                       ? std::numeric_limits<Time>::max()
+                       : termination_time;
+  for (const ViewRecord& rec : views) {
+    if (rec.at <= end) highest = std::max(highest, rec.view);
+  }
+  return highest;
+}
+
+bool RunResult::decisions_consistent() const noexcept {
+  std::map<std::uint64_t, Value> first_at_height;
+  for (const Decision& d : decisions) {
+    if (std::find(honest.begin(), honest.end(), d.node) == honest.end()) continue;
+    const auto [it, inserted] = first_at_height.emplace(d.height, d.value);
+    if (!inserted && it->second != d.value) return false;
+  }
+  return true;
+}
+
+}  // namespace bftsim

@@ -1,0 +1,18 @@
+#include "sim/simulation.hpp"
+
+#include <chrono>
+
+#include "sim/controller.hpp"
+
+namespace bftsim {
+
+RunResult run_simulation(const SimConfig& cfg) {
+  const auto start = std::chrono::steady_clock::now();
+  Controller controller{cfg};
+  RunResult result = controller.run();
+  const auto end = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(end - start).count();
+  return result;
+}
+
+}  // namespace bftsim

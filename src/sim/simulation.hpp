@@ -1,0 +1,14 @@
+// High-level facade: configure, run, get results.
+#pragma once
+
+#include "core/config.hpp"
+#include "sim/result.hpp"
+
+namespace bftsim {
+
+/// Runs one simulation described by `cfg` and returns its result
+/// (wall-clock cost included). Throws std::invalid_argument for bad
+/// configurations and unknown protocol/attack names.
+[[nodiscard]] RunResult run_simulation(const SimConfig& cfg);
+
+}  // namespace bftsim

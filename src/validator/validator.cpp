@@ -1,0 +1,148 @@
+#include "validator/validator.hpp"
+
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "sim/controller.hpp"
+
+namespace bftsim {
+
+namespace {
+
+/// Key identifying a message stream between two nodes: matching is
+/// content-aware (payload digest), so protocols that interleave many
+/// same-type messages (e.g. echoes for different origins) replay exactly
+/// even when their network delays crossed in the ground truth.
+using StreamKey = std::tuple<NodeId, NodeId, std::uint64_t>;
+
+/// A controller whose network module delivers messages at the ground
+/// truth's recorded times instead of sampling delays.
+class ReplayController final : public Controller {
+ public:
+  ReplayController(SimConfig cfg, const Trace& ground_truth)
+      : Controller(std::move(cfg)) {
+    for (const TraceRecord& rec : ground_truth.records()) {
+      if (rec.kind == TraceKind::kDeliver) {
+        // Self-deliveries never traverse the network module; the replay
+        // reproduces them natively, so they are not matched against sends.
+        if (rec.a != rec.b) {
+          pending_[{rec.a, rec.b, rec.digest}].push_back(rec.at);
+        }
+      } else if (rec.kind == TraceKind::kDrop) {
+        ++recorded_drops_;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t replayed() const noexcept { return replayed_; }
+  [[nodiscard]] std::size_t unmatched_sends() const noexcept {
+    return unmatched_sends_;
+  }
+  [[nodiscard]] std::size_t recorded_drops() const noexcept {
+    return recorded_drops_;
+  }
+  /// Recorded deliveries whose content the replay never produced — the
+  /// signature of a tampered or foreign trace (benign truncation leaves
+  /// matching digests behind, tampering leaves alien ones).
+  [[nodiscard]] std::size_t digest_mismatches() const noexcept {
+    std::size_t mismatches = 0;
+    for (const auto& [key, queue] : pending_) {
+      if (!queue.empty() && !sent_digests_.contains(std::get<2>(key))) {
+        mismatches += queue.size();
+      }
+    }
+    return mismatches;
+  }
+
+  [[nodiscard]] std::size_t leftover_deliveries() const noexcept {
+    std::size_t leftover = 0;
+    for (const auto& [key, queue] : pending_) leftover += queue.size();
+    return leftover;
+  }
+
+ protected:
+  void schedule_network_delivery(Message msg, Time /*sampled_delay*/) override {
+    sent_digests_.insert(msg.payload->digest());
+    const StreamKey key{msg.src, msg.dst, msg.payload->digest()};
+    const auto it = pending_.find(key);
+    if (it == pending_.end() || it->second.empty()) {
+      // The ground truth never delivered this message: a recorded drop or
+      // a message still in flight when the ground truth terminated.
+      ++unmatched_sends_;
+      return;
+    }
+    const Time at = it->second.front();
+    it->second.pop_front();
+    ++replayed_;
+    queue().push(std::max(at, now()), MessageDelivery{std::move(msg)});
+  }
+
+ private:
+  std::map<StreamKey, std::deque<Time>> pending_;
+  std::set<std::uint64_t> sent_digests_;
+  std::size_t replayed_ = 0;
+  std::size_t unmatched_sends_ = 0;
+  std::size_t recorded_drops_ = 0;
+};
+
+using DecisionKey = std::tuple<NodeId, std::uint64_t, Value>;
+
+[[nodiscard]] std::multiset<DecisionKey> trace_decisions(const Trace& trace) {
+  std::multiset<DecisionKey> out;
+  for (const TraceRecord& rec : trace.records()) {
+    if (rec.kind == TraceKind::kDecide) out.insert({rec.a, rec.view, rec.value});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ValidationResult::to_string() const {
+  std::ostringstream os;
+  os << (ok ? "VALID" : "MISMATCH") << ": " << replayed << " deliveries replayed, "
+     << unmatched_sends << " unmatched sends (ground truth drops: "
+     << ground_truth_drops << "), " << leftover_deliveries
+     << " leftover deliveries, " << digest_mismatches << " digest mismatches; "
+     << "decisions " << (decisions_match ? "match" : "DIFFER");
+  if (!diagnosis.empty()) os << " — " << diagnosis;
+  return os.str();
+}
+
+ValidationResult validate_against_trace(const SimConfig& cfg,
+                                        const Trace& ground_truth) {
+  SimConfig replay_cfg = cfg;
+  replay_cfg.attack.clear();  // attack effects are encoded in the trace
+  replay_cfg.record_trace = false;
+
+  ReplayController controller{replay_cfg, ground_truth};
+  const RunResult result = controller.run();
+
+  ValidationResult out;
+  out.replayed = controller.replayed();
+  out.unmatched_sends = controller.unmatched_sends();
+  out.ground_truth_drops = controller.recorded_drops();
+  out.leftover_deliveries = controller.leftover_deliveries();
+  out.digest_mismatches = controller.digest_mismatches();
+
+  std::multiset<DecisionKey> expected = trace_decisions(ground_truth);
+  std::multiset<DecisionKey> actual;
+  for (const Decision& d : result.decisions) {
+    actual.insert({d.node, d.height, d.value});
+  }
+  out.decisions_match = expected == actual;
+
+  out.ok = out.decisions_match && out.digest_mismatches == 0 &&
+           out.leftover_deliveries == 0;
+  if (!out.decisions_match) {
+    std::ostringstream os;
+    os << "expected " << expected.size() << " decisions, replay produced "
+       << actual.size();
+    out.diagnosis = os.str();
+  }
+  return out;
+}
+
+}  // namespace bftsim

@@ -1,0 +1,93 @@
+#include "baseline/baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace bftsim {
+namespace {
+
+SimConfig pbft_config(std::uint32_t n = 8, std::uint64_t seed = 1) {
+  SimConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.n = n;
+  cfg.lambda_ms = 1000;
+  cfg.delay = DelaySpec::normal(250, 50);
+  cfg.seed = seed;
+  cfg.max_time_ms = 120'000;
+  return cfg;
+}
+
+TEST(BaselineTest, RunsPbftToTermination) {
+  const RunResult result = baseline::run_baseline_simulation(pbft_config());
+  ASSERT_TRUE(result.terminated);
+  EXPECT_TRUE(result.decisions_consistent());
+}
+
+TEST(BaselineTest, ProtocolOutcomeMatchesMessageLevelEngine) {
+  // Same protocol, same seed: the packet-level substrate adds only
+  // sub-millisecond serialization/crypto overheads, so the decision must
+  // be the same and the latency within a few percent.
+  const SimConfig cfg = pbft_config(16, 2);
+  const RunResult fast = run_simulation(cfg);
+  const RunResult slow = baseline::run_baseline_simulation(cfg);
+  ASSERT_TRUE(fast.terminated);
+  ASSERT_TRUE(slow.terminated);
+  EXPECT_NEAR(slow.latency_ms(), fast.latency_ms(), fast.latency_ms() * 0.15);
+  EXPECT_EQ(fast.decisions.size(), slow.decisions.size());
+}
+
+TEST(BaselineTest, GeneratesManyMoreEvents) {
+  const SimConfig cfg = pbft_config(16);
+  const RunResult fast = run_simulation(cfg);
+  const RunResult slow = baseline::run_baseline_simulation(cfg);
+  // Fragmentation + per-hop + ack + crypto: an order of magnitude or more.
+  EXPECT_GT(slow.events_processed, 8 * fast.events_processed);
+}
+
+TEST(BaselineTest, PacketAccounting) {
+  SimConfig cfg = pbft_config(4);
+  baseline::PacketLevelController controller{cfg};
+  const RunResult result = controller.run();
+  ASSERT_TRUE(result.terminated);
+  EXPECT_GT(controller.packet_events(), 0u);
+  EXPECT_GT(controller.frames_allocated(), result.messages_sent);
+}
+
+TEST(BaselineTest, SmallerMtuMeansMoreEvents) {
+  const SimConfig cfg = pbft_config(8);
+  baseline::LinkModel coarse;
+  coarse.mtu_bytes = 256;
+  baseline::LinkModel fine;
+  fine.mtu_bytes = 32;
+  const RunResult a = baseline::run_baseline_simulation(cfg, coarse);
+  const RunResult b = baseline::run_baseline_simulation(cfg, fine);
+  ASSERT_TRUE(a.terminated);
+  ASSERT_TRUE(b.terminated);
+  EXPECT_GT(b.events_processed, a.events_processed);
+}
+
+TEST(BaselineTest, FailstopStillWorks) {
+  SimConfig cfg = pbft_config(16, 3);
+  cfg.honest = 12;
+  const RunResult result = baseline::run_baseline_simulation(cfg);
+  ASSERT_TRUE(result.terminated);
+  EXPECT_TRUE(result.decisions_consistent());
+}
+
+class BaselineSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BaselineSweep, DeterministicAndConsistent) {
+  const SimConfig cfg = pbft_config(8, GetParam());
+  const RunResult a = baseline::run_baseline_simulation(cfg);
+  const RunResult b = baseline::run_baseline_simulation(cfg);
+  ASSERT_TRUE(a.terminated);
+  EXPECT_EQ(a.termination_time, b.termination_time);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_TRUE(a.decisions_consistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineSweep, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace bftsim

@@ -1,0 +1,110 @@
+// A scripted Context for unit-testing protocol Node implementations
+// directly: tests feed messages/timers by hand and inspect exactly what
+// the node sent, scheduled, reported, and recorded — no event loop, no
+// network, no other nodes.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "protocols/node.hpp"
+
+namespace bftsim::testing {
+
+class MockContext final : public Context {
+ public:
+  struct Sent {
+    NodeId dst = kNoNode;  ///< kNoNode means broadcast
+    PayloadPtr payload;
+    bool include_self = false;
+  };
+  struct TimerReq {
+    TimerId id = 0;
+    Time delay = 0;
+    std::uint64_t tag = 0;
+  };
+
+  MockContext(NodeId id, std::uint32_t n, std::uint32_t f, Time lambda)
+      : id_(id), n_(n), f_(f), lambda_(lambda), rng_(id + 1), vrf_(7), signer_(7) {}
+
+  // --- Context ---------------------------------------------------------------
+  NodeId id() const noexcept override { return id_; }
+  std::uint32_t n() const noexcept override { return n_; }
+  std::uint32_t f() const noexcept override { return f_; }
+  Time lambda() const noexcept override { return lambda_; }
+  Time now() const noexcept override { return now_; }
+
+  void send(NodeId dst, PayloadPtr payload) override {
+    sent.push_back({dst, std::move(payload), false});
+  }
+  void broadcast(PayloadPtr payload, bool include_self) override {
+    sent.push_back({kNoNode, std::move(payload), include_self});
+  }
+
+  TimerId set_timer(Time delay, std::uint64_t tag) override {
+    const TimerId id = next_timer_++;
+    timers.push_back({id, delay, tag});
+    return id;
+  }
+  void cancel_timer(TimerId id) override { cancelled.push_back(id); }
+
+  void report_decision(Value value) override { decisions.push_back(value); }
+  void record_view(View view) override { views.push_back(view); }
+
+  Rng& rng() noexcept override { return rng_; }
+  const Vrf& vrf() const noexcept override { return vrf_; }
+  const Signer& signer() const noexcept override { return signer_; }
+
+  // --- test driving helpers -----------------------------------------------------
+  void advance_to(Time t) noexcept { now_ = t; }
+
+  /// Delivers `payload` to `node` as if sent by `src` at the current time.
+  template <typename P>
+  void deliver(Node& node, NodeId src, std::shared_ptr<const P> payload) {
+    Message msg;
+    msg.src = src;
+    msg.dst = id_;
+    msg.send_time = now_;
+    msg.id = next_msg_id_++;
+    msg.payload = std::move(payload);
+    node.on_message(msg, *this);
+  }
+
+  /// Fires the given pending timer request.
+  void fire(Node& node, const TimerReq& req) {
+    node.on_timer(TimerEvent{req.id, req.tag, now_}, *this);
+  }
+
+  /// Payloads of type P among everything sent so far (broadcast or direct).
+  template <typename P>
+  [[nodiscard]] std::vector<const P*> sent_of() const {
+    std::vector<const P*> out;
+    for (const Sent& s : sent) {
+      if (const auto* p = dynamic_cast<const P*>(s.payload.get())) out.push_back(p);
+    }
+    return out;
+  }
+
+  void clear_sent() { sent.clear(); }
+
+  std::vector<Sent> sent;
+  std::vector<TimerReq> timers;
+  std::vector<TimerId> cancelled;
+  std::vector<Value> decisions;
+  std::vector<View> views;
+
+ private:
+  NodeId id_;
+  std::uint32_t n_;
+  std::uint32_t f_;
+  Time lambda_;
+  Time now_ = 0;
+  Rng rng_;
+  Vrf vrf_;
+  Signer signer_;
+  TimerId next_timer_ = 1;
+  std::uint64_t next_msg_id_ = 1;
+};
+
+}  // namespace bftsim::testing

@@ -1,0 +1,147 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace bftsim {
+namespace {
+
+TEST(DelaySpecTest, Factories) {
+  EXPECT_EQ(DelaySpec::constant(10).kind, DelaySpec::Kind::kConstant);
+  EXPECT_EQ(DelaySpec::uniform(1, 2).kind, DelaySpec::Kind::kUniform);
+  EXPECT_EQ(DelaySpec::normal(250, 50).kind, DelaySpec::Kind::kNormal);
+  EXPECT_EQ(DelaySpec::exponential(100).kind, DelaySpec::Kind::kExponential);
+}
+
+TEST(DelaySpecTest, Describe) {
+  EXPECT_EQ(DelaySpec::normal(250, 50).describe(), "N(250,50)");
+  EXPECT_EQ(DelaySpec::constant(5).describe(), "C(5)");
+  EXPECT_EQ(DelaySpec::uniform(1, 9).describe(), "U(1,9)");
+  EXPECT_EQ(DelaySpec::exponential(42).describe(), "Exp(42)");
+}
+
+TEST(DelaySpecTest, JsonRoundTrip) {
+  DelaySpec spec = DelaySpec::normal(250, 50);
+  spec.min_ms = 2.0;
+  spec.max_ms = 1000.0;
+  const DelaySpec back = DelaySpec::from_json(spec.to_json());
+  EXPECT_EQ(back.kind, spec.kind);
+  EXPECT_DOUBLE_EQ(back.a, spec.a);
+  EXPECT_DOUBLE_EQ(back.b, spec.b);
+  EXPECT_DOUBLE_EQ(back.min_ms, spec.min_ms);
+  EXPECT_DOUBLE_EQ(back.max_ms, spec.max_ms);
+}
+
+TEST(DelaySpecTest, RejectsUnknownKind) {
+  EXPECT_THROW((void)DelaySpec::from_json(json::parse(R"({"kind":"weird"})")),
+               std::invalid_argument);
+}
+
+TEST(SimConfigTest, DefaultsAreValid) {
+  SimConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_EQ(cfg.live_nodes(), cfg.n);  // honest == 0 means all live
+}
+
+TEST(SimConfigTest, LiveNodes) {
+  SimConfig cfg;
+  cfg.n = 16;
+  cfg.honest = 11;
+  EXPECT_EQ(cfg.live_nodes(), 11u);
+}
+
+TEST(SimConfigTest, ValidateRejectsBadValues) {
+  SimConfig cfg;
+  cfg.n = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig{};
+  cfg.honest = cfg.n + 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig{};
+  cfg.lambda_ms = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig{};
+  cfg.decisions = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig{};
+  cfg.max_time_ms = -1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig{};
+  cfg.protocol.clear();
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig{};
+  cfg.delay = DelaySpec::uniform(10, 5);  // hi < lo
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig{};
+  cfg.delay.max_ms = 0.5;
+  cfg.delay.min_ms = 1.0;  // max < min
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(SimConfigTest, JsonRoundTrip) {
+  SimConfig cfg;
+  cfg.protocol = "hotstuff-ns";
+  cfg.n = 32;
+  cfg.honest = 27;
+  cfg.lambda_ms = 500;
+  cfg.delay = DelaySpec::uniform(100, 400);
+  cfg.seed = 99;
+  cfg.decisions = 10;
+  cfg.attack = "partition";
+  json::Object params;
+  params["resolve_ms"] = 12000.0;
+  cfg.attack_params = json::Value{std::move(params)};
+  cfg.record_trace = true;
+
+  const SimConfig back = SimConfig::from_json(cfg.to_json());
+  EXPECT_EQ(back.protocol, cfg.protocol);
+  EXPECT_EQ(back.n, cfg.n);
+  EXPECT_EQ(back.honest, cfg.honest);
+  EXPECT_DOUBLE_EQ(back.lambda_ms, cfg.lambda_ms);
+  EXPECT_EQ(back.delay.kind, cfg.delay.kind);
+  EXPECT_EQ(back.seed, cfg.seed);
+  EXPECT_EQ(back.decisions, cfg.decisions);
+  EXPECT_EQ(back.attack, cfg.attack);
+  EXPECT_DOUBLE_EQ(back.attack_params.get_number("resolve_ms", 0), 12000.0);
+  EXPECT_TRUE(back.record_trace);
+}
+
+TEST(SimConfigTest, FromJsonUsesDefaultsForMissingKeys) {
+  const SimConfig cfg = SimConfig::from_json(json::parse(R"({"protocol":"pbft"})"));
+  EXPECT_EQ(cfg.protocol, "pbft");
+  EXPECT_EQ(cfg.n, 16u);
+  EXPECT_DOUBLE_EQ(cfg.lambda_ms, 1000.0);
+}
+
+TEST(SimConfigTest, FromJsonValidates) {
+  EXPECT_THROW((void)SimConfig::from_json(json::parse(R"({"n": 0})")),
+               std::invalid_argument);
+}
+
+TEST(SimConfigTest, FromFile) {
+  const std::string path = ::testing::TempDir() + "/bftsim_config_test.json";
+  {
+    std::ofstream out(path);
+    out << R"({"protocol": "librabft", "n": 8, "lambda_ms": 750,)"
+        << R"( "delay": {"kind": "exponential", "a": 200}})";
+  }
+  const SimConfig cfg = SimConfig::from_file(path);
+  EXPECT_EQ(cfg.protocol, "librabft");
+  EXPECT_EQ(cfg.n, 8u);
+  EXPECT_DOUBLE_EQ(cfg.lambda_ms, 750.0);
+  EXPECT_EQ(cfg.delay.kind, DelaySpec::Kind::kExponential);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bftsim

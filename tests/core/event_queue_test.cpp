@@ -1,0 +1,125 @@
+#include "core/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace bftsim {
+namespace {
+
+TimerFire timer(NodeId node, std::uint64_t tag = 0) {
+  return TimerFire{TimerOwner::kNode, node, 0, tag};
+}
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.total_scheduled(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue queue;
+  queue.push(30, timer(3));
+  queue.push(10, timer(1));
+  queue.push(20, timer(2));
+  EXPECT_EQ(queue.pop().at, 10);
+  EXPECT_EQ(queue.pop().at, 20);
+  EXPECT_EQ(queue.pop().at, 30);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue queue;
+  for (NodeId i = 0; i < 10; ++i) queue.push(5, timer(i));
+  for (NodeId i = 0; i < 10; ++i) {
+    const Event ev = queue.pop();
+    EXPECT_EQ(std::get<TimerFire>(ev.body).node, i);
+  }
+}
+
+TEST(EventQueueTest, NextTimeMatchesTopElement) {
+  EventQueue queue;
+  queue.push(100, timer(0));
+  queue.push(50, timer(1));
+  EXPECT_EQ(queue.next_time(), 50);
+  (void)queue.pop();
+  EXPECT_EQ(queue.next_time(), 100);
+}
+
+TEST(EventQueueTest, InterleavedPushPopKeepsOrder) {
+  EventQueue queue;
+  queue.push(10, timer(0));
+  queue.push(30, timer(1));
+  EXPECT_EQ(queue.pop().at, 10);
+  queue.push(20, timer(2));
+  EXPECT_EQ(queue.pop().at, 20);
+  EXPECT_EQ(queue.pop().at, 30);
+}
+
+TEST(EventQueueTest, TotalScheduledCountsEverything) {
+  EventQueue queue;
+  for (int i = 0; i < 7; ++i) queue.push(i, timer(0));
+  while (!queue.empty()) (void)queue.pop();
+  EXPECT_EQ(queue.total_scheduled(), 7u);
+}
+
+TEST(EventQueueTest, CarriesMessageEvents) {
+  EventQueue queue;
+  Message msg;
+  msg.src = 1;
+  msg.dst = 2;
+  queue.push(42, MessageDelivery{msg});
+  const Event ev = queue.pop();
+  const auto& delivery = std::get<MessageDelivery>(ev.body);
+  EXPECT_EQ(delivery.msg.src, 1u);
+  EXPECT_EQ(delivery.msg.dst, 2u);
+}
+
+class EventQueuePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueuePropertyTest, RandomSchedulesPopSorted) {
+  Rng rng{GetParam()};
+  EventQueue queue;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    queue.push(static_cast<Time>(rng.next_below(1000)), timer(0));
+  }
+  Time prev = -1;
+  std::uint64_t prev_seq = 0;
+  bool first = true;
+  for (int i = 0; i < n; ++i) {
+    const Event ev = queue.pop();
+    EXPECT_GE(ev.at, prev);
+    if (!first && ev.at == prev) EXPECT_GT(ev.seq, prev_seq);  // stable ties
+    prev = ev.at;
+    prev_seq = ev.seq;
+    first = false;
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST_P(EventQueuePropertyTest, MixedPushPopNeverGoesBackInTime) {
+  // Simulates the controller's usage: pops advance the clock, pushes only
+  // schedule at or after the current clock.
+  Rng rng{GetParam() ^ 0x5555};
+  EventQueue queue;
+  queue.push(0, timer(0));
+  Time clock = 0;
+  for (int i = 0; i < 3000 && !queue.empty(); ++i) {
+    const Event ev = queue.pop();
+    EXPECT_GE(ev.at, clock);
+    clock = ev.at;
+    if (rng.next_below(100) < 60) {
+      queue.push(clock + static_cast<Time>(rng.next_below(50)), timer(0));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueuePropertyTest,
+                         ::testing::Values(1, 7, 99, 1234));
+
+}  // namespace
+}  // namespace bftsim

@@ -1,0 +1,143 @@
+#include "core/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace bftsim::json {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse("3.5").as_number(), 3.5);
+  EXPECT_EQ(parse("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_number(), 1000.0);
+  EXPECT_EQ(parse("\"hello\"").as_string(), "hello");
+}
+
+TEST(JsonTest, ParsesContainers) {
+  const Value v = parse(R"({"a": [1, 2, 3], "b": {"c": true}})");
+  ASSERT_TRUE(v.is_object());
+  const Array& arr = v.as_object().at("a").as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr[1].as_int(), 2);
+  EXPECT_TRUE(v.as_object().at("b").as_object().at("c").as_bool());
+}
+
+TEST(JsonTest, EmptyContainers) {
+  EXPECT_EQ(parse("[]").as_array().size(), 0u);
+  EXPECT_EQ(parse("{}").as_object().size(), 0u);
+  EXPECT_EQ(parse("[[]]").as_array().at(0).as_array().size(), 0u);
+}
+
+TEST(JsonTest, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\nb\t\"c\"\\")").as_string(), "a\nb\t\"c\"\\");
+  EXPECT_EQ(parse(R"("Aé")").as_string(), "A\xc3\xa9");
+  EXPECT_EQ(parse(R"("中")").as_string(), "\xe4\xb8\xad");
+}
+
+TEST(JsonTest, WhitespaceTolerant) {
+  const Value v = parse("  {\n\t\"k\" :\r 1 }  ");
+  EXPECT_EQ(v.as_object().at("k").as_int(), 1);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse(""), Error);
+  EXPECT_THROW((void)parse("{"), Error);
+  EXPECT_THROW((void)parse("[1,]"), Error);
+  EXPECT_THROW((void)parse("{\"a\" 1}"), Error);
+  EXPECT_THROW((void)parse("tru"), Error);
+  EXPECT_THROW((void)parse("1 2"), Error);   // trailing garbage
+  EXPECT_THROW((void)parse("\"ab"), Error);  // unterminated string
+  EXPECT_THROW((void)parse("\"\\x\""), Error);
+  EXPECT_THROW((void)parse("{1: 2}"), Error);
+  EXPECT_THROW((void)parse("nan"), Error);
+}
+
+TEST(JsonTest, TypeMismatchThrows) {
+  const Value v = parse("[1]");
+  EXPECT_THROW((void)v.as_object(), Error);
+  EXPECT_THROW((void)v.as_string(), Error);
+  EXPECT_THROW((void)parse("{}").as_object().at("missing"), Error);
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  const Value v = parse(R"({"z": 1, "a": 2, "m": 3})");
+  std::string keys;
+  for (const auto& [k, val] : v.as_object()) keys += k;
+  EXPECT_EQ(keys, "zam");
+}
+
+TEST(JsonTest, DumpParseRoundTrip) {
+  const std::string doc =
+      R"({"name":"bftsim","n":16,"delay":{"kind":"normal","a":250,"b":50},)"
+      R"("flags":[true,false,null],"ratio":0.5})";
+  const Value v = parse(doc);
+  const Value again = parse(v.dump());
+  EXPECT_EQ(again.as_object().at("n").as_int(), 16);
+  EXPECT_EQ(again.as_object().at("delay").as_object().at("kind").as_string(),
+            "normal");
+  EXPECT_EQ(v.dump(), again.dump());
+}
+
+TEST(JsonTest, PrettyDumpIsReparsable) {
+  const Value v = parse(R"({"a":[1,{"b":2}],"c":"x"})");
+  const std::string pretty = v.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(parse(pretty).dump(), v.dump());
+}
+
+TEST(JsonTest, DumpEscapesControlCharacters) {
+  const Value v{std::string("a\nb\x01")};
+  EXPECT_EQ(v.dump(), "\"a\\nb\\u0001\"");
+}
+
+TEST(JsonTest, GetHelpersWithDefaults) {
+  const Value v = parse(R"({"n": 8, "name": "x", "flag": true})");
+  EXPECT_EQ(v.get_int("n", 0), 8);
+  EXPECT_EQ(v.get_int("missing", 42), 42);
+  EXPECT_EQ(v.get_string("name", ""), "x");
+  EXPECT_EQ(v.get_string("n", "fallback"), "fallback");  // type mismatch
+  EXPECT_TRUE(v.get_bool("flag", false));
+  EXPECT_DOUBLE_EQ(v.get_number("missing", 1.5), 1.5);
+}
+
+TEST(JsonTest, ParseFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/bftsim_json_test.json";
+  {
+    std::ofstream out(path);
+    out << R"({"protocol": "pbft", "n": 32})";
+  }
+  const Value v = parse_file(path);
+  EXPECT_EQ(v.get_int("n", 0), 32);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)parse_file(path), Error);
+}
+
+TEST(JsonTest, BuildsValuesProgrammatically) {
+  Object obj;
+  obj["n"] = 16;
+  obj["list"] = Array{Value{1}, Value{"two"}};
+  const Value v{std::move(obj)};
+  EXPECT_EQ(parse(v.dump()).as_object().at("list").as_array().at(1).as_string(),
+            "two");
+}
+
+TEST(JsonTest, DeepNesting) {
+  std::string doc;
+  const int depth = 100;
+  for (int i = 0; i < depth; ++i) doc += "[";
+  doc += "1";
+  for (int i = 0; i < depth; ++i) doc += "]";
+  const Value* v = new Value(parse(doc));
+  const Value* cur = v;
+  for (int i = 0; i < depth; ++i) cur = &cur->as_array().at(0);
+  EXPECT_EQ(cur->as_int(), 1);
+  delete v;
+}
+
+}  // namespace
+}  // namespace bftsim::json

@@ -1,0 +1,140 @@
+#include "core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace bftsim {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng rng{7};
+  const std::uint64_t first = rng.next_u64();
+  (void)rng.next_u64();
+  rng.reseed(7);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng{3};
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowStaysInBounds) {
+  Rng rng{11};
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng rng{5};
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) ++seen[rng.next_below(10)];
+  for (int count : seen) EXPECT_GT(count, 800);  // each bucket near 1000
+}
+
+TEST(RngTest, UniformWithinBounds) {
+  Rng rng{9};
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(100.0, 200.0);
+    EXPECT_GE(x, 100.0);
+    EXPECT_LT(x, 200.0);
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng{13};
+  const int n = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(250.0, 50.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 250.0, 1.0);
+  EXPECT_NEAR(std::sqrt(var), 50.0, 1.0);
+}
+
+TEST(RngTest, ExponentialMoments) {
+  Rng rng{17};
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 2.0);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng parent{21};
+  Rng child_a = parent.fork(1);
+  Rng child_b = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child_a.next_u64() == child_b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng a{33};
+  Rng b{33};
+  Rng fa = a.fork(5);
+  Rng fb = b.fork(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+TEST(RngTest, SplitMixKnownGoodDistribution) {
+  // SplitMix64 must expand even pathological seeds (0, 1, 2, ...) into
+  // well-spread states: successive seeds must not correlate outputs.
+  Rng a{0};
+  Rng b{1};
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, BooleanBalance) {
+  Rng rng{GetParam()};
+  int heads = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) heads += rng.next_bool() ? 1 : 0;
+  EXPECT_NEAR(heads, n / 2, 300);
+}
+
+TEST_P(RngSeedSweep, NormalIsSymmetricAroundMean) {
+  Rng rng{GetParam()};
+  int above = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) above += rng.normal(0.0, 1.0) > 0.0 ? 1 : 0;
+  EXPECT_NEAR(above, n / 2, 400);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1, 2, 3, 42, 12345, 0xdeadbeef));
+
+}  // namespace
+}  // namespace bftsim

@@ -1,0 +1,96 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace bftsim {
+namespace {
+
+TEST(StatsTest, EmptySampleIsAllZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(StatsTest, SingleElement) {
+  const Summary s = summarize({5.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+}
+
+TEST(StatsTest, KnownSample) {
+  const Summary s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+}
+
+TEST(StatsTest, MedianOddCount) {
+  EXPECT_DOUBLE_EQ(summarize({3.0, 1.0, 2.0}).median, 2.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> sorted{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.25), 20.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.125), 15.0);
+}
+
+TEST(StatsTest, PercentileEdgeCases) {
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted({7.0}, 0.9), 7.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted({1.0, 2.0}, 2.0), 2.0);  // clamped q
+  EXPECT_DOUBLE_EQ(percentile_sorted({1.0, 2.0}, -1.0), 1.0);
+}
+
+TEST(StatsTest, AccumulatorMatchesSummarize) {
+  Rng rng{123};
+  std::vector<double> sample;
+  Accumulator acc;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.normal(100.0, 15.0);
+    sample.push_back(x);
+    acc.add(x);
+  }
+  const Summary s = summarize(sample);
+  EXPECT_EQ(acc.count(), s.count);
+  EXPECT_NEAR(acc.mean(), s.mean, 1e-9);
+  EXPECT_NEAR(acc.stddev(), s.stddev, 1e-9);
+  EXPECT_DOUBLE_EQ(acc.min(), s.min);
+  EXPECT_DOUBLE_EQ(acc.max(), s.max);
+}
+
+TEST(StatsTest, AccumulatorVarianceNeedsTwoSamples) {
+  Accumulator acc;
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  acc.add(5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 2.0);
+}
+
+TEST(StatsTest, SummaryPercentilesOrdered) {
+  Rng rng{77};
+  std::vector<double> sample;
+  for (int i = 0; i < 1000; ++i) sample.push_back(rng.exponential(10.0));
+  const Summary s = summarize(sample);
+  EXPECT_LE(s.min, s.median);
+  EXPECT_LE(s.median, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+  EXPECT_LE(s.p99, s.max);
+}
+
+}  // namespace
+}  // namespace bftsim

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/certificate.hpp"
+#include "crypto/hash.hpp"
+#include "crypto/signature.hpp"
+#include "crypto/vrf.hpp"
+
+namespace bftsim {
+namespace {
+
+// --- hash --------------------------------------------------------------------
+
+TEST(HashTest, Fnv1aKnownVectors) {
+  // Standard FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashTest, Mix64IsBijectiveSpotCheck) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10000; ++i) outputs.insert(mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(HashTest, HashWordsOrderSensitive) {
+  EXPECT_NE(hash_words({1, 2, 3}), hash_words({3, 2, 1}));
+  EXPECT_NE(hash_words({1, 2}), hash_words({1, 2, 0}));
+  EXPECT_EQ(hash_words({1, 2, 3}), hash_words({1, 2, 3}));
+}
+
+// --- vrf ---------------------------------------------------------------------
+
+TEST(VrfTest, EvaluateIsDeterministic) {
+  const Vrf vrf{42};
+  EXPECT_EQ(vrf.evaluate(3, 7), vrf.evaluate(3, 7));
+}
+
+TEST(VrfTest, DistinctInputsDistinctOutputs) {
+  const Vrf vrf{42};
+  EXPECT_NE(vrf.evaluate(3, 7).value, vrf.evaluate(4, 7).value);
+  EXPECT_NE(vrf.evaluate(3, 7).value, vrf.evaluate(3, 8).value);
+}
+
+TEST(VrfTest, DifferentSecretsDiffer) {
+  EXPECT_NE(Vrf{1}.evaluate(0, 0).value, Vrf{2}.evaluate(0, 0).value);
+}
+
+TEST(VrfTest, VerifyAcceptsGenuineAndRejectsForged) {
+  const Vrf vrf{99};
+  const VrfOutput out = vrf.evaluate(5, 11);
+  EXPECT_TRUE(vrf.verify(5, 11, out));
+  EXPECT_FALSE(vrf.verify(6, 11, out));  // wrong claimed node
+  EXPECT_FALSE(vrf.verify(5, 12, out));  // wrong round
+  VrfOutput forged = out;
+  forged.value ^= 1;
+  EXPECT_FALSE(vrf.verify(5, 11, forged));
+  forged = out;
+  forged.proof ^= 1;
+  EXPECT_FALSE(vrf.verify(5, 11, forged));
+}
+
+TEST(VrfTest, LeaderElectionIsRoughlyUniform) {
+  // Over many rounds the minimum credential should rotate across nodes.
+  const Vrf vrf{7};
+  const std::uint32_t n = 16;
+  std::vector<int> wins(n, 0);
+  for (std::uint64_t round = 0; round < 1600; ++round) {
+    NodeId winner = 0;
+    std::uint64_t best = ~0ULL;
+    for (NodeId i = 0; i < n; ++i) {
+      const std::uint64_t v = vrf.evaluate(i, round).value;
+      if (v < best) {
+        best = v;
+        winner = i;
+      }
+    }
+    ++wins[winner];
+  }
+  for (const int w : wins) {
+    EXPECT_GT(w, 50);   // expected 100 each
+    EXPECT_LT(w, 180);
+  }
+}
+
+// --- signatures ----------------------------------------------------------------
+
+TEST(SignatureTest, SignVerifyRoundTrip) {
+  const Signer signer{5};
+  const Signature sig = signer.sign(3, 0xabcdef);
+  EXPECT_TRUE(signer.verify(sig));
+}
+
+TEST(SignatureTest, RejectsTamperedFields) {
+  const Signer signer{5};
+  Signature sig = signer.sign(3, 0xabcdef);
+  Signature bad = sig;
+  bad.signer = 4;  // impersonation
+  EXPECT_FALSE(signer.verify(bad));
+  bad = sig;
+  bad.digest ^= 1;  // different message
+  EXPECT_FALSE(signer.verify(bad));
+  bad = sig;
+  bad.tag ^= 1;  // forged tag
+  EXPECT_FALSE(signer.verify(bad));
+}
+
+TEST(SignatureTest, DifferentRunSecretsIncompatible) {
+  const Signer a{1};
+  const Signer b{2};
+  EXPECT_FALSE(b.verify(a.sign(0, 42)));
+}
+
+// --- certificates ----------------------------------------------------------------
+
+TEST(CertificateTest, QuorumCertValidity) {
+  QuorumCert qc;
+  qc.view = 3;
+  qc.block = 0x42;
+  qc.signers = {0, 1, 2, 3, 4};
+  EXPECT_TRUE(qc.valid(5));
+  EXPECT_TRUE(qc.valid(4));
+  EXPECT_FALSE(qc.valid(6));
+}
+
+TEST(CertificateTest, DuplicateSignersRejected) {
+  QuorumCert qc;
+  qc.signers = {0, 1, 1, 2, 3};
+  EXPECT_FALSE(qc.valid(5));
+  EXPECT_FALSE(qc.valid(4));  // any duplicate invalidates the certificate
+}
+
+TEST(CertificateTest, DuplicateSignersNeverSatisfyQuorum) {
+  QuorumCert qc;
+  qc.signers = {7, 7, 7, 7, 7};
+  EXPECT_FALSE(qc.valid(2));
+}
+
+TEST(CertificateTest, DigestSensitivity) {
+  QuorumCert a;
+  a.view = 1;
+  a.block = 2;
+  a.signers = {0, 1, 2};
+  QuorumCert b = a;
+  EXPECT_EQ(a.digest(), b.digest());
+  b.signers.push_back(3);
+  EXPECT_NE(a.digest(), b.digest());
+  b = a;
+  b.view = 2;
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(CertificateTest, TimeoutCertValidity) {
+  TimeoutCert tc;
+  tc.view = 9;
+  tc.signers = {0, 1, 2};
+  EXPECT_TRUE(tc.valid(3));
+  EXPECT_FALSE(tc.valid(4));
+  tc.signers = {0, 0, 1};
+  EXPECT_FALSE(tc.valid(3));
+}
+
+TEST(CertificateTest, GenesisCert) {
+  const QuorumCert genesis = QuorumCert::genesis();
+  EXPECT_EQ(genesis.view, 0u);
+  EXPECT_FALSE(genesis.valid(1));  // only special-cased by the protocols
+}
+
+}  // namespace
+}  // namespace bftsim

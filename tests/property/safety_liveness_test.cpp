@@ -1,0 +1,147 @@
+// Cross-protocol property tests: for every protocol, across node counts,
+// fault loads and seeds, each run must satisfy
+//   - agreement:  no two honest nodes decide different values at a height,
+//   - termination: all honest nodes decide within the horizon,
+//   - determinism: identical configurations yield identical traces.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "protocols/registry.hpp"
+#include "sim/simulation.hpp"
+
+namespace bftsim {
+namespace {
+
+struct Case {
+  std::string protocol;
+  std::uint32_t n;
+  std::uint32_t failstops;
+  std::uint64_t seed;
+};
+
+void PrintTo(const Case& c, std::ostream* os) {
+  *os << c.protocol << "/n" << c.n << "/f" << c.failstops << "/s" << c.seed;
+}
+
+SimConfig make_config(const Case& c) {
+  SimConfig cfg;
+  cfg.protocol = c.protocol;
+  cfg.n = c.n;
+  cfg.honest = c.n - c.failstops;
+  cfg.lambda_ms = 1000;
+  cfg.delay = DelaySpec::normal(250, 50);
+  cfg.seed = c.seed;
+  cfg.decisions =
+      ProtocolRegistry::instance().get(c.protocol).measured_decisions;
+  cfg.max_time_ms = 600'000;
+  return cfg;
+}
+
+class ProtocolProperties : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ProtocolProperties, AgreementTerminationDeterminism) {
+  const Case& c = GetParam();
+  SimConfig cfg = make_config(c);
+  cfg.record_trace = true;
+
+  const RunResult result = run_simulation(cfg);
+  ASSERT_TRUE(result.terminated) << "did not terminate";
+  EXPECT_TRUE(result.decisions_consistent()) << "agreement violated";
+
+  // All honest nodes reached the target.
+  std::map<NodeId, std::uint32_t> counts;
+  for (const Decision& d : result.decisions) ++counts[d.node];
+  for (const NodeId node : result.honest) {
+    EXPECT_GE(counts[node], cfg.decisions) << "node " << node << " short";
+  }
+
+  // Determinism: identical run, identical trace.
+  const RunResult replay = run_simulation(cfg);
+  EXPECT_EQ(result.trace.fingerprint(), replay.trace.fingerprint());
+  EXPECT_EQ(result.termination_time, replay.termination_time);
+  EXPECT_EQ(result.messages_sent, replay.messages_sent);
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  const std::vector<std::string> protocols{
+      "addv1",   "addv2", "addv3",       "algorand",   "asyncba",
+      "pbft",    "hotstuff-ns", "librabft", "tendermint", "sync-hotstuff"};
+  for (const std::string& protocol : protocols) {
+    const auto& info = ProtocolRegistry::instance().get(protocol);
+    for (const std::uint32_t n : {7u, 16u}) {
+      for (const std::uint64_t seed : {1ull, 17ull}) {
+        cases.push_back({protocol, n, 0, seed});
+      }
+      // Maximum tolerated fail-stop load.
+      cases.push_back({protocol, n, info.fault_threshold(n), 5});
+    }
+  }
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = info.param.protocol + "_n" +
+                     std::to_string(info.param.n) + "_f" +
+                     std::to_string(info.param.failstops) + "_s" +
+                     std::to_string(info.param.seed);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ProtocolProperties,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+// Delay-distribution robustness: every protocol stays safe and live under
+// constant, uniform, heavy-tailed exponential and high-variance normal
+// delays (the Fig. 3 environments and beyond).
+class DelayRobustness
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(DelayRobustness, SafeAndLiveUnderAllDelayModels) {
+  const auto& [protocol, delay_index] = GetParam();
+  const DelaySpec specs[] = {
+      DelaySpec::constant(250),
+      DelaySpec::uniform(50, 450),
+      DelaySpec::normal(1000, 1000),
+      DelaySpec::exponential(250),
+  };
+  SimConfig cfg;
+  cfg.protocol = protocol;
+  cfg.n = 16;
+  cfg.lambda_ms = 1000;
+  cfg.delay = specs[delay_index];
+  cfg.seed = 9;
+  cfg.decisions =
+      ProtocolRegistry::instance().get(protocol).measured_decisions;
+  cfg.max_time_ms = 600'000;
+
+  const RunResult result = run_simulation(cfg);
+  ASSERT_TRUE(result.terminated)
+      << protocol << " under " << cfg.delay.describe();
+  EXPECT_TRUE(result.decisions_consistent());
+}
+
+std::string delay_case_name(
+    const ::testing::TestParamInfo<std::tuple<std::string, int>>& info) {
+  static const char* kNames[] = {"constant", "uniform", "wide_normal", "exponential"};
+  std::string name = std::get<0>(info.param);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + "_" + kNames[std::get<1>(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DelayRobustness,
+    ::testing::Combine(::testing::Values("addv1", "addv2", "addv3", "algorand",
+                                         "asyncba", "pbft", "hotstuff-ns",
+                                         "librabft"),
+                       ::testing::Values(0, 1, 2, 3)),
+    delay_case_name);
+
+}  // namespace
+}  // namespace bftsim

@@ -1,0 +1,135 @@
+#include "protocols/add/add.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace bftsim {
+namespace {
+
+SimConfig add_config(const std::string& variant, std::uint64_t seed = 1,
+                     std::uint32_t n = 16) {
+  SimConfig cfg;
+  cfg.protocol = variant;
+  cfg.n = n;
+  cfg.lambda_ms = 1000;
+  cfg.delay = DelaySpec::normal(250, 50);
+  cfg.seed = seed;
+  cfg.max_time_ms = 300'000;
+  return cfg;
+}
+
+TEST(AddTest, AllVariantsDecideQuickly) {
+  for (const char* variant : {"addv1", "addv2", "addv3"}) {
+    const RunResult result = run_simulation(add_config(variant));
+    ASSERT_TRUE(result.terminated) << variant;
+    EXPECT_TRUE(result.decisions_consistent()) << variant;
+    // First iteration succeeds: a handful of λ-long rounds.
+    EXPECT_LT(result.latency_ms(), 5 * 1000.0) << variant;
+  }
+}
+
+TEST(AddTest, V2PaysOneExtraRoundForElection) {
+  const RunResult v1 = run_simulation(add_config("addv1"));
+  const RunResult v2 = run_simulation(add_config("addv2"));
+  ASSERT_TRUE(v1.terminated);
+  ASSERT_TRUE(v2.terminated);
+  EXPECT_NEAR(v2.latency_ms() - v1.latency_ms(), 1000.0, 300.0);
+}
+
+TEST(AddTest, LatencyScalesWithLambda) {
+  SimConfig big = add_config("addv1");
+  big.lambda_ms = 3000;
+  const RunResult fast = run_simulation(add_config("addv1"));
+  const RunResult slow = run_simulation(big);
+  ASSERT_TRUE(slow.terminated);
+  EXPECT_GT(slow.latency_ms(), 2.0 * fast.latency_ms());
+}
+
+TEST(AddTest, HonestMajorityFaultThreshold) {
+  // ADD+ tolerates f < n/2: with n = 16 up to 7 fail-stopped nodes.
+  SimConfig cfg = add_config("addv1");
+  cfg.honest = 9;
+  const RunResult result = run_simulation(cfg);
+  ASSERT_TRUE(result.terminated);
+  EXPECT_TRUE(result.decisions_consistent());
+}
+
+// --- Fig. 8 left: static attack ------------------------------------------------
+
+TEST(AddAttackTest, StaticAttackDelaysV1ByFIterations) {
+  SimConfig cfg = add_config("addv1");
+  cfg.attack = "add-static";
+  const RunResult attacked = run_simulation(cfg);
+  const RunResult clean = run_simulation(add_config("addv1"));
+  ASSERT_TRUE(attacked.terminated);
+  // f = 7 leaders fail-stopped: iterations 0..6 are silent (3λ each).
+  EXPECT_GT(attacked.latency_ms(), clean.latency_ms() + 7 * 3 * 1000.0 - 2000.0);
+  EXPECT_TRUE(attacked.decisions_consistent());
+}
+
+TEST(AddAttackTest, StaticAttackBarelyAffectsV2AndV3) {
+  for (const char* variant : {"addv2", "addv3"}) {
+    SimConfig cfg = add_config(variant);
+    cfg.attack = "add-static";
+    const RunResult attacked = run_simulation(cfg);
+    const RunResult clean = run_simulation(add_config(variant));
+    ASSERT_TRUE(attacked.terminated) << variant;
+    // VRF election: random corruption rarely hits consecutive leaders.
+    // Expected slowdown is a small constant number of iterations.
+    EXPECT_LT(attacked.latency_ms(), clean.latency_ms() + 3 * 4 * 1000.0)
+        << variant;
+  }
+}
+
+// --- Fig. 8 right: rushing adaptive attack --------------------------------------
+
+TEST(AddAttackTest, AdaptiveAttackCripplesV2) {
+  SimConfig cfg = add_config("addv2");
+  cfg.attack = "add-adaptive";
+  const RunResult attacked = run_simulation(cfg);
+  const RunResult clean = run_simulation(add_config("addv2"));
+  ASSERT_TRUE(attacked.terminated);
+  // The attacker corrupts each revealed leader until the budget (f = 7)
+  // is spent: at least ~7 wasted iterations of 4λ.
+  EXPECT_GT(attacked.latency_ms(), clean.latency_ms() + 7 * 4 * 1000.0 - 2000.0);
+}
+
+TEST(AddAttackTest, PrepareRoundMakesV3Immune) {
+  SimConfig cfg = add_config("addv3");
+  cfg.attack = "add-adaptive";
+  const RunResult attacked = run_simulation(cfg);
+  const RunResult clean = run_simulation(add_config("addv3"));
+  ASSERT_TRUE(attacked.terminated);
+  // Corruption always arrives after the winning proposal is in flight.
+  EXPECT_LT(attacked.latency_ms(), clean.latency_ms() + 1000.0);
+  EXPECT_TRUE(attacked.decisions_consistent());
+}
+
+TEST(AddAttackTest, AdaptiveCorruptionsRespectBudget) {
+  SimConfig cfg = add_config("addv2");
+  cfg.attack = "add-adaptive";
+  const RunResult result = run_simulation(cfg);
+  EXPECT_LE(result.corrupted.size(), 7u);  // f = (16-1)/2
+  EXPECT_GE(result.corrupted.size(), 5u);  // the attack did engage
+}
+
+class AddSweep : public ::testing::TestWithParam<
+                     std::tuple<std::string, std::uint32_t, std::uint64_t>> {};
+
+TEST_P(AddSweep, AgreementAndTermination) {
+  const auto& [variant, n, seed] = GetParam();
+  const RunResult result = run_simulation(add_config(variant, seed, n));
+  ASSERT_TRUE(result.terminated);
+  EXPECT_TRUE(result.decisions_consistent());
+  EXPECT_EQ(result.decisions.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AddSweep,
+    ::testing::Combine(::testing::Values("addv1", "addv2", "addv3"),
+                       ::testing::Values(5u, 9u, 16u),
+                       ::testing::Values(1ull, 2ull)));
+
+}  // namespace
+}  // namespace bftsim

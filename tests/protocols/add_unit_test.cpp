@@ -1,0 +1,207 @@
+// White-box unit tests of the ADD+ node: lock-step round scheduling,
+// leader determination per variant, vote/commit quorum edges, and the
+// credential mechanics the Fig. 8 attacks revolve around.
+#include "protocols/add/add.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/mock_context.hpp"
+
+namespace bftsim::add {
+namespace {
+
+using bftsim::testing::MockContext;
+
+constexpr std::uint32_t kN = 5;  // f = 2, quorum = f+1 = 3
+constexpr std::uint32_t kF = 2;
+constexpr Time kLambda = from_ms(1000);
+
+SimConfig config() {
+  SimConfig cfg;
+  cfg.protocol = "addv1";
+  cfg.n = kN;
+  cfg.lambda_ms = 1000;
+  return cfg;
+}
+
+TEST(AddUnitTest, V1LeaderProposesInRoundZero) {
+  MockContext ctx(0, kN, kF, kLambda);  // leader(iter 0) = 0
+  AddNode node(0, Variant::kV1, config());
+  node.on_start(ctx);
+  EXPECT_EQ(ctx.sent_of<AddPropose>().size(), 1u);
+}
+
+TEST(AddUnitTest, V1FollowerStaysQuietInRoundZero) {
+  MockContext ctx(1, kN, kF, kLambda);
+  AddNode node(1, Variant::kV1, config());
+  node.on_start(ctx);
+  EXPECT_TRUE(ctx.sent.empty());
+  // Lock-step rounds scheduled: 0..3 at multiples of λ.
+  ASSERT_GE(ctx.timers.size(), 4u);
+  EXPECT_EQ(ctx.timers[1].delay, kLambda);
+  EXPECT_EQ(ctx.timers[3].delay, 3 * kLambda);
+}
+
+TEST(AddUnitTest, V1FollowerVotesForLeaderProposalAtRoundOne) {
+  MockContext ctx(1, kN, kF, kLambda);
+  AddNode node(1, Variant::kV1, config());
+  node.on_start(ctx);
+  ctx.deliver(node, 0, std::make_shared<const AddPropose>(0, Value{77}));
+  ctx.advance_to(kLambda);
+  ctx.fire(node, ctx.timers[1]);  // vote round
+  const auto votes = ctx.sent_of<AddVote>();
+  ASSERT_EQ(votes.size(), 1u);
+  EXPECT_EQ(votes[0]->value, 77u);
+}
+
+TEST(AddUnitTest, V1NoVoteWithoutProposal) {
+  MockContext ctx(1, kN, kF, kLambda);
+  AddNode node(1, Variant::kV1, config());
+  node.on_start(ctx);
+  ctx.advance_to(kLambda);
+  ctx.fire(node, ctx.timers[1]);
+  EXPECT_TRUE(ctx.sent_of<AddVote>().empty());
+}
+
+TEST(AddUnitTest, V1IgnoresProposalFromNonLeader) {
+  MockContext ctx(1, kN, kF, kLambda);
+  AddNode node(1, Variant::kV1, config());
+  node.on_start(ctx);
+  ctx.deliver(node, 3, std::make_shared<const AddPropose>(0, Value{77}));
+  ctx.advance_to(kLambda);
+  ctx.fire(node, ctx.timers[1]);
+  EXPECT_TRUE(ctx.sent_of<AddVote>().empty());
+}
+
+TEST(AddUnitTest, CommitBroadcastExactlyAtVoteQuorum) {
+  MockContext ctx(1, kN, kF, kLambda);
+  AddNode node(1, Variant::kV1, config());
+  node.on_start(ctx);
+  ctx.deliver(node, 0, std::make_shared<const AddVote>(0, Value{5}));
+  ctx.deliver(node, 2, std::make_shared<const AddVote>(0, Value{5}));
+  EXPECT_TRUE(ctx.sent_of<AddCommit>().empty());
+  ctx.deliver(node, 3, std::make_shared<const AddVote>(0, Value{5}));  // f+1 = 3
+  EXPECT_EQ(ctx.sent_of<AddCommit>().size(), 1u);
+}
+
+TEST(AddUnitTest, DecidesAtCommitQuorumOnce) {
+  MockContext ctx(1, kN, kF, kLambda);
+  AddNode node(1, Variant::kV1, config());
+  node.on_start(ctx);
+  for (const NodeId src : {0u, 2u, 3u}) {
+    ctx.deliver(node, src, std::make_shared<const AddCommit>(0, Value{9}));
+  }
+  ASSERT_EQ(ctx.decisions.size(), 1u);
+  EXPECT_EQ(ctx.decisions[0], 9u);
+  // Further commits change nothing.
+  ctx.deliver(node, 4, std::make_shared<const AddCommit>(0, Value{9}));
+  EXPECT_EQ(ctx.decisions.size(), 1u);
+}
+
+TEST(AddUnitTest, V2BroadcastsElectCredentialAtIterationStart) {
+  MockContext ctx(2, kN, kF, kLambda);
+  AddNode node(2, Variant::kV2, config());
+  node.on_start(ctx);
+  const auto elects = ctx.sent_of<AddElect>();
+  ASSERT_EQ(elects.size(), 1u);
+  EXPECT_TRUE(ctx.vrf().verify(2, 0, elects[0]->credential));
+}
+
+TEST(AddUnitTest, V2MinCredentialWinnerProposes) {
+  // Find the minimum credential among nodes 0..4 for iteration 0, then
+  // drive that node: after the elect round it must propose.
+  MockContext probe(0, kN, kF, kLambda);
+  NodeId winner = 0;
+  std::uint64_t best = ~0ULL;
+  for (NodeId i = 0; i < kN; ++i) {
+    const auto out = probe.vrf().evaluate(i, 0);
+    if (out.value < best) {
+      best = out.value;
+      winner = i;
+    }
+  }
+
+  MockContext ctx(winner, kN, kF, kLambda);
+  AddNode node(winner, Variant::kV2, config());
+  node.on_start(ctx);
+  for (NodeId i = 0; i < kN; ++i) {
+    if (i == winner) continue;
+    ctx.deliver(node, i,
+                std::make_shared<const AddElect>(0, ctx.vrf().evaluate(i, 0)));
+  }
+  // Deliver own elect (broadcast includes self in the real run).
+  ctx.deliver(node, winner,
+              std::make_shared<const AddElect>(0, ctx.vrf().evaluate(winner, 0)));
+  ctx.advance_to(kLambda);
+  ctx.fire(node, ctx.timers[1]);  // propose round
+  EXPECT_EQ(ctx.sent_of<AddPropose>().size(), 1u);
+}
+
+TEST(AddUnitTest, V2RejectsForgedCredential) {
+  MockContext ctx(1, kN, kF, kLambda);
+  AddNode node(1, Variant::kV2, config());
+  node.on_start(ctx);
+  VrfOutput forged = ctx.vrf().evaluate(3, 0);
+  forged.value = 0;  // claim the minimum
+  ctx.deliver(node, 3, std::make_shared<const AddElect>(0, forged));
+  // Node 3's forged minimum must not be elected: when the proposal round
+  // comes, a proposal from 3 is not accepted as the leader's.
+  ctx.deliver(node, 3, std::make_shared<const AddPropose>(0, Value{66}));
+  ctx.advance_to(2 * kLambda);
+  ctx.fire(node, ctx.timers[2]);  // vote round
+  EXPECT_TRUE(ctx.sent_of<AddVote>().empty());
+}
+
+TEST(AddUnitTest, V3ProposesWithCredentialAttached) {
+  MockContext ctx(4, kN, kF, kLambda);
+  AddNode node(4, Variant::kV3, config());
+  node.on_start(ctx);
+  const auto proposals = ctx.sent_of<AddPropose>();
+  ASSERT_EQ(proposals.size(), 1u);
+  EXPECT_TRUE(proposals[0]->has_credential);
+  EXPECT_TRUE(ctx.vrf().verify(4, 0, proposals[0]->credential));
+}
+
+TEST(AddUnitTest, V3PreparesMinCredentialProposal) {
+  MockContext ctx(1, kN, kF, kLambda);
+  AddNode node(1, Variant::kV3, config());
+  node.on_start(ctx);
+  // Two competing proposals with genuine credentials.
+  ctx.deliver(node, 2,
+              std::make_shared<const AddPropose>(0, Value{22},
+                                                 ctx.vrf().evaluate(2, 0)));
+  ctx.deliver(node, 3,
+              std::make_shared<const AddPropose>(0, Value{33},
+                                                 ctx.vrf().evaluate(3, 0)));
+  const Value expected = ctx.vrf().evaluate(2, 0).value <
+                                 ctx.vrf().evaluate(3, 0).value
+                             ? 22
+                             : 33;
+  ctx.advance_to(kLambda);
+  ctx.fire(node, ctx.timers[1]);  // prepare round
+  const auto prepares = ctx.sent_of<AddPrepare>();
+  ASSERT_EQ(prepares.size(), 1u);
+  EXPECT_EQ(prepares[0]->value, expected);
+}
+
+TEST(AddUnitTest, LockedNodeRefusesConflictingVote) {
+  MockContext ctx(1, kN, kF, kLambda);
+  AddNode node(1, Variant::kV1, config());
+  node.on_start(ctx);
+  // Lock on value 5 via a vote quorum (commit broadcast sets the lock).
+  for (const NodeId src : {0u, 2u, 3u}) {
+    ctx.deliver(node, src, std::make_shared<const AddVote>(0, Value{5}));
+  }
+  ASSERT_EQ(ctx.sent_of<AddCommit>().size(), 1u);
+  ctx.clear_sent();
+  // Iteration 1 (leader = node 1 itself: 1 % 5): it must re-propose the
+  // locked value, not a fresh one.
+  ctx.advance_to(3 * kLambda);
+  ctx.fire(node, ctx.timers[3]);  // iteration end -> enter iteration 1
+  const auto proposals = ctx.sent_of<AddPropose>();
+  ASSERT_EQ(proposals.size(), 1u);
+  EXPECT_EQ(proposals[0]->value, 5u);
+}
+
+}  // namespace
+}  // namespace bftsim::add

@@ -1,0 +1,91 @@
+#include "protocols/algorand/algorand.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace bftsim {
+namespace {
+
+SimConfig algo_config(std::uint32_t n = 16, std::uint64_t seed = 1) {
+  SimConfig cfg;
+  cfg.protocol = "algorand";
+  cfg.n = n;
+  cfg.lambda_ms = 1000;
+  cfg.delay = DelaySpec::normal(250, 50);
+  cfg.seed = seed;
+  cfg.max_time_ms = 300'000;
+  return cfg;
+}
+
+TEST(AlgorandTest, DecidesInFirstPeriodUnderGoodNetwork) {
+  const RunResult result = run_simulation(algo_config());
+  ASSERT_TRUE(result.terminated);
+  EXPECT_TRUE(result.decisions_consistent());
+  // Soft votes go out at 2λ; cert quorum lands roughly two hops later.
+  EXPECT_GT(result.latency_ms(), 2000);
+  EXPECT_LT(result.latency_ms(), 4000);
+}
+
+TEST(AlgorandTest, LatencyScalesWithLambda) {
+  // Synchronous protocol: the 2λ soft-vote wait dominates (Fig. 4).
+  SimConfig big = algo_config();
+  big.lambda_ms = 3000;
+  const RunResult fast = run_simulation(algo_config());
+  const RunResult slow = run_simulation(big);
+  ASSERT_TRUE(fast.terminated);
+  ASSERT_TRUE(slow.terminated);
+  EXPECT_GT(slow.latency_ms(), fast.latency_ms() + 3000);
+}
+
+TEST(AlgorandTest, PartitionResilient) {
+  // The headline property (and why it is the only synchronous protocol in
+  // Fig. 6): after the partition heals, certificate-driven periods resume
+  // within a few λ.
+  SimConfig cfg = algo_config(16, 2);
+  cfg.attack = "partition";
+  json::Object params;
+  params["resolve_ms"] = 15'000.0;
+  params["mode"] = "drop";
+  cfg.attack_params = json::Value{std::move(params)};
+  const RunResult result = run_simulation(cfg);
+  ASSERT_TRUE(result.terminated);
+  EXPECT_TRUE(result.decisions_consistent());
+  EXPECT_GT(result.latency_ms(), 15'000);
+  EXPECT_LT(result.latency_ms(), 15'000 + 8'000);
+}
+
+TEST(AlgorandTest, ToleratesFailstops) {
+  SimConfig cfg = algo_config();
+  cfg.honest = 11;
+  const RunResult result = run_simulation(cfg);
+  ASSERT_TRUE(result.terminated);
+  EXPECT_TRUE(result.decisions_consistent());
+}
+
+TEST(AlgorandTest, CredentialForgeryIsRejected) {
+  // Verified through the VRF model: a forged credential fails verify() and
+  // is ignored by honest nodes; here we check the model-level property.
+  const Vrf vrf{123};
+  VrfOutput out = vrf.evaluate(0, 1);
+  out.value = 0;  // claim the minimum possible credential
+  EXPECT_FALSE(vrf.verify(0, 1, out));
+}
+
+class AlgorandSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint64_t>> {};
+
+TEST_P(AlgorandSweep, AgreementAndTermination) {
+  const auto [n, seed] = GetParam();
+  const RunResult result = run_simulation(algo_config(n, seed));
+  ASSERT_TRUE(result.terminated);
+  EXPECT_TRUE(result.decisions_consistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AlgorandSweep,
+    ::testing::Combine(::testing::Values(4u, 7u, 16u, 32u),
+                       ::testing::Values(1ull, 2ull, 3ull)));
+
+}  // namespace
+}  // namespace bftsim

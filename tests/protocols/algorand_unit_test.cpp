@@ -1,0 +1,166 @@
+// White-box unit tests of Algorand Agreement: period/step timing,
+// credential-based leader filtering, vote quorums and period advancement.
+#include "protocols/algorand/algorand.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/mock_context.hpp"
+
+namespace bftsim::algorand {
+namespace {
+
+using bftsim::testing::MockContext;
+
+constexpr std::uint32_t kN = 7;  // f = 2, quorum = 2f+1 = 5
+constexpr std::uint32_t kF = 2;
+constexpr Time kLambda = from_ms(1000);
+
+SimConfig config() {
+  SimConfig cfg;
+  cfg.protocol = "algorand";
+  cfg.n = kN;
+  cfg.lambda_ms = 1000;
+  return cfg;
+}
+
+struct Fixture {
+  Fixture() : ctx(0, kN, kF, kLambda), node(0, config()) {
+    node.on_start(ctx);
+  }
+
+  void deliver_proposal(NodeId src, std::uint64_t period, Value value) {
+    ctx.deliver(node, src,
+                std::make_shared<const AlgoProposal>(
+                    period, value, ctx.vrf().evaluate(src, period)));
+  }
+  void deliver_soft(NodeId src, std::uint64_t period, Value value) {
+    ctx.deliver(node, src, std::make_shared<const AlgoSoftVote>(period, value));
+  }
+  void deliver_cert(NodeId src, std::uint64_t period, Value value) {
+    ctx.deliver(node, src, std::make_shared<const AlgoCertVote>(period, value));
+  }
+  void deliver_next(NodeId src, std::uint64_t period, Value value) {
+    ctx.deliver(node, src, std::make_shared<const AlgoNextVote>(period, value));
+  }
+
+  MockContext ctx;
+  AlgorandNode node;
+};
+
+TEST(AlgorandUnitTest, ProposesWithCredentialOnStart) {
+  Fixture fx;
+  const auto proposals = fx.ctx.sent_of<AlgoProposal>();
+  ASSERT_EQ(proposals.size(), 1u);
+  EXPECT_EQ(proposals[0]->period, 1u);
+  EXPECT_TRUE(fx.ctx.vrf().verify(0, 1, proposals[0]->credential));
+  // Soft-vote timer at 2λ, next-vote timer at 4λ.
+  ASSERT_GE(fx.ctx.timers.size(), 2u);
+  EXPECT_EQ(fx.ctx.timers[0].delay, 2 * kLambda);
+  EXPECT_EQ(fx.ctx.timers[1].delay, 4 * kLambda);
+}
+
+TEST(AlgorandUnitTest, SoftVotesForMinimumCredentialProposal) {
+  Fixture fx;
+  fx.deliver_proposal(3, 1, 333);
+  fx.deliver_proposal(5, 1, 555);
+  const Value expected =
+      fx.ctx.vrf().evaluate(3, 1).value < fx.ctx.vrf().evaluate(5, 1).value
+          ? 333
+          : 555;
+  fx.ctx.advance_to(2 * kLambda);
+  fx.ctx.fire(fx.node, fx.ctx.timers[0]);
+  const auto softs = fx.ctx.sent_of<AlgoSoftVote>();
+  ASSERT_EQ(softs.size(), 1u);
+  EXPECT_EQ(softs[0]->value, expected);
+}
+
+TEST(AlgorandUnitTest, ForgedCredentialCannotWinElection) {
+  Fixture fx;
+  fx.deliver_proposal(3, 1, 333);
+  VrfOutput forged = fx.ctx.vrf().evaluate(5, 1);
+  forged.value = 0;  // forged minimum
+  fx.ctx.deliver(fx.node, 5,
+                 std::make_shared<const AlgoProposal>(1, Value{555}, forged));
+  fx.ctx.advance_to(2 * kLambda);
+  fx.ctx.fire(fx.node, fx.ctx.timers[0]);
+  const auto softs = fx.ctx.sent_of<AlgoSoftVote>();
+  ASSERT_EQ(softs.size(), 1u);
+  EXPECT_EQ(softs[0]->value, 333u);  // the forgery was discarded
+}
+
+TEST(AlgorandUnitTest, CertVotesOnSoftQuorum) {
+  Fixture fx;
+  for (const NodeId src : {1u, 2u, 3u, 4u}) fx.deliver_soft(src, 1, 99);
+  EXPECT_TRUE(fx.ctx.sent_of<AlgoCertVote>().empty());
+  fx.deliver_soft(5, 1, 99);  // 2f+1 = 5
+  EXPECT_EQ(fx.ctx.sent_of<AlgoCertVote>().size(), 1u);
+}
+
+TEST(AlgorandUnitTest, DecidesOnCertQuorumOnce) {
+  Fixture fx;
+  for (const NodeId src : {1u, 2u, 3u, 4u, 5u}) fx.deliver_cert(src, 1, 42);
+  ASSERT_EQ(fx.ctx.decisions.size(), 1u);
+  EXPECT_EQ(fx.ctx.decisions[0], 42u);
+  fx.deliver_cert(6, 1, 42);
+  EXPECT_EQ(fx.ctx.decisions.size(), 1u);
+}
+
+TEST(AlgorandUnitTest, NextVoteQuorumEntersNextPeriodWithValue) {
+  Fixture fx;
+  for (const NodeId src : {1u, 2u, 3u, 4u, 5u}) fx.deliver_next(src, 1, 77);
+  // Entered period 2 with starting value 77: the new proposal carries it.
+  const auto proposals = fx.ctx.sent_of<AlgoProposal>();
+  ASSERT_GE(proposals.size(), 2u);
+  EXPECT_EQ(proposals.back()->period, 2u);
+  EXPECT_EQ(proposals.back()->value, 77u);
+}
+
+TEST(AlgorandUnitTest, BottomNextVotesStartFreshPeriod) {
+  Fixture fx;
+  for (const NodeId src : {1u, 2u, 3u, 4u, 5u}) fx.deliver_next(src, 1, kBottom);
+  const auto proposals = fx.ctx.sent_of<AlgoProposal>();
+  ASSERT_GE(proposals.size(), 2u);
+  EXPECT_EQ(proposals.back()->period, 2u);
+  EXPECT_NE(proposals.back()->value, kBottom);  // fresh mint, not ⊥
+}
+
+TEST(AlgorandUnitTest, NextVoteAfterCertCarriesTheCertValue) {
+  Fixture fx;
+  for (const NodeId src : {1u, 2u, 3u, 4u, 5u}) fx.deliver_soft(src, 1, 99);
+  ASSERT_EQ(fx.ctx.sent_of<AlgoCertVote>().size(), 1u);
+  fx.ctx.advance_to(4 * kLambda);
+  fx.ctx.fire(fx.node, fx.ctx.timers[1]);  // next-vote timer
+  const auto nexts = fx.ctx.sent_of<AlgoNextVote>();
+  ASSERT_EQ(nexts.size(), 1u);
+  EXPECT_EQ(nexts[0]->value, 99u);
+}
+
+TEST(AlgorandUnitTest, RetransmissionKeepsPeriodAlive) {
+  Fixture fx;
+  fx.deliver_proposal(3, 1, 333);  // someone's proposal to soft-vote for
+  fx.ctx.advance_to(2 * kLambda);
+  fx.ctx.fire(fx.node, fx.ctx.timers[0]);  // soft vote
+  fx.ctx.advance_to(4 * kLambda);
+  fx.ctx.fire(fx.node, fx.ctx.timers[1]);  // next vote + repeat timer armed
+  fx.ctx.clear_sent();
+  const auto repeat = fx.ctx.timers.back();
+  fx.ctx.advance_to(6 * kLambda);
+  fx.ctx.fire(fx.node, repeat);
+  // The retransmission re-sends proposal, soft vote and next vote.
+  EXPECT_EQ(fx.ctx.sent_of<AlgoProposal>().size(), 1u);
+  EXPECT_EQ(fx.ctx.sent_of<AlgoSoftVote>().size(), 1u);
+  EXPECT_EQ(fx.ctx.sent_of<AlgoNextVote>().size(), 1u);
+}
+
+TEST(AlgorandUnitTest, StaleTimersFromOldPeriodsAreIgnored) {
+  Fixture fx;
+  const auto old_soft = fx.ctx.timers[0];
+  for (const NodeId src : {1u, 2u, 3u, 4u, 5u}) fx.deliver_next(src, 1, 77);
+  fx.ctx.clear_sent();
+  fx.ctx.advance_to(2 * kLambda);
+  fx.ctx.fire(fx.node, old_soft);  // period-1 timer in period 2
+  EXPECT_TRUE(fx.ctx.sent_of<AlgoSoftVote>().empty());
+}
+
+}  // namespace
+}  // namespace bftsim::algorand

@@ -1,0 +1,102 @@
+#include "protocols/asyncba/asyncba.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace bftsim {
+namespace {
+
+SimConfig ba_config(const std::string& input = "ones", std::uint32_t n = 16,
+                    std::uint64_t seed = 1) {
+  SimConfig cfg;
+  cfg.protocol = "asyncba";
+  cfg.n = n;
+  cfg.lambda_ms = 1000;
+  cfg.delay = DelaySpec::normal(250, 50);
+  cfg.seed = seed;
+  cfg.max_time_ms = 300'000;
+  json::Object params;
+  params["input"] = input;
+  cfg.protocol_params = json::Value{std::move(params)};
+  return cfg;
+}
+
+TEST(AsyncBaTest, UnanimousOnesDecideOne) {
+  const RunResult result = run_simulation(ba_config("ones"));
+  ASSERT_TRUE(result.terminated);
+  for (const Decision& d : result.decisions) EXPECT_EQ(d.value, 1u);
+}
+
+TEST(AsyncBaTest, UnanimousZerosDecideZero) {
+  // Validity: if all honest nodes propose v, the decision is v.
+  const RunResult result = run_simulation(ba_config("zeros"));
+  ASSERT_TRUE(result.terminated);
+  for (const Decision& d : result.decisions) EXPECT_EQ(d.value, 0u);
+}
+
+TEST(AsyncBaTest, SplitInputsStillAgree) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    const RunResult result = run_simulation(ba_config("split", 16, seed));
+    ASSERT_TRUE(result.terminated) << "seed " << seed;
+    EXPECT_TRUE(result.decisions_consistent()) << "seed " << seed;
+    for (const Decision& d : result.decisions) EXPECT_LE(d.value, 1u);
+  }
+}
+
+TEST(AsyncBaTest, RandomInputsAgreeAcrossSeeds) {
+  for (const std::uint64_t seed : {10ull, 11ull, 12ull}) {
+    const RunResult result = run_simulation(ba_config("random", 10, seed));
+    ASSERT_TRUE(result.terminated) << "seed " << seed;
+    EXPECT_TRUE(result.decisions_consistent()) << "seed " << seed;
+  }
+}
+
+TEST(AsyncBaTest, IgnoresLambdaEntirely) {
+  // Async BA has no timeouts: changing λ cannot change the decision time
+  // (Fig. 4's flat line). Retransmission timers exist but fire after the
+  // happy-path decision.
+  SimConfig a = ba_config();
+  a.lambda_ms = 1000;
+  SimConfig b = ba_config();
+  b.lambda_ms = 3000;
+  const RunResult ra = run_simulation(a);
+  const RunResult rb = run_simulation(b);
+  ASSERT_TRUE(ra.terminated);
+  ASSERT_TRUE(rb.terminated);
+  EXPECT_EQ(ra.termination_time, rb.termination_time);
+}
+
+TEST(AsyncBaTest, ToleratesMaxFailstops) {
+  SimConfig cfg = ba_config("ones");
+  cfg.honest = 11;  // f = 5
+  const RunResult result = run_simulation(cfg);
+  ASSERT_TRUE(result.terminated);
+  EXPECT_TRUE(result.decisions_consistent());
+}
+
+TEST(AsyncBaTest, MessageHeavyByDesign) {
+  // n parallel reliable broadcasts cost O(n^3) messages per step; at n=16
+  // a run is tens of thousands of messages — the Fig. 3b outlier.
+  const RunResult result = run_simulation(ba_config());
+  ASSERT_TRUE(result.terminated);
+  EXPECT_GT(result.messages_sent, 10'000u);
+}
+
+class AsyncBaSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint64_t>> {};
+
+TEST_P(AsyncBaSweep, AgreementAndTermination) {
+  const auto [n, seed] = GetParam();
+  const RunResult result = run_simulation(ba_config("split", n, seed));
+  ASSERT_TRUE(result.terminated);
+  EXPECT_TRUE(result.decisions_consistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AsyncBaSweep,
+    ::testing::Combine(::testing::Values(4u, 7u, 10u, 16u),
+                       ::testing::Values(1ull, 2ull)));
+
+}  // namespace
+}  // namespace bftsim

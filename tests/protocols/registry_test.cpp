@@ -1,0 +1,82 @@
+#include "protocols/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace bftsim {
+namespace {
+
+TEST(RegistryTest, AllEightBuiltinsRegistered) {
+  auto& reg = ProtocolRegistry::instance();
+  for (const char* name : {"addv1", "addv2", "addv3", "algorand", "asyncba",
+                           "pbft", "hotstuff-ns", "librabft"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+  }
+}
+
+TEST(RegistryTest, NetworkModelsMatchTableOne) {
+  auto& reg = ProtocolRegistry::instance();
+  EXPECT_EQ(reg.get("addv1").model, NetModel::kSync);
+  EXPECT_EQ(reg.get("addv2").model, NetModel::kSync);
+  EXPECT_EQ(reg.get("addv3").model, NetModel::kSync);
+  EXPECT_EQ(reg.get("algorand").model, NetModel::kSync);
+  EXPECT_EQ(reg.get("asyncba").model, NetModel::kAsync);
+  EXPECT_EQ(reg.get("pbft").model, NetModel::kPartialSync);
+  EXPECT_EQ(reg.get("hotstuff-ns").model, NetModel::kPartialSync);
+  EXPECT_EQ(reg.get("librabft").model, NetModel::kPartialSync);
+}
+
+TEST(RegistryTest, FaultThresholds) {
+  auto& reg = ProtocolRegistry::instance();
+  EXPECT_EQ(reg.get("pbft").fault_threshold(16), 5u);    // f < n/3
+  EXPECT_EQ(reg.get("addv1").fault_threshold(16), 7u);   // f < n/2
+  EXPECT_EQ(reg.get("pbft").fault_threshold(4), 1u);
+  EXPECT_EQ(reg.get("addv1").fault_threshold(3), 1u);
+}
+
+TEST(RegistryTest, PipelinedProtocolsMeasureTenDecisions) {
+  auto& reg = ProtocolRegistry::instance();
+  EXPECT_EQ(reg.get("hotstuff-ns").measured_decisions, 10u);
+  EXPECT_EQ(reg.get("librabft").measured_decisions, 10u);
+  EXPECT_EQ(reg.get("pbft").measured_decisions, 1u);
+  EXPECT_EQ(reg.get("algorand").measured_decisions, 1u);
+}
+
+TEST(RegistryTest, UnknownProtocolThrows) {
+  EXPECT_THROW((void)ProtocolRegistry::instance().get("nope"),
+               std::invalid_argument);
+  EXPECT_FALSE(ProtocolRegistry::instance().contains("nope"));
+}
+
+TEST(RegistryTest, DuplicateRegistrationThrows) {
+  auto& reg = ProtocolRegistry::instance();
+  ProtocolInfo dup = reg.get("pbft");
+  EXPECT_THROW(reg.add(dup), std::invalid_argument);
+}
+
+TEST(RegistryTest, FactoriesProduceNodes) {
+  auto& reg = ProtocolRegistry::instance();
+  SimConfig cfg;
+  for (const std::string& name : {std::string("pbft"), std::string("addv3")}) {
+    cfg.protocol = name;
+    const auto node = reg.get(name).create(0, cfg);
+    EXPECT_NE(node, nullptr) << name;
+  }
+}
+
+TEST(RegistryTest, NamesListedInRegistrationOrder) {
+  const auto names = ProtocolRegistry::instance().names();
+  ASSERT_GE(names.size(), 8u);
+  EXPECT_EQ(names[0], "addv1");
+  EXPECT_EQ(names[5], "pbft");
+}
+
+TEST(RegistryTest, NetModelNames) {
+  EXPECT_EQ(to_string(NetModel::kSync), "synchronous");
+  EXPECT_EQ(to_string(NetModel::kPartialSync), "partially-synchronous");
+  EXPECT_EQ(to_string(NetModel::kAsync), "asynchronous");
+}
+
+}  // namespace
+}  // namespace bftsim

@@ -1,0 +1,164 @@
+// White-box unit tests of the Sync HotStuff node: the 2Δ commit timer,
+// equivocation detection via echoed proposals, blame/quit-view mechanics
+// and the view-change resync from the committed frontier.
+#include "protocols/synchotstuff/synchotstuff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/mock_context.hpp"
+
+namespace bftsim::synchotstuff {
+namespace {
+
+using bftsim::testing::MockContext;
+
+constexpr std::uint32_t kN = 5;  // f = 2, quorum = f+1 = 3
+constexpr std::uint32_t kF = 2;
+constexpr Time kLambda = from_ms(1000);
+
+SimConfig config() {
+  SimConfig cfg;
+  cfg.protocol = "sync-hotstuff";
+  cfg.n = kN;
+  cfg.lambda_ms = 1000;
+  return cfg;
+}
+
+struct Fixture {
+  explicit Fixture(NodeId id = 1) : ctx(id, kN, kF, kLambda), node(id, config()) {
+    node.on_start(ctx);
+    ctx.clear_sent();
+  }
+
+  std::shared_ptr<const ShsProposal> proposal(NodeId leader, std::uint64_t height,
+                                              View view, Value value) {
+    return std::make_shared<const ShsProposal>(
+        height, view, value,
+        ctx.signer().sign(leader, hash_words({0x5348ULL, height, view, value})));
+  }
+  std::shared_ptr<const ShsBlame> blame(NodeId src, View view) {
+    return std::make_shared<const ShsBlame>(
+        view, ctx.signer().sign(src, hash_words({0x5342ULL, view})));
+  }
+
+  MockContext ctx;
+  SyncHotStuffNode node;
+};
+
+TEST(SyncHsUnitTest, VotesAndArmsCommitTimer) {
+  Fixture fx;
+  fx.ctx.deliver(fx.node, 0, fx.proposal(0, 0, 0, 42));
+  EXPECT_EQ(fx.ctx.sent_of<ShsVote>().size(), 1u);
+  // Commit timer 2Δ + echo of the proposal were produced.
+  bool has_commit_timer = false;
+  for (const auto& timer : fx.ctx.timers) {
+    if (timer.delay == SyncHotStuffNode::kCommitFactor * kLambda) {
+      has_commit_timer = true;
+    }
+  }
+  EXPECT_TRUE(has_commit_timer);
+  EXPECT_EQ(fx.ctx.sent_of<ShsProposal>().size(), 1u);  // the echo
+}
+
+TEST(SyncHsUnitTest, CommitTimerCommitsWithoutEquivocation) {
+  Fixture fx;
+  fx.ctx.deliver(fx.node, 0, fx.proposal(0, 0, 0, 42));
+  const auto timer = fx.ctx.timers.back();  // the 2Δ commit timer
+  fx.ctx.advance_to(timer.delay);
+  fx.ctx.fire(fx.node, timer);
+  ASSERT_EQ(fx.ctx.decisions.size(), 1u);
+  EXPECT_EQ(fx.ctx.decisions[0], 42u);
+}
+
+TEST(SyncHsUnitTest, EquivocationCancelsCommitAndBlames) {
+  Fixture fx;
+  fx.ctx.deliver(fx.node, 0, fx.proposal(0, 0, 0, 42));
+  const auto commit_timer = fx.ctx.timers.back();
+  // The conflicting proposal arrives (via echo from node 3).
+  fx.ctx.deliver(fx.node, 3, fx.proposal(0, 0, 0, 99));
+  EXPECT_EQ(fx.ctx.sent_of<ShsBlame>().size(), 1u);
+  EXPECT_FALSE(fx.ctx.cancelled.empty());
+  // Even if the (cancelled) timer were mistakenly fired, nothing commits.
+  fx.ctx.advance_to(commit_timer.delay);
+  fx.ctx.fire(fx.node, commit_timer);
+  EXPECT_TRUE(fx.ctx.decisions.empty());
+}
+
+TEST(SyncHsUnitTest, ForeignSignatureCannotEquivocate) {
+  Fixture fx;
+  fx.ctx.deliver(fx.node, 0, fx.proposal(0, 0, 0, 42));
+  // A proposal "from the leader" signed by someone else is discarded.
+  auto forged = std::make_shared<const ShsProposal>(
+      0, 0, Value{99},
+      fx.ctx.signer().sign(3, hash_words({0x5348ULL, 0ULL, 0ULL, 99ULL})));
+  fx.ctx.deliver(fx.node, 3, forged);
+  EXPECT_TRUE(fx.ctx.sent_of<ShsBlame>().empty());
+}
+
+TEST(SyncHsUnitTest, BlameTimerFiresAfterThreeDelta) {
+  Fixture fx;
+  const auto blame_timer = fx.ctx.timers.front();
+  EXPECT_EQ(blame_timer.delay, SyncHotStuffNode::kBlameFactor * kLambda);
+  fx.ctx.advance_to(blame_timer.delay);
+  fx.ctx.fire(fx.node, blame_timer);
+  EXPECT_EQ(fx.ctx.sent_of<ShsBlame>().size(), 1u);
+}
+
+TEST(SyncHsUnitTest, BlameQuorumEntersNextView) {
+  Fixture fx;
+  fx.ctx.deliver(fx.node, 0, fx.blame(0, 0));
+  fx.ctx.deliver(fx.node, 2, fx.blame(2, 0));
+  EXPECT_EQ(fx.ctx.views.back(), 0u);
+  fx.ctx.deliver(fx.node, 3, fx.blame(3, 0));  // f+1 = 3
+  EXPECT_EQ(fx.ctx.views.back(), 1u);
+  // New leader (view 1 = this node) proposes from the committed frontier.
+  const auto proposals = fx.ctx.sent_of<ShsProposal>();
+  ASSERT_EQ(proposals.size(), 1u);
+  EXPECT_EQ(proposals[0]->height, 0u);
+  EXPECT_EQ(proposals[0]->view, 1u);
+}
+
+TEST(SyncHsUnitTest, ViewChangeDiscardsUncommittedPrefix) {
+  Fixture fx;
+  // Vote height 0 (uncommitted), then a blame quorum forces view 1.
+  fx.ctx.deliver(fx.node, 0, fx.proposal(0, 0, 0, 42));
+  for (const NodeId src : {0u, 2u, 3u}) {
+    fx.ctx.deliver(fx.node, src, fx.blame(src, 0));
+  }
+  fx.ctx.clear_sent();
+  // In view 1 this node leads and re-proposes height 0 — the provisional
+  // height-0 block from view 0 was discarded, and the node re-votes.
+  fx.ctx.deliver(fx.node, 1, fx.proposal(1, 0, 1, 77));
+  EXPECT_EQ(fx.ctx.sent_of<ShsVote>().size(), 1u);
+  const auto timer = fx.ctx.timers.back();
+  fx.ctx.advance_to(fx.ctx.now() + timer.delay);
+  fx.ctx.fire(fx.node, timer);
+  ASSERT_EQ(fx.ctx.decisions.size(), 1u);
+  EXPECT_EQ(fx.ctx.decisions[0], 77u);  // the view-1 value, not 42
+}
+
+TEST(SyncHsUnitTest, VoteQuorumLetsLeaderPipelineNextHeight) {
+  Fixture fx{0};  // node 0 leads view 0
+  // It proposed height 0 at start; feed it f+1 votes for that block.
+  fx.ctx.deliver(fx.node, 0, fx.proposal(0, 0, 0, 0));  // self proposal echo:
+  // (the mock does not self-deliver broadcasts, so deliver it explicitly
+  // to make the node vote and advance next_height_)
+  auto vote = [&](NodeId src, Value v) {
+    return std::make_shared<const ShsVote>(
+        0, 0, v, fx.ctx.signer().sign(src, hash_words({0x5356ULL, 0ULL, 0ULL,
+                                                       static_cast<Value>(v)})));
+  };
+  const Value value = fx.ctx.sent_of<ShsVote>().empty()
+                          ? 0
+                          : fx.ctx.sent_of<ShsVote>()[0]->value;
+  fx.ctx.clear_sent();
+  fx.ctx.deliver(fx.node, 1, vote(1, value));
+  fx.ctx.deliver(fx.node, 2, vote(2, value));
+  fx.ctx.deliver(fx.node, 3, vote(3, value));
+  const auto proposals = fx.ctx.sent_of<ShsProposal>();
+  ASSERT_EQ(proposals.size(), 1u);
+  EXPECT_EQ(proposals[0]->height, 1u);  // pipelined next height
+}
+
+}  // namespace
+}  // namespace bftsim::synchotstuff

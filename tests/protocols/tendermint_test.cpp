@@ -1,0 +1,109 @@
+#include "protocols/tendermint/tendermint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace bftsim {
+namespace {
+
+SimConfig tm_config(std::uint32_t n = 16, std::uint64_t seed = 1) {
+  SimConfig cfg;
+  cfg.protocol = "tendermint";
+  cfg.n = n;
+  cfg.lambda_ms = 1000;
+  cfg.delay = DelaySpec::normal(250, 50);
+  cfg.seed = seed;
+  cfg.max_time_ms = 300'000;
+  return cfg;
+}
+
+TEST(TendermintTest, DecidesFirstHeightInRoundZero) {
+  const RunResult result = run_simulation(tm_config());
+  ASSERT_TRUE(result.terminated);
+  EXPECT_TRUE(result.decisions_consistent());
+  // propose + prevote + precommit: three one-way hops, like PBFT.
+  EXPECT_GT(result.latency_ms(), 400);
+  EXPECT_LT(result.latency_ms(), 2000);
+}
+
+TEST(TendermintTest, MultipleHeightsRotateProposers) {
+  SimConfig cfg = tm_config();
+  cfg.decisions = 4;
+  const RunResult result = run_simulation(cfg);
+  ASSERT_TRUE(result.terminated);
+  EXPECT_TRUE(result.decisions_consistent());
+  // Values are minted per (height, round, proposer); consecutive heights
+  // use different proposers, so decided values must differ.
+  Value prev = kBottom;
+  for (const Decision& d : result.decisions) {
+    if (d.node != result.honest.front()) continue;
+    EXPECT_NE(d.value, prev);
+    prev = d.value;
+  }
+}
+
+TEST(TendermintTest, SilentProposersCostLinearlyGrowingRounds) {
+  SimConfig cfg = tm_config(16, 3);
+  cfg.honest = 11;  // f = 5: some rounds have dead proposers
+  cfg.decisions = 2;
+  const RunResult result = run_simulation(cfg);
+  ASSERT_TRUE(result.terminated);
+  EXPECT_TRUE(result.decisions_consistent());
+}
+
+TEST(TendermintTest, NilPrevoteQuorumShortcutsTheRound) {
+  // With a dead proposer everyone prevotes nil after timeout_propose; the
+  // nil quorum lets replicas precommit nil without waiting a second
+  // timeout, so a full dead round costs about one timeout, not three.
+  SimConfig cfg = tm_config(16, 5);
+  cfg.honest = 11;
+  const RunResult result = run_simulation(cfg);
+  ASSERT_TRUE(result.terminated);
+  // Never slower than a few rounds even when leaders are dead.
+  EXPECT_LT(result.latency_ms(), 30'000);
+}
+
+TEST(TendermintTest, ResponsiveToOverestimatedLambda) {
+  SimConfig fast = tm_config();
+  SimConfig slow = tm_config();
+  slow.lambda_ms = 3000;
+  const RunResult a = run_simulation(fast);
+  const RunResult b = run_simulation(slow);
+  ASSERT_TRUE(a.terminated);
+  ASSERT_TRUE(b.terminated);
+  EXPECT_EQ(a.termination_time, b.termination_time);  // no timeout fired
+}
+
+TEST(TendermintTest, LocksPreventConflictingDecisions) {
+  // Sweep seeds with maximum fail-stop load: rounds churn, locks engage,
+  // and agreement must hold every time.
+  for (const std::uint64_t seed : {7ull, 8ull, 9ull, 10ull, 11ull}) {
+    SimConfig cfg = tm_config(16, seed);
+    cfg.honest = 11;
+    cfg.decisions = 2;
+    const RunResult result = run_simulation(cfg);
+    ASSERT_TRUE(result.terminated) << "seed " << seed;
+    EXPECT_TRUE(result.decisions_consistent()) << "seed " << seed;
+  }
+}
+
+class TendermintSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint64_t>> {};
+
+TEST_P(TendermintSweep, AgreementAndTermination) {
+  const auto [n, seed] = GetParam();
+  SimConfig cfg = tm_config(n, seed);
+  cfg.decisions = 2;
+  const RunResult result = run_simulation(cfg);
+  ASSERT_TRUE(result.terminated);
+  EXPECT_TRUE(result.decisions_consistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TendermintSweep,
+    ::testing::Combine(::testing::Values(4u, 7u, 16u, 32u),
+                       ::testing::Values(1ull, 2ull, 3ull)));
+
+}  // namespace
+}  // namespace bftsim

@@ -1,0 +1,172 @@
+// White-box unit tests of the Tendermint node: step transitions, nil
+// voting, locking rules and round advancement.
+#include "protocols/tendermint/tendermint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/mock_context.hpp"
+
+namespace bftsim::tendermint {
+namespace {
+
+using bftsim::testing::MockContext;
+
+constexpr std::uint32_t kN = 4;  // f = 1, quorum = 3
+constexpr Time kLambda = from_ms(1000);
+
+SimConfig config() {
+  SimConfig cfg;
+  cfg.protocol = "tendermint";
+  cfg.n = kN;
+  cfg.lambda_ms = 1000;
+  return cfg;
+}
+
+struct Fixture {
+  explicit Fixture(NodeId id = 1) : ctx(id, kN, 1, kLambda), node(id, config()) {
+    node.on_start(ctx);
+  }
+
+  std::shared_ptr<const TmProposal> proposal(NodeId proposer, std::uint64_t round,
+                                             Value value,
+                                             std::int64_t valid_round = -1) {
+    return std::make_shared<const TmProposal>(
+        0, round, value, valid_round,
+        ctx.signer().sign(proposer,
+                          hash_words({0x5450ULL, 0ULL, round, value,
+                                      static_cast<std::uint64_t>(valid_round)})));
+  }
+  std::shared_ptr<const TmPrevote> prevote(NodeId voter, std::uint64_t round,
+                                           Value value) {
+    return std::make_shared<const TmPrevote>(
+        0, round, value,
+        ctx.signer().sign(voter, hash_words({0x5456ULL, 0ULL, round, value})));
+  }
+  std::shared_ptr<const TmPrecommit> precommit(NodeId voter, std::uint64_t round,
+                                               Value value) {
+    return std::make_shared<const TmPrecommit>(
+        0, round, value,
+        ctx.signer().sign(voter, hash_words({0x5443ULL, 0ULL, round, value})));
+  }
+
+  MockContext ctx;
+  TendermintNode node;
+};
+
+TEST(TendermintUnitTest, ProposerOfHeightZeroRoundZeroProposes) {
+  Fixture fx{0};  // proposer(h=0, r=0) = 0
+  const auto proposals = fx.ctx.sent_of<TmProposal>();
+  ASSERT_EQ(proposals.size(), 1u);
+  EXPECT_EQ(proposals[0]->round, 0u);
+  EXPECT_EQ(proposals[0]->valid_round, -1);
+}
+
+TEST(TendermintUnitTest, FollowerPrevotesValidProposal) {
+  Fixture fx;
+  fx.ctx.deliver(fx.node, 0, fx.proposal(0, 0, 42));
+  const auto prevotes = fx.ctx.sent_of<TmPrevote>();
+  ASSERT_EQ(prevotes.size(), 1u);
+  EXPECT_EQ(prevotes[0]->value, 42u);
+}
+
+TEST(TendermintUnitTest, RejectsProposalFromWrongProposer) {
+  Fixture fx;
+  fx.ctx.deliver(fx.node, 2, fx.proposal(2, 0, 42));  // proposer(0,0) = 0
+  EXPECT_TRUE(fx.ctx.sent_of<TmPrevote>().empty());
+}
+
+TEST(TendermintUnitTest, ProposeTimeoutPrevotesNil) {
+  Fixture fx;
+  ASSERT_FALSE(fx.ctx.timers.empty());
+  const auto timer = fx.ctx.timers[0];
+  EXPECT_EQ(timer.delay, TendermintNode::kInitialFactor * kLambda);
+  fx.ctx.advance_to(timer.delay);
+  fx.ctx.fire(fx.node, timer);
+  const auto prevotes = fx.ctx.sent_of<TmPrevote>();
+  ASSERT_EQ(prevotes.size(), 1u);
+  EXPECT_EQ(prevotes[0]->value, kBottom);
+}
+
+TEST(TendermintUnitTest, TimeoutsGrowLinearlyWithRound) {
+  Fixture fx;
+  // Drive round 0 to a nil finish: nil prevote quorum, then nil precommit
+  // quorum advances to round 1 whose propose timeout is initial + Δ/2.
+  fx.ctx.advance_to(fx.ctx.timers[0].delay);
+  fx.ctx.fire(fx.node, fx.ctx.timers[0]);  // prevote nil
+  for (const NodeId src : {0u, 2u, 3u}) {
+    fx.ctx.deliver(fx.node, src, fx.prevote(src, 0, kBottom));
+  }
+  for (const NodeId src : {0u, 2u, 3u}) {
+    fx.ctx.deliver(fx.node, src, fx.precommit(src, 0, kBottom));
+  }
+  // Round 1's propose timer is the most recent one.
+  const auto timer = fx.ctx.timers.back();
+  EXPECT_EQ(timer.delay,
+            TendermintNode::kInitialFactor * kLambda + kLambda / 2);
+}
+
+TEST(TendermintUnitTest, PrevoteQuorumTriggersPrecommitAndLock) {
+  Fixture fx;
+  fx.ctx.deliver(fx.node, 0, fx.proposal(0, 0, 42));
+  for (const NodeId src : {0u, 2u, 3u}) {
+    fx.ctx.deliver(fx.node, src, fx.prevote(src, 0, 42));
+  }
+  const auto precommits = fx.ctx.sent_of<TmPrecommit>();
+  ASSERT_EQ(precommits.size(), 1u);
+  EXPECT_EQ(precommits[0]->value, 42u);
+}
+
+TEST(TendermintUnitTest, LockedNodePrevotesNilAgainstFreshConflict) {
+  Fixture fx;
+  // Lock on 42 in round 0.
+  fx.ctx.deliver(fx.node, 0, fx.proposal(0, 0, 42));
+  for (const NodeId src : {0u, 2u, 3u}) {
+    fx.ctx.deliver(fx.node, src, fx.prevote(src, 0, 42));
+  }
+  // Move to round 1 via mixed precommits (no decision).
+  for (const NodeId src : {0u, 2u, 3u}) {
+    fx.ctx.deliver(fx.node, src, fx.precommit(src, 0, kBottom));
+  }
+  fx.ctx.clear_sent();
+  // Round 1's proposer (h+r = 1 -> node 1 itself? proposer(0,1)=1). Use a
+  // fresh conflicting proposal from the right proposer for round 2 = node 2.
+  for (const NodeId src : {0u, 2u, 3u}) {
+    fx.ctx.deliver(fx.node, src, fx.precommit(src, 1, kBottom));
+  }
+  fx.ctx.clear_sent();
+  fx.ctx.deliver(fx.node, 2, fx.proposal(2, 2, 99));  // fresh, conflicts lock
+  const auto prevotes = fx.ctx.sent_of<TmPrevote>();
+  ASSERT_EQ(prevotes.size(), 1u);
+  EXPECT_EQ(prevotes[0]->value, kBottom);  // refuses: locked on 42
+}
+
+TEST(TendermintUnitTest, DecidesOnPrecommitQuorum) {
+  Fixture fx;
+  for (const NodeId src : {0u, 2u, 3u}) {
+    fx.ctx.deliver(fx.node, src, fx.precommit(src, 0, 42));
+  }
+  ASSERT_EQ(fx.ctx.decisions.size(), 1u);
+  EXPECT_EQ(fx.ctx.decisions[0], 42u);
+  // Next height started: a fresh propose timer was armed.
+  EXPECT_GE(fx.ctx.timers.size(), 2u);
+}
+
+TEST(TendermintUnitTest, MessagesFromOtherHeightsIgnored) {
+  Fixture fx;
+  auto foreign = std::make_shared<const TmPrecommit>(
+      5, 0, 42,
+      fx.ctx.signer().sign(0, hash_words({0x5443ULL, 5ULL, 0ULL, 42ULL})));
+  fx.ctx.deliver(fx.node, 0, foreign);
+  auto foreign2 = std::make_shared<const TmPrecommit>(
+      5, 0, 42,
+      fx.ctx.signer().sign(2, hash_words({0x5443ULL, 5ULL, 0ULL, 42ULL})));
+  fx.ctx.deliver(fx.node, 2, foreign2);
+  auto foreign3 = std::make_shared<const TmPrecommit>(
+      5, 0, 42,
+      fx.ctx.signer().sign(3, hash_words({0x5443ULL, 5ULL, 0ULL, 42ULL})));
+  fx.ctx.deliver(fx.node, 3, foreign3);
+  EXPECT_TRUE(fx.ctx.decisions.empty());
+}
+
+}  // namespace
+}  // namespace bftsim::tendermint

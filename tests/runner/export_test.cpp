@@ -1,0 +1,90 @@
+#include "runner/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "sim/simulation.hpp"
+
+namespace bftsim {
+namespace {
+
+RunResult sample_run(bool record_views = false) {
+  SimConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.n = 8;
+  cfg.lambda_ms = 1000;
+  cfg.delay = DelaySpec::normal(250, 50);
+  cfg.seed = 5;
+  cfg.record_views = record_views;
+  return run_simulation(cfg);
+}
+
+TEST(ExportTest, ResultJsonCarriesTheMetrics) {
+  const RunResult result = sample_run();
+  const json::Value v = result_to_json(result);
+  EXPECT_TRUE(v.get_bool("terminated", false));
+  EXPECT_TRUE(v.get_bool("safety_consistent", false));
+  EXPECT_NEAR(v.get_number("termination_ms", 0), result.latency_ms(), 1e-9);
+  EXPECT_EQ(v.get_int("messages_sent", 0),
+            static_cast<std::int64_t>(result.messages_sent));
+  EXPECT_GT(v.get_int("bytes_sent", 0), 0);
+  EXPECT_EQ(v.as_object().at("decisions").as_array().size(),
+            result.decisions.size());
+  EXPECT_FALSE(v.as_object().contains("views"));
+}
+
+TEST(ExportTest, ViewsIncludedOnRequest) {
+  const RunResult result = sample_run(true);
+  const json::Value v = result_to_json(result, /*include_views=*/true);
+  ASSERT_TRUE(v.as_object().contains("views"));
+  EXPECT_EQ(v.as_object().at("views").as_array().size(), result.views.size());
+}
+
+TEST(ExportTest, NonTerminatedRunHasNullTermination) {
+  SimConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.n = 8;
+  cfg.max_time_ms = 1;  // nothing decides in 1 ms
+  const json::Value v = result_to_json(run_simulation(cfg));
+  EXPECT_FALSE(v.get_bool("terminated", true));
+  EXPECT_TRUE(v.as_object().at("termination_ms").is_null());
+}
+
+TEST(ExportTest, JsonIsReparsable) {
+  const json::Value v = result_to_json(sample_run());
+  const json::Value again = json::parse(v.dump(2));
+  EXPECT_EQ(again.dump(), v.dump());
+}
+
+TEST(ExportTest, AggregateJson) {
+  SimConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.n = 8;
+  cfg.delay = DelaySpec::normal(250, 50);
+  const Aggregate agg = run_repeated(cfg, 4);
+  const json::Value v = aggregate_to_json(agg);
+  EXPECT_EQ(v.get_int("runs", 0), 4);
+  EXPECT_EQ(v.get_int("timeouts", -1), 0);
+  const json::Value& latency = v.as_object().at("latency_ms");
+  EXPECT_EQ(latency.get_int("count", 0), 4);
+  EXPECT_GT(latency.get_number("mean", 0), 0.0);
+  EXPECT_LE(latency.get_number("min", 0), latency.get_number("max", 1e18));
+}
+
+TEST(ExportTest, WriteJsonFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/bftsim_export_test.json";
+  const json::Value v = result_to_json(sample_run());
+  write_json_file(path, v);
+  const json::Value back = json::parse_file(path);
+  EXPECT_EQ(back.dump(), v.dump());
+  std::remove(path.c_str());
+}
+
+TEST(ExportTest, WriteJsonFileFailsOnBadPath) {
+  EXPECT_THROW(write_json_file("/no/such/dir/x.json", json::Value{1}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bftsim

@@ -1,0 +1,70 @@
+#include "runner/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bftsim {
+namespace {
+
+TEST(RunnerTest, ExperimentConfigUsesRegistryMeasurement) {
+  const SimConfig pipelined =
+      experiment_config("hotstuff-ns", 16, 1000, DelaySpec::normal(250, 50));
+  EXPECT_EQ(pipelined.decisions, 10u);
+  const SimConfig single =
+      experiment_config("pbft", 16, 1000, DelaySpec::normal(250, 50));
+  EXPECT_EQ(single.decisions, 1u);
+  EXPECT_EQ(single.n, 16u);
+  EXPECT_DOUBLE_EQ(single.lambda_ms, 1000.0);
+}
+
+TEST(RunnerTest, AggregatesRepeatedRuns) {
+  SimConfig cfg = experiment_config("pbft", 8, 1000, DelaySpec::normal(250, 50));
+  cfg.seed = 1;
+  const Aggregate agg = run_repeated(cfg, 10);
+  EXPECT_EQ(agg.runs, 10u);
+  EXPECT_EQ(agg.timeouts, 0u);
+  EXPECT_EQ(agg.latency_ms.count, 10u);
+  EXPECT_GT(agg.latency_ms.mean, 400.0);
+  EXPECT_LT(agg.latency_ms.mean, 2000.0);
+  EXPECT_GT(agg.latency_ms.stddev, 0.0);  // different seeds => different runs
+  EXPECT_GT(agg.messages.mean, 0.0);
+  EXPECT_GT(agg.wall_seconds_total, 0.0);
+}
+
+TEST(RunnerTest, SeedsVaryAcrossRepeats) {
+  SimConfig cfg = experiment_config("pbft", 8, 1000, DelaySpec::normal(250, 50));
+  const Aggregate agg = run_repeated(cfg, 5);
+  // With distinct seeds min and max latency differ.
+  EXPECT_NE(agg.latency_ms.min, agg.latency_ms.max);
+}
+
+TEST(RunnerTest, TimeoutsAreCountedAndExcluded) {
+  SimConfig cfg = experiment_config("pbft", 16, 1000, DelaySpec::normal(250, 50));
+  cfg.max_time_ms = 0.5;  // nothing can decide in half a millisecond
+  const Aggregate agg = run_repeated(cfg, 3);
+  EXPECT_EQ(agg.timeouts, 3u);
+  EXPECT_EQ(agg.latency_ms.count, 0u);
+  EXPECT_EQ(agg.messages.count, 3u);  // message counts still recorded
+}
+
+TEST(RunnerTest, TableFormatsRows) {
+  Table table{{"protocol", "latency", "msgs"}, 12};
+  std::ostringstream os;
+  table.print_header(os);
+  table.print_row(os, {"pbft", Table::cell(805.0, 12.0, "ms"), Table::cell(525.0)});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("protocol"), std::string::npos);
+  EXPECT_NE(out.find("pbft"), std::string::npos);
+  EXPECT_NE(out.find("805"), std::string::npos);
+  EXPECT_NE(out.find("±"), std::string::npos);
+}
+
+TEST(RunnerTest, CellFormatting) {
+  EXPECT_EQ(Table::cell(1.234, ""), "1.23");
+  EXPECT_EQ(Table::cell(123.4, "ms"), "123ms");
+  EXPECT_EQ(Table::cell(5.0, 0.5, "s"), "5.00±0.5s");
+}
+
+}  // namespace
+}  // namespace bftsim

@@ -1,0 +1,113 @@
+// Computation-cost model tests (the paper's §III-A3 future-work feature).
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace bftsim {
+namespace {
+
+SimConfig pbft_config(double verify_ms, double sign_ms,
+                      std::uint64_t seed = 1) {
+  SimConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.n = 16;
+  cfg.lambda_ms = 1000;
+  cfg.delay = DelaySpec::normal(250, 50);
+  cfg.seed = seed;
+  cfg.cost.verify_ms = verify_ms;
+  cfg.cost.sign_ms = sign_ms;
+  cfg.max_time_ms = 120'000;
+  return cfg;
+}
+
+TEST(CostModelTest, DisabledByDefault) {
+  EXPECT_FALSE(CostModel{}.enabled());
+  EXPECT_TRUE((CostModel{0.5, 0.0}).enabled());
+  EXPECT_TRUE((CostModel{0.0, 0.5}).enabled());
+}
+
+TEST(CostModelTest, ZeroCostMatchesBaseline) {
+  const RunResult a = run_simulation(pbft_config(0, 0));
+  SimConfig no_model = pbft_config(0, 0);
+  no_model.cost = CostModel{};
+  const RunResult b = run_simulation(no_model);
+  EXPECT_EQ(a.termination_time, b.termination_time);
+}
+
+TEST(CostModelTest, LatencyGrowsMonotonicallyWithVerifyCost) {
+  Time prev = 0;
+  for (const double verify : {0.0, 1.0, 5.0, 20.0}) {
+    const RunResult r = run_simulation(pbft_config(verify, 0));
+    ASSERT_TRUE(r.terminated) << verify;
+    EXPECT_TRUE(r.decisions_consistent());
+    EXPECT_GE(r.termination_time, prev) << verify;
+    prev = r.termination_time;
+  }
+}
+
+TEST(CostModelTest, VerificationSerializesOnTheReceiverCpu) {
+  // PBFT's prepare phase delivers ~n messages nearly simultaneously to
+  // every node: with a 20 ms verification each, the quorum (11th message)
+  // waits behind ~10 earlier verifications — at least ~200 ms extra.
+  const RunResult cheap = run_simulation(pbft_config(0, 0));
+  const RunResult costly = run_simulation(pbft_config(20, 0));
+  ASSERT_TRUE(costly.terminated);
+  EXPECT_GT(costly.termination_time - cheap.termination_time, from_ms(150));
+}
+
+TEST(CostModelTest, SigningCostsChargeTheSender) {
+  const RunResult unsigned_run = run_simulation(pbft_config(0, 0));
+  const RunResult signed_run = run_simulation(pbft_config(0, 25));
+  ASSERT_TRUE(signed_run.terminated);
+  EXPECT_GT(signed_run.termination_time, unsigned_run.termination_time);
+}
+
+TEST(CostModelTest, JsonRoundTrip) {
+  SimConfig cfg = pbft_config(1.5, 0.25);
+  const SimConfig back = SimConfig::from_json(cfg.to_json());
+  EXPECT_DOUBLE_EQ(back.cost.verify_ms, 1.5);
+  EXPECT_DOUBLE_EQ(back.cost.sign_ms, 0.25);
+
+  // Disabled model is omitted from JSON and defaults back to zero.
+  SimConfig plain = pbft_config(0, 0);
+  const SimConfig plain_back = SimConfig::from_json(plain.to_json());
+  EXPECT_FALSE(plain_back.cost.enabled());
+}
+
+TEST(CostModelTest, NegativeCostsRejected) {
+  SimConfig cfg = pbft_config(0, 0);
+  cfg.cost.verify_ms = -1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(CostModelTest, ThroughputSaturatesUnderLoad) {
+  // Throughput estimation (the feature's purpose): per-decision latency of
+  // a 10-decision HotStuff run grows when verification is expensive, i.e.
+  // the sustainable decision rate drops.
+  SimConfig cfg;
+  cfg.protocol = "hotstuff-ns";
+  cfg.n = 16;
+  cfg.lambda_ms = 1000;
+  cfg.delay = DelaySpec::normal(250, 50);
+  cfg.decisions = 10;
+  cfg.seed = 3;
+
+  const RunResult free_run = run_simulation(cfg);
+  cfg.cost.verify_ms = 10;
+  cfg.cost.sign_ms = 10;
+  const RunResult costly_run = run_simulation(cfg);
+  ASSERT_TRUE(free_run.terminated);
+  ASSERT_TRUE(costly_run.terminated);
+  EXPECT_GT(costly_run.per_decision_latency_ms(),
+            free_run.per_decision_latency_ms());
+}
+
+TEST(CostModelTest, DeterministicWithCosts) {
+  const RunResult a = run_simulation(pbft_config(5, 2, 9));
+  const RunResult b = run_simulation(pbft_config(5, 2, 9));
+  EXPECT_EQ(a.termination_time, b.termination_time);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+}
+
+}  // namespace
+}  // namespace bftsim

@@ -1,0 +1,75 @@
+#include "net/delay_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/stats.hpp"
+
+namespace bftsim {
+namespace {
+
+TEST(DelaySamplerTest, ConstantDelay) {
+  DelaySampler sampler{DelaySpec::constant(100)};
+  Rng rng{1};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.sample(rng), from_ms(100));
+}
+
+TEST(DelaySamplerTest, UniformWithinBounds) {
+  DelaySampler sampler{DelaySpec::uniform(100, 400)};
+  Rng rng{2};
+  for (int i = 0; i < 5000; ++i) {
+    const Time t = sampler.sample(rng);
+    EXPECT_GE(t, from_ms(100));
+    EXPECT_LT(t, from_ms(400));
+  }
+}
+
+TEST(DelaySamplerTest, NormalMatchesMoments) {
+  DelaySampler sampler{DelaySpec::normal(250, 50)};
+  Rng rng{3};
+  Accumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.add(to_ms(sampler.sample(rng)));
+  EXPECT_NEAR(acc.mean(), 250.0, 2.0);
+  EXPECT_NEAR(acc.stddev(), 50.0, 2.0);
+}
+
+TEST(DelaySamplerTest, ExponentialMatchesMean) {
+  DelaySampler sampler{DelaySpec::exponential(200)};
+  Rng rng{4};
+  Accumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.add(to_ms(sampler.sample(rng)));
+  EXPECT_NEAR(acc.mean(), 200.0, 4.0);
+}
+
+TEST(DelaySamplerTest, MinClampPreventsNonPositiveDelays) {
+  // N(1, 1000) would frequently sample negative delays without the clamp.
+  DelaySpec spec = DelaySpec::normal(1, 1000);
+  spec.min_ms = 1.0;
+  DelaySampler sampler{spec};
+  Rng rng{5};
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(sampler.sample(rng), from_ms(1));
+}
+
+TEST(DelaySamplerTest, MaxClampBoundsTail) {
+  // A bounded tail is how the synchronous network model is emulated.
+  DelaySpec spec = DelaySpec::exponential(100);
+  spec.max_ms = 300.0;
+  DelaySampler sampler{spec};
+  Rng rng{6};
+  bool hit_cap = false;
+  for (int i = 0; i < 10000; ++i) {
+    const Time t = sampler.sample(rng);
+    EXPECT_LE(t, from_ms(300));
+    hit_cap = hit_cap || t == from_ms(300);
+  }
+  EXPECT_TRUE(hit_cap);
+}
+
+TEST(DelaySamplerTest, DeterministicPerSeed) {
+  DelaySampler sampler{DelaySpec::normal(250, 50)};
+  Rng a{7};
+  Rng b{7};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.sample(a), sampler.sample(b));
+}
+
+}  // namespace
+}  // namespace bftsim

@@ -1,0 +1,84 @@
+#include "protocols/common/quorum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace bftsim {
+namespace {
+
+TEST(QuorumTrackerTest, CountsDistinctVoters) {
+  QuorumTracker<int> tracker;
+  EXPECT_TRUE(tracker.add(1, 10));
+  EXPECT_TRUE(tracker.add(1, 11));
+  EXPECT_FALSE(tracker.add(1, 10));  // duplicate
+  EXPECT_EQ(tracker.count(1), 2u);
+  EXPECT_EQ(tracker.count(2), 0u);
+}
+
+TEST(QuorumTrackerTest, ReachedThreshold) {
+  QuorumTracker<std::string> tracker;
+  tracker.add("key", 0);
+  tracker.add("key", 1);
+  EXPECT_FALSE(tracker.reached("key", 3));
+  tracker.add("key", 2);
+  EXPECT_TRUE(tracker.reached("key", 3));
+  EXPECT_TRUE(tracker.reached("key", 2));
+}
+
+TEST(QuorumTrackerTest, AddReachesFiresExactlyOnce) {
+  QuorumTracker<int> tracker;
+  EXPECT_FALSE(tracker.add_reaches(5, 0, 3));
+  EXPECT_FALSE(tracker.add_reaches(5, 1, 3));
+  EXPECT_TRUE(tracker.add_reaches(5, 2, 3));   // crossing the threshold
+  EXPECT_FALSE(tracker.add_reaches(5, 3, 3));  // already reached
+  EXPECT_FALSE(tracker.add_reaches(5, 2, 3));  // duplicate after reach
+}
+
+TEST(QuorumTrackerTest, KeysAreIndependent) {
+  QuorumTracker<std::pair<int, int>> tracker;
+  tracker.add({1, 1}, 0);
+  tracker.add({1, 2}, 0);
+  EXPECT_EQ(tracker.count({1, 1}), 1u);
+  EXPECT_EQ(tracker.count({1, 2}), 1u);
+  EXPECT_EQ(tracker.count({2, 1}), 0u);
+}
+
+TEST(QuorumTrackerTest, VotersSetIsAccurate) {
+  QuorumTracker<int> tracker;
+  tracker.add(9, 4);
+  tracker.add(9, 2);
+  tracker.add(9, 4);
+  const auto& voters = tracker.voters(9);
+  EXPECT_EQ(voters.size(), 2u);
+  EXPECT_TRUE(voters.contains(2));
+  EXPECT_TRUE(voters.contains(4));
+  EXPECT_TRUE(tracker.voters(8).empty());
+}
+
+TEST(QuorumTrackerTest, ClearResets) {
+  QuorumTracker<int> tracker;
+  tracker.add(1, 1);
+  tracker.clear();
+  EXPECT_EQ(tracker.count(1), 0u);
+}
+
+TEST(OnceSetTest, MarkFiresOnce) {
+  OnceSet<int> once;
+  EXPECT_FALSE(once.contains(1));
+  EXPECT_TRUE(once.mark(1));
+  EXPECT_FALSE(once.mark(1));
+  EXPECT_TRUE(once.contains(1));
+  EXPECT_TRUE(once.mark(2));
+}
+
+TEST(OnceSetTest, CompositeKeys) {
+  OnceSet<std::pair<std::uint64_t, std::uint8_t>> once;
+  EXPECT_TRUE(once.mark({1, 2}));
+  EXPECT_FALSE(once.mark({1, 2}));
+  EXPECT_TRUE(once.mark({1, 3}));
+  EXPECT_TRUE(once.mark({2, 2}));
+}
+
+}  // namespace
+}  // namespace bftsim

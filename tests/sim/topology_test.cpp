@@ -1,0 +1,96 @@
+// Geo-topology tests: cross-region delay penalties and their effect on
+// consensus latency.
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace bftsim {
+namespace {
+
+TEST(TopologySpecTest, DisabledByDefault) {
+  const TopologySpec spec;
+  EXPECT_FALSE(spec.enabled());
+  EXPECT_EQ(spec.adjust(from_ms(100), 0, 1), from_ms(100));
+}
+
+TEST(TopologySpecTest, RegionAssignmentIsRoundRobin) {
+  TopologySpec spec;
+  spec.regions = 3;
+  EXPECT_EQ(spec.region_of(0), 0u);
+  EXPECT_EQ(spec.region_of(1), 1u);
+  EXPECT_EQ(spec.region_of(2), 2u);
+  EXPECT_EQ(spec.region_of(3), 0u);
+}
+
+TEST(TopologySpecTest, AdjustAppliesOnlyAcrossRegions) {
+  TopologySpec spec;
+  spec.regions = 2;
+  spec.cross_factor = 2.0;
+  spec.cross_extra_ms = 50.0;
+  // Nodes 0 and 2 share region 0: untouched.
+  EXPECT_EQ(spec.adjust(from_ms(100), 0, 2), from_ms(100));
+  // Nodes 0 and 1 differ: 100 * 2 + 50 = 250 ms.
+  EXPECT_EQ(spec.adjust(from_ms(100), 0, 1), from_ms(250));
+  EXPECT_EQ(spec.adjust(from_ms(100), 1, 0), from_ms(250));
+}
+
+TEST(TopologySpecTest, JsonRoundTrip) {
+  TopologySpec spec;
+  spec.regions = 4;
+  spec.cross_factor = 1.5;
+  spec.cross_extra_ms = 80.0;
+  const TopologySpec back = TopologySpec::from_json(spec.to_json());
+  EXPECT_EQ(back.regions, 4u);
+  EXPECT_DOUBLE_EQ(back.cross_factor, 1.5);
+  EXPECT_DOUBLE_EQ(back.cross_extra_ms, 80.0);
+}
+
+SimConfig geo_config(double cross_extra_ms, std::uint64_t seed = 1) {
+  SimConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.n = 16;
+  cfg.lambda_ms = 1000;
+  cfg.delay = DelaySpec::normal(50, 10);  // fast LAN base
+  cfg.seed = seed;
+  TopologySpec spec;
+  spec.regions = 2;
+  spec.cross_extra_ms = cross_extra_ms;
+  cfg.topology = spec.to_json();
+  cfg.max_time_ms = 120'000;
+  return cfg;
+}
+
+TEST(TopologySimTest, CrossRegionPenaltySlowsConsensus) {
+  // A BFT quorum (11 of 16) necessarily spans both 8-node regions, so the
+  // WAN penalty lands on the critical path.
+  const RunResult local = run_simulation(geo_config(0));
+  const RunResult geo = run_simulation(geo_config(200));
+  ASSERT_TRUE(local.terminated);
+  ASSERT_TRUE(geo.terminated);
+  EXPECT_TRUE(geo.decisions_consistent());
+  // Three hops, each paying the ~200 ms penalty on the quorum path.
+  EXPECT_GT(geo.latency_ms(), local.latency_ms() + 400);
+}
+
+TEST(TopologySimTest, AllProtocolsSurviveGeoDistribution) {
+  for (const char* protocol :
+       {"pbft", "hotstuff-ns", "librabft", "tendermint", "algorand"}) {
+    SimConfig cfg = geo_config(150, 3);
+    cfg.protocol = protocol;
+    cfg.decisions = 1;
+    const RunResult result = run_simulation(cfg);
+    ASSERT_TRUE(result.terminated) << protocol;
+    EXPECT_TRUE(result.decisions_consistent()) << protocol;
+  }
+}
+
+TEST(TopologySimTest, DeterministicWithTopology) {
+  const RunResult a = run_simulation(geo_config(120, 7));
+  const RunResult b = run_simulation(geo_config(120, 7));
+  EXPECT_EQ(a.termination_time, b.termination_time);
+}
+
+}  // namespace
+}  // namespace bftsim

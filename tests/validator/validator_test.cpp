@@ -1,0 +1,127 @@
+#include "validator/validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace bftsim {
+namespace {
+
+SimConfig traced_config(const std::string& protocol, std::uint64_t seed = 1,
+                        std::uint32_t decisions = 1) {
+  SimConfig cfg;
+  cfg.protocol = protocol;
+  cfg.n = 16;
+  cfg.lambda_ms = 1000;
+  cfg.delay = DelaySpec::normal(250, 50);
+  cfg.seed = seed;
+  cfg.decisions = decisions;
+  cfg.record_trace = true;
+  cfg.max_time_ms = 300'000;
+  return cfg;
+}
+
+TEST(ValidatorTest, PbftReplayMatches) {
+  const SimConfig cfg = traced_config("pbft");
+  const RunResult truth = run_simulation(cfg);
+  ASSERT_TRUE(truth.terminated);
+  const ValidationResult v = validate_against_trace(cfg, truth.trace);
+  EXPECT_TRUE(v.ok) << v.to_string();
+  EXPECT_TRUE(v.decisions_match);
+  EXPECT_EQ(v.leftover_deliveries, 0u);
+  EXPECT_EQ(v.digest_mismatches, 0u);
+  EXPECT_GT(v.replayed, 0u);
+}
+
+TEST(ValidatorTest, MultiDecisionReplayMatches) {
+  const SimConfig cfg = traced_config("pbft", 4, 3);
+  const RunResult truth = run_simulation(cfg);
+  ASSERT_TRUE(truth.terminated);
+  const ValidationResult v = validate_against_trace(cfg, truth.trace);
+  EXPECT_TRUE(v.ok) << v.to_string();
+}
+
+TEST(ValidatorTest, EveryProtocolReplays) {
+  for (const char* protocol : {"addv1", "addv2", "addv3", "algorand", "asyncba",
+                               "pbft", "hotstuff-ns", "librabft"}) {
+    const SimConfig cfg = traced_config(protocol, 2);
+    const RunResult truth = run_simulation(cfg);
+    ASSERT_TRUE(truth.terminated) << protocol;
+    const ValidationResult v = validate_against_trace(cfg, truth.trace);
+    EXPECT_TRUE(v.ok) << protocol << ": " << v.to_string();
+  }
+}
+
+TEST(ValidatorTest, ReplayReproducesDropOnlyAttacks) {
+  // Fail-stop and partition only drop/delay messages, so their traces
+  // replay exactly (§III-D scope).
+  SimConfig cfg = traced_config("pbft", 7);
+  cfg.honest = 12;
+  const RunResult truth = run_simulation(cfg);
+  ASSERT_TRUE(truth.terminated);
+  const ValidationResult v = validate_against_trace(cfg, truth.trace);
+  EXPECT_TRUE(v.ok) << v.to_string();
+
+  SimConfig part = traced_config("librabft", 8);
+  part.attack = "partition";
+  json::Object params;
+  params["resolve_ms"] = 8000.0;
+  params["mode"] = "drop";
+  part.attack_params = json::Value{std::move(params)};
+  const RunResult ptruth = run_simulation(part);
+  ASSERT_TRUE(ptruth.terminated);
+  const ValidationResult pv = validate_against_trace(part, ptruth.trace);
+  EXPECT_TRUE(pv.ok) << pv.to_string();
+}
+
+TEST(ValidatorTest, DetectsTamperedDecision) {
+  const SimConfig cfg = traced_config("pbft");
+  const RunResult truth = run_simulation(cfg);
+  Trace tampered = truth.trace;
+  Trace rebuilt;
+  for (TraceRecord rec : tampered.records()) {
+    if (rec.kind == TraceKind::kDecide) rec.value ^= 1;  // flip the outcome
+    rebuilt.add(rec);
+  }
+  const ValidationResult v = validate_against_trace(cfg, rebuilt);
+  EXPECT_FALSE(v.ok);
+  EXPECT_FALSE(v.decisions_match);
+}
+
+TEST(ValidatorTest, DetectsTamperedPayloads) {
+  const SimConfig cfg = traced_config("pbft");
+  const RunResult truth = run_simulation(cfg);
+  Trace rebuilt;
+  for (TraceRecord rec : truth.trace.records()) {
+    if (rec.kind == TraceKind::kDeliver && rec.a != rec.b) rec.digest ^= 1;
+    rebuilt.add(rec);
+  }
+  const ValidationResult v = validate_against_trace(cfg, rebuilt);
+  EXPECT_GT(v.digest_mismatches, 0u);
+  EXPECT_FALSE(v.ok);
+}
+
+TEST(ValidatorTest, DetectsForeignTrace) {
+  // A trace recorded from a different protocol cannot replay: no digest
+  // matches and the recorded deliveries are left over.
+  const SimConfig cfg_pbft = traced_config("pbft", 1);
+  const SimConfig cfg_libra = traced_config("librabft", 1);
+  const RunResult truth = run_simulation(cfg_libra);
+  const ValidationResult v = validate_against_trace(cfg_pbft, truth.trace);
+  EXPECT_FALSE(v.ok) << v.to_string();
+  EXPECT_GT(v.leftover_deliveries, 0u);
+}
+
+TEST(ValidatorTest, ResultToStringIsInformative) {
+  ValidationResult r;
+  r.ok = false;
+  r.decisions_match = false;
+  r.diagnosis = "test";
+  const std::string s = r.to_string();
+  EXPECT_NE(s.find("MISMATCH"), std::string::npos);
+  EXPECT_NE(s.find("DIFFER"), std::string::npos);
+  EXPECT_NE(s.find("test"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bftsim
