@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pacemaker.dir/ablation_pacemaker.cpp.o"
+  "CMakeFiles/ablation_pacemaker.dir/ablation_pacemaker.cpp.o.d"
+  "ablation_pacemaker"
+  "ablation_pacemaker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pacemaker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beyond_paper.dir/beyond_paper.cpp.o"
+  "CMakeFiles/beyond_paper.dir/beyond_paper.cpp.o.d"
+  "beyond_paper"
+  "beyond_paper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beyond_paper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

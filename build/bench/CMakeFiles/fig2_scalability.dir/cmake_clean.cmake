@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_scalability.dir/fig2_scalability.cpp.o"
+  "CMakeFiles/fig2_scalability.dir/fig2_scalability.cpp.o.d"
+  "fig2_scalability"
+  "fig2_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_delays.dir/fig3_delays.cpp.o"
+  "CMakeFiles/fig3_delays.dir/fig3_delays.cpp.o.d"
+  "fig3_delays"
+  "fig3_delays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_delays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

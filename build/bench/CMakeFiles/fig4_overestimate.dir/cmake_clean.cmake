@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_overestimate.dir/fig4_overestimate.cpp.o"
+  "CMakeFiles/fig4_overestimate.dir/fig4_overestimate.cpp.o.d"
+  "fig4_overestimate"
+  "fig4_overestimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_overestimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

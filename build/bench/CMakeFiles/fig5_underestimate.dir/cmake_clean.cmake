@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_underestimate.dir/fig5_underestimate.cpp.o"
+  "CMakeFiles/fig5_underestimate.dir/fig5_underestimate.cpp.o.d"
+  "fig5_underestimate"
+  "fig5_underestimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_underestimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

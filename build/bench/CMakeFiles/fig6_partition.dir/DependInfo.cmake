@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_partition.cpp" "bench/CMakeFiles/fig6_partition.dir/fig6_partition.cpp.o" "gcc" "bench/CMakeFiles/fig6_partition.dir/fig6_partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bftsim_validator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bftsim_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bftsim_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bftsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bftsim_attacker.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bftsim_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bftsim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

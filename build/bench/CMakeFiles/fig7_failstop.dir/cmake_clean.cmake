@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_failstop.dir/fig7_failstop.cpp.o"
+  "CMakeFiles/fig7_failstop.dir/fig7_failstop.cpp.o.d"
+  "fig7_failstop"
+  "fig7_failstop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_failstop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_add_attacks.dir/fig8_add_attacks.cpp.o"
+  "CMakeFiles/fig8_add_attacks.dir/fig8_add_attacks.cpp.o.d"
+  "fig8_add_attacks"
+  "fig8_add_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_add_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

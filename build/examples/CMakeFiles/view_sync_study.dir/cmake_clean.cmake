@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_sync_study.dir/view_sync_study.cpp.o"
+  "CMakeFiles/view_sync_study.dir/view_sync_study.cpp.o.d"
+  "view_sync_study"
+  "view_sync_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_sync_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bftsim_attacker.dir/attacker/attacks.cpp.o"
+  "CMakeFiles/bftsim_attacker.dir/attacker/attacks.cpp.o.d"
+  "libbftsim_attacker.a"
+  "libbftsim_attacker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bftsim_attacker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

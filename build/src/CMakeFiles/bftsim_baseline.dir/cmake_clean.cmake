@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bftsim_baseline.dir/baseline/baseline.cpp.o"
+  "CMakeFiles/bftsim_baseline.dir/baseline/baseline.cpp.o.d"
+  "libbftsim_baseline.a"
+  "libbftsim_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bftsim_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

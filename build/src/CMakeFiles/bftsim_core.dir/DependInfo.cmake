@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/bftsim_core.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/bftsim_core.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/json.cpp" "src/CMakeFiles/bftsim_core.dir/core/json.cpp.o" "gcc" "src/CMakeFiles/bftsim_core.dir/core/json.cpp.o.d"
+  "/root/repo/src/core/log.cpp" "src/CMakeFiles/bftsim_core.dir/core/log.cpp.o" "gcc" "src/CMakeFiles/bftsim_core.dir/core/log.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/bftsim_core.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/bftsim_core.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/rng.cpp" "src/CMakeFiles/bftsim_core.dir/core/rng.cpp.o" "gcc" "src/CMakeFiles/bftsim_core.dir/core/rng.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/CMakeFiles/bftsim_core.dir/core/stats.cpp.o" "gcc" "src/CMakeFiles/bftsim_core.dir/core/stats.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/CMakeFiles/bftsim_core.dir/core/trace.cpp.o" "gcc" "src/CMakeFiles/bftsim_core.dir/core/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

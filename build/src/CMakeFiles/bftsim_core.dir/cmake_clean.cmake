@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bftsim_core.dir/core/config.cpp.o"
+  "CMakeFiles/bftsim_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/bftsim_core.dir/core/json.cpp.o"
+  "CMakeFiles/bftsim_core.dir/core/json.cpp.o.d"
+  "CMakeFiles/bftsim_core.dir/core/log.cpp.o"
+  "CMakeFiles/bftsim_core.dir/core/log.cpp.o.d"
+  "CMakeFiles/bftsim_core.dir/core/metrics.cpp.o"
+  "CMakeFiles/bftsim_core.dir/core/metrics.cpp.o.d"
+  "CMakeFiles/bftsim_core.dir/core/rng.cpp.o"
+  "CMakeFiles/bftsim_core.dir/core/rng.cpp.o.d"
+  "CMakeFiles/bftsim_core.dir/core/stats.cpp.o"
+  "CMakeFiles/bftsim_core.dir/core/stats.cpp.o.d"
+  "CMakeFiles/bftsim_core.dir/core/trace.cpp.o"
+  "CMakeFiles/bftsim_core.dir/core/trace.cpp.o.d"
+  "libbftsim_core.a"
+  "libbftsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bftsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

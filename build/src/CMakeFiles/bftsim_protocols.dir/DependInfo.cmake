@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/add/add.cpp" "src/CMakeFiles/bftsim_protocols.dir/protocols/add/add.cpp.o" "gcc" "src/CMakeFiles/bftsim_protocols.dir/protocols/add/add.cpp.o.d"
+  "/root/repo/src/protocols/algorand/algorand.cpp" "src/CMakeFiles/bftsim_protocols.dir/protocols/algorand/algorand.cpp.o" "gcc" "src/CMakeFiles/bftsim_protocols.dir/protocols/algorand/algorand.cpp.o.d"
+  "/root/repo/src/protocols/asyncba/asyncba.cpp" "src/CMakeFiles/bftsim_protocols.dir/protocols/asyncba/asyncba.cpp.o" "gcc" "src/CMakeFiles/bftsim_protocols.dir/protocols/asyncba/asyncba.cpp.o.d"
+  "/root/repo/src/protocols/hotstuff/core.cpp" "src/CMakeFiles/bftsim_protocols.dir/protocols/hotstuff/core.cpp.o" "gcc" "src/CMakeFiles/bftsim_protocols.dir/protocols/hotstuff/core.cpp.o.d"
+  "/root/repo/src/protocols/hotstuff/hotstuff_ns.cpp" "src/CMakeFiles/bftsim_protocols.dir/protocols/hotstuff/hotstuff_ns.cpp.o" "gcc" "src/CMakeFiles/bftsim_protocols.dir/protocols/hotstuff/hotstuff_ns.cpp.o.d"
+  "/root/repo/src/protocols/librabft/librabft.cpp" "src/CMakeFiles/bftsim_protocols.dir/protocols/librabft/librabft.cpp.o" "gcc" "src/CMakeFiles/bftsim_protocols.dir/protocols/librabft/librabft.cpp.o.d"
+  "/root/repo/src/protocols/pbft/pbft.cpp" "src/CMakeFiles/bftsim_protocols.dir/protocols/pbft/pbft.cpp.o" "gcc" "src/CMakeFiles/bftsim_protocols.dir/protocols/pbft/pbft.cpp.o.d"
+  "/root/repo/src/protocols/registry.cpp" "src/CMakeFiles/bftsim_protocols.dir/protocols/registry.cpp.o" "gcc" "src/CMakeFiles/bftsim_protocols.dir/protocols/registry.cpp.o.d"
+  "/root/repo/src/protocols/synchotstuff/synchotstuff.cpp" "src/CMakeFiles/bftsim_protocols.dir/protocols/synchotstuff/synchotstuff.cpp.o" "gcc" "src/CMakeFiles/bftsim_protocols.dir/protocols/synchotstuff/synchotstuff.cpp.o.d"
+  "/root/repo/src/protocols/tendermint/tendermint.cpp" "src/CMakeFiles/bftsim_protocols.dir/protocols/tendermint/tendermint.cpp.o" "gcc" "src/CMakeFiles/bftsim_protocols.dir/protocols/tendermint/tendermint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bftsim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

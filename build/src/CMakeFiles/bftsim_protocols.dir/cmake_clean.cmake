@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bftsim_protocols.dir/protocols/add/add.cpp.o"
+  "CMakeFiles/bftsim_protocols.dir/protocols/add/add.cpp.o.d"
+  "CMakeFiles/bftsim_protocols.dir/protocols/algorand/algorand.cpp.o"
+  "CMakeFiles/bftsim_protocols.dir/protocols/algorand/algorand.cpp.o.d"
+  "CMakeFiles/bftsim_protocols.dir/protocols/asyncba/asyncba.cpp.o"
+  "CMakeFiles/bftsim_protocols.dir/protocols/asyncba/asyncba.cpp.o.d"
+  "CMakeFiles/bftsim_protocols.dir/protocols/hotstuff/core.cpp.o"
+  "CMakeFiles/bftsim_protocols.dir/protocols/hotstuff/core.cpp.o.d"
+  "CMakeFiles/bftsim_protocols.dir/protocols/hotstuff/hotstuff_ns.cpp.o"
+  "CMakeFiles/bftsim_protocols.dir/protocols/hotstuff/hotstuff_ns.cpp.o.d"
+  "CMakeFiles/bftsim_protocols.dir/protocols/librabft/librabft.cpp.o"
+  "CMakeFiles/bftsim_protocols.dir/protocols/librabft/librabft.cpp.o.d"
+  "CMakeFiles/bftsim_protocols.dir/protocols/pbft/pbft.cpp.o"
+  "CMakeFiles/bftsim_protocols.dir/protocols/pbft/pbft.cpp.o.d"
+  "CMakeFiles/bftsim_protocols.dir/protocols/registry.cpp.o"
+  "CMakeFiles/bftsim_protocols.dir/protocols/registry.cpp.o.d"
+  "CMakeFiles/bftsim_protocols.dir/protocols/synchotstuff/synchotstuff.cpp.o"
+  "CMakeFiles/bftsim_protocols.dir/protocols/synchotstuff/synchotstuff.cpp.o.d"
+  "CMakeFiles/bftsim_protocols.dir/protocols/tendermint/tendermint.cpp.o"
+  "CMakeFiles/bftsim_protocols.dir/protocols/tendermint/tendermint.cpp.o.d"
+  "libbftsim_protocols.a"
+  "libbftsim_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bftsim_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbftsim_protocols.a"
+)

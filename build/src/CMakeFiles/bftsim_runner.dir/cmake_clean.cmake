@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bftsim_runner.dir/runner/export.cpp.o"
+  "CMakeFiles/bftsim_runner.dir/runner/export.cpp.o.d"
+  "CMakeFiles/bftsim_runner.dir/runner/runner.cpp.o"
+  "CMakeFiles/bftsim_runner.dir/runner/runner.cpp.o.d"
+  "libbftsim_runner.a"
+  "libbftsim_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bftsim_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

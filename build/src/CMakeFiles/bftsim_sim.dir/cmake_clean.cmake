@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bftsim_sim.dir/sim/controller.cpp.o"
+  "CMakeFiles/bftsim_sim.dir/sim/controller.cpp.o.d"
+  "CMakeFiles/bftsim_sim.dir/sim/result.cpp.o"
+  "CMakeFiles/bftsim_sim.dir/sim/result.cpp.o.d"
+  "CMakeFiles/bftsim_sim.dir/sim/simulation.cpp.o"
+  "CMakeFiles/bftsim_sim.dir/sim/simulation.cpp.o.d"
+  "libbftsim_sim.a"
+  "libbftsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bftsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bftsim_validator.dir/validator/validator.cpp.o"
+  "CMakeFiles/bftsim_validator.dir/validator/validator.cpp.o.d"
+  "libbftsim_validator.a"
+  "libbftsim_validator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bftsim_validator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

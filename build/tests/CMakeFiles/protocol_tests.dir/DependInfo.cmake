@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/protocols/add_test.cpp" "tests/CMakeFiles/protocol_tests.dir/protocols/add_test.cpp.o" "gcc" "tests/CMakeFiles/protocol_tests.dir/protocols/add_test.cpp.o.d"
+  "/root/repo/tests/protocols/add_unit_test.cpp" "tests/CMakeFiles/protocol_tests.dir/protocols/add_unit_test.cpp.o" "gcc" "tests/CMakeFiles/protocol_tests.dir/protocols/add_unit_test.cpp.o.d"
+  "/root/repo/tests/protocols/algorand_test.cpp" "tests/CMakeFiles/protocol_tests.dir/protocols/algorand_test.cpp.o" "gcc" "tests/CMakeFiles/protocol_tests.dir/protocols/algorand_test.cpp.o.d"
+  "/root/repo/tests/protocols/algorand_unit_test.cpp" "tests/CMakeFiles/protocol_tests.dir/protocols/algorand_unit_test.cpp.o" "gcc" "tests/CMakeFiles/protocol_tests.dir/protocols/algorand_unit_test.cpp.o.d"
+  "/root/repo/tests/protocols/asyncba_test.cpp" "tests/CMakeFiles/protocol_tests.dir/protocols/asyncba_test.cpp.o" "gcc" "tests/CMakeFiles/protocol_tests.dir/protocols/asyncba_test.cpp.o.d"
+  "/root/repo/tests/protocols/asyncba_unit_test.cpp" "tests/CMakeFiles/protocol_tests.dir/protocols/asyncba_unit_test.cpp.o" "gcc" "tests/CMakeFiles/protocol_tests.dir/protocols/asyncba_unit_test.cpp.o.d"
+  "/root/repo/tests/protocols/hotstuff_test.cpp" "tests/CMakeFiles/protocol_tests.dir/protocols/hotstuff_test.cpp.o" "gcc" "tests/CMakeFiles/protocol_tests.dir/protocols/hotstuff_test.cpp.o.d"
+  "/root/repo/tests/protocols/hotstuff_unit_test.cpp" "tests/CMakeFiles/protocol_tests.dir/protocols/hotstuff_unit_test.cpp.o" "gcc" "tests/CMakeFiles/protocol_tests.dir/protocols/hotstuff_unit_test.cpp.o.d"
+  "/root/repo/tests/protocols/librabft_test.cpp" "tests/CMakeFiles/protocol_tests.dir/protocols/librabft_test.cpp.o" "gcc" "tests/CMakeFiles/protocol_tests.dir/protocols/librabft_test.cpp.o.d"
+  "/root/repo/tests/protocols/librabft_unit_test.cpp" "tests/CMakeFiles/protocol_tests.dir/protocols/librabft_unit_test.cpp.o" "gcc" "tests/CMakeFiles/protocol_tests.dir/protocols/librabft_unit_test.cpp.o.d"
+  "/root/repo/tests/protocols/pbft_test.cpp" "tests/CMakeFiles/protocol_tests.dir/protocols/pbft_test.cpp.o" "gcc" "tests/CMakeFiles/protocol_tests.dir/protocols/pbft_test.cpp.o.d"
+  "/root/repo/tests/protocols/pbft_unit_test.cpp" "tests/CMakeFiles/protocol_tests.dir/protocols/pbft_unit_test.cpp.o" "gcc" "tests/CMakeFiles/protocol_tests.dir/protocols/pbft_unit_test.cpp.o.d"
+  "/root/repo/tests/protocols/registry_test.cpp" "tests/CMakeFiles/protocol_tests.dir/protocols/registry_test.cpp.o" "gcc" "tests/CMakeFiles/protocol_tests.dir/protocols/registry_test.cpp.o.d"
+  "/root/repo/tests/protocols/synchotstuff_test.cpp" "tests/CMakeFiles/protocol_tests.dir/protocols/synchotstuff_test.cpp.o" "gcc" "tests/CMakeFiles/protocol_tests.dir/protocols/synchotstuff_test.cpp.o.d"
+  "/root/repo/tests/protocols/synchotstuff_unit_test.cpp" "tests/CMakeFiles/protocol_tests.dir/protocols/synchotstuff_unit_test.cpp.o" "gcc" "tests/CMakeFiles/protocol_tests.dir/protocols/synchotstuff_unit_test.cpp.o.d"
+  "/root/repo/tests/protocols/tendermint_test.cpp" "tests/CMakeFiles/protocol_tests.dir/protocols/tendermint_test.cpp.o" "gcc" "tests/CMakeFiles/protocol_tests.dir/protocols/tendermint_test.cpp.o.d"
+  "/root/repo/tests/protocols/tendermint_unit_test.cpp" "tests/CMakeFiles/protocol_tests.dir/protocols/tendermint_unit_test.cpp.o" "gcc" "tests/CMakeFiles/protocol_tests.dir/protocols/tendermint_unit_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bftsim_validator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bftsim_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bftsim_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bftsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bftsim_attacker.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bftsim_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bftsim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/controller_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/controller_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/controller_test.cpp.o.d"
+  "/root/repo/tests/sim/costmodel_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/costmodel_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/costmodel_test.cpp.o.d"
+  "/root/repo/tests/sim/delay_model_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/delay_model_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/delay_model_test.cpp.o.d"
+  "/root/repo/tests/sim/quorum_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/quorum_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/quorum_test.cpp.o.d"
+  "/root/repo/tests/sim/topology_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/topology_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bftsim_validator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bftsim_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bftsim_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bftsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bftsim_attacker.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bftsim_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bftsim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

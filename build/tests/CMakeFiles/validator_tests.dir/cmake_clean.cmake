@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validator_tests.dir/validator/validator_test.cpp.o"
+  "CMakeFiles/validator_tests.dir/validator/validator_test.cpp.o.d"
+  "validator_tests"
+  "validator_tests.pdb"
+  "validator_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validator_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

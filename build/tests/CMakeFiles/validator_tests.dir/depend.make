@@ -1,0 +1,2 @@
+# Empty dependencies file for validator_tests.
+# This may be replaced when dependencies are built.
