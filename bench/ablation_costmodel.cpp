@@ -7,7 +7,9 @@
 
 int main(int argc, char** argv) {
   using namespace bftsim;
-  const std::size_t repeats = bench::repeats_from_args(argc, argv, 30);
+  const bench::BenchArgs args = bench::parse_args(argc, argv, 30);
+  const std::size_t repeats = args.repeats;
+  bench::Report report{"ablation_costmodel", args};
   const std::vector<double> verify_costs{0.0, 0.5, 2.0, 5.0, 10.0};
   const std::vector<std::string> protocols{"pbft", "hotstuff-ns", "librabft",
                                            "tendermint"};
@@ -32,7 +34,8 @@ int main(int argc, char** argv) {
       cfg.decisions = 10;  // sustained rate, not first-decision latency
       cfg.cost.verify_ms = verify;
       cfg.cost.sign_ms = verify / 2;
-      const Aggregate agg = run_repeated(cfg, repeats);
+      const Aggregate agg = report.measure(
+          protocol + "/verify=" + Table::cell(verify, "ms"), cfg);
       if (agg.per_decision_latency_ms.count == 0) {
         cells.emplace_back("TIMEOUT");
       } else {
@@ -42,5 +45,6 @@ int main(int argc, char** argv) {
     }
     table.print_row(std::cout, cells);
   }
+  report.write();
   return 0;
 }

@@ -10,7 +10,9 @@
 
 int main(int argc, char** argv) {
   using namespace bftsim;
-  const std::size_t repeats = bench::repeats_from_args(argc, argv, 30);
+  const bench::BenchArgs args = bench::parse_args(argc, argv, 30);
+  const std::size_t repeats = args.repeats;
+  bench::Report report{"ablation_pacemaker", args};
   const std::vector<std::string> protocols{"hotstuff-ns", "librabft", "pbft",
                                            "tendermint"};
 
@@ -26,7 +28,9 @@ int main(int argc, char** argv) {
       SimConfig cfg =
           experiment_config(protocol, 16, 1000, DelaySpec::normal(1000, 300));
       cfg.honest = 16 - f;
-      cells.push_back(bench::latency_cell(run_repeated(cfg, repeats)));
+      const std::string label =
+          "crashed-leaders/" + protocol + "/f=" + std::to_string(f);
+      cells.push_back(bench::latency_cell(report.measure(label, cfg)));
     }
     table_a.print_row(std::cout, cells);
   }
@@ -45,7 +49,7 @@ int main(int argc, char** argv) {
     params["resolve_ms"] = 33'000.0;
     params["mode"] = "drop";
     cfg.attack_params = json::Value{std::move(params)};
-    const Aggregate agg = run_repeated(cfg, repeats);
+    const Aggregate agg = report.measure("healed-partition/" + protocol, cfg);
     table_b.print_row(
         std::cout,
         {protocol,
@@ -60,5 +64,6 @@ int main(int argc, char** argv) {
               "and Tendermint's per-round votes) absorb both stresses with\n"
               "bounded cost; the message-free back-off (HotStuff+NS) pays\n"
               "exponentially under both.\n");
+  report.write();
   return 0;
 }

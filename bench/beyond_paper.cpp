@@ -7,7 +7,9 @@
 
 int main(int argc, char** argv) {
   using namespace bftsim;
-  const std::size_t repeats = bench::repeats_from_args(argc, argv, 50);
+  const bench::BenchArgs args = bench::parse_args(argc, argv, 50);
+  const std::size_t repeats = args.repeats;
+  bench::Report report{"beyond_paper", args};
 
   const std::vector<std::string> protocols{"pbft", "hotstuff-ns", "tendermint",
                                            "sync-hotstuff"};
@@ -23,7 +25,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> cells{protocol};
     for (const DelaySpec& env : environments) {
       SimConfig cfg = experiment_config(protocol, 16, 1000, env);
-      const Aggregate agg = run_repeated(cfg, repeats);
+      const Aggregate agg =
+          report.measure("fig3-style/" + protocol + "/" + env.describe(), cfg);
       cells.push_back(bench::latency_cell(agg));
       cells.push_back(Table::cell(agg.per_decision_messages.mean, ""));
     }
@@ -39,7 +42,9 @@ int main(int argc, char** argv) {
     for (const double lambda : {1000.0, 2000.0, 3000.0}) {
       SimConfig cfg =
           experiment_config(protocol, 16, lambda, DelaySpec::normal(250, 50));
-      cells.push_back(bench::latency_cell(run_repeated(cfg, repeats)));
+      const std::string label = "fig4-style/" + protocol + "/lambda=" +
+                                std::to_string(static_cast<int>(lambda));
+      cells.push_back(bench::latency_cell(report.measure(label, cfg)));
     }
     table_b.print_row(std::cout, cells);
   }
@@ -55,11 +60,12 @@ int main(int argc, char** argv) {
         std::pair{std::string("sync-hotstuff"),
                   std::string("sync-hotstuff-equivocation")}}) {
     SimConfig cfg = experiment_config(protocol, 16, 1000, DelaySpec::normal(250, 50));
-    const Aggregate clean = run_repeated(cfg, repeats);
+    const Aggregate clean = report.measure("equivocation/" + protocol + "/clean", cfg);
     cfg.attack = attack;
-    const Aggregate attacked = run_repeated(cfg, repeats);
+    const Aggregate attacked = report.measure("equivocation/" + protocol + "/attacked", cfg);
     table_c.print_row(std::cout, {protocol, bench::latency_cell(clean),
                                   bench::latency_cell(attacked)});
   }
+  report.write();
   return 0;
 }

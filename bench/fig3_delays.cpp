@@ -8,7 +8,8 @@
 
 int main(int argc, char** argv) {
   using namespace bftsim;
-  const std::size_t repeats = bench::repeats_from_args(argc, argv);
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::Report report{"fig3_delays", args};
 
   const std::vector<DelaySpec> environments{
       DelaySpec::normal(250, 50), DelaySpec::normal(500, 100),
@@ -18,7 +19,7 @@ int main(int argc, char** argv) {
   for (const DelaySpec& env : environments) headers.push_back(env.describe());
 
   bench::print_title("Fig. 3a — latency per decision across network environments",
-                     "n=16, lambda=1000ms, " + std::to_string(repeats) +
+                     "n=16, lambda=1000ms, " + std::to_string(args.repeats) +
                          " runs per cell (mean±std seconds; * = runs hit horizon)");
   Table table{headers, 16};
   table.print_header(std::cout);
@@ -29,7 +30,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> cells{protocol};
     for (const DelaySpec& env : environments) {
       SimConfig cfg = experiment_config(protocol, 16, 1000, env);
-      row.push_back(run_repeated(cfg, repeats));
+      row.push_back(report.measure(protocol + "/" + env.describe(), cfg));
       cells.push_back(bench::latency_cell(row.back()));
     }
     results.push_back(std::move(row));
@@ -44,5 +45,6 @@ int main(int argc, char** argv) {
     for (const Aggregate& agg : results[p]) cells.push_back(bench::message_cell(agg));
     table.print_row(std::cout, cells);
   }
+  report.write();
   return 0;
 }

@@ -7,7 +7,8 @@
 
 int main(int argc, char** argv) {
   using namespace bftsim;
-  const std::size_t repeats = bench::repeats_from_args(argc, argv);
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::Report report{"fig4_overestimate", args};
 
   const std::vector<double> lambdas{1000, 1500, 2000, 2500, 3000};
 
@@ -17,7 +18,7 @@ int main(int argc, char** argv) {
   }
 
   bench::print_title("Fig. 4 — latency when the timeout is overestimated",
-                     "n=16, delay=N(250,50), " + std::to_string(repeats) +
+                     "n=16, delay=N(250,50), " + std::to_string(args.repeats) +
                          " runs per cell (mean±std seconds per decision)");
   Table table{headers, 15};
   table.print_header(std::cout);
@@ -27,11 +28,14 @@ int main(int argc, char** argv) {
     for (const double lambda : lambdas) {
       SimConfig cfg =
           experiment_config(protocol, 16, lambda, DelaySpec::normal(250, 50));
-      cells.push_back(bench::latency_cell(run_repeated(cfg, repeats)));
+      const std::string label =
+          protocol + "/lambda=" + std::to_string(static_cast<int>(lambda));
+      cells.push_back(bench::latency_cell(report.measure(label, cfg)));
     }
     table.print_row(std::cout, cells);
   }
   std::printf("\n(responsive protocols — right of the paper's dotted line —\n"
               " are flat: asyncba, pbft, hotstuff-ns, librabft)\n");
+  report.write();
   return 0;
 }

@@ -7,7 +7,8 @@
 
 int main(int argc, char** argv) {
   using namespace bftsim;
-  const std::size_t repeats = bench::repeats_from_args(argc, argv);
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::Report report{"fig5_underestimate", args};
 
   const std::vector<double> lambdas{150, 250, 500, 1000};
   const std::vector<std::string> protocols{"pbft", "hotstuff-ns", "librabft"};
@@ -18,7 +19,7 @@ int main(int argc, char** argv) {
   }
 
   bench::print_title("Fig. 5 — latency when the timeout is underestimated",
-                     "n=16, delay=N(250,50), " + std::to_string(repeats) +
+                     "n=16, delay=N(250,50), " + std::to_string(args.repeats) +
                          " runs per cell (mean±std seconds per decision)");
   Table table{headers, 15};
   table.print_header(std::cout);
@@ -30,7 +31,9 @@ int main(int argc, char** argv) {
     for (const double lambda : lambdas) {
       SimConfig cfg =
           experiment_config(protocol, 16, lambda, DelaySpec::normal(250, 50));
-      row.push_back(run_repeated(cfg, repeats));
+      const std::string label =
+          protocol + "/lambda=" + std::to_string(static_cast<int>(lambda));
+      row.push_back(report.measure(label, cfg));
       cells.push_back(bench::latency_cell(row.back()));
     }
     all.push_back(std::move(row));
@@ -47,5 +50,6 @@ int main(int argc, char** argv) {
     }
     table.print_row(std::cout, cells);
   }
+  report.write();
   return 0;
 }

@@ -13,7 +13,9 @@
 
 int main(int argc, char** argv) {
   using namespace bftsim;
-  const std::size_t repeats = bench::repeats_from_args(argc, argv, 30);
+  const bench::BenchArgs args = bench::parse_args(argc, argv, 30);
+  const std::size_t repeats = args.repeats;
+  bench::Report report{"fig6_partition", args};
 
   const double resolve_ms = 33'000;
   const std::vector<std::string> protocols{"algorand", "asyncba", "pbft",
@@ -39,7 +41,7 @@ int main(int argc, char** argv) {
     cfg.attack_params = json::Value{std::move(params)};
     cfg.max_time_ms = 600'000;
 
-    const Aggregate agg = run_repeated(cfg, repeats);
+    const Aggregate agg = report.measure(protocol, cfg);
     const double term_s = agg.latency_ms.mean / 1e3;
     table.print_row(
         std::cout,
@@ -52,5 +54,6 @@ int main(int argc, char** argv) {
              : "-",
          std::to_string(agg.timeouts)});
   }
+  report.write();
   return 0;
 }

@@ -7,7 +7,9 @@
 
 int main(int argc, char** argv) {
   using namespace bftsim;
-  const std::size_t repeats = bench::repeats_from_args(argc, argv, 50);
+  const bench::BenchArgs args = bench::parse_args(argc, argv, 50);
+  const std::size_t repeats = args.repeats;
+  bench::Report report{"fig7_failstop", args};
 
   const std::vector<std::uint32_t> failstops{0, 1, 2, 3, 4, 5};
 
@@ -28,9 +30,11 @@ int main(int argc, char** argv) {
           experiment_config(protocol, 16, 1000, DelaySpec::normal(1000, 300));
       cfg.honest = 16 - f;
       cfg.max_time_ms = 600'000;
-      cells.push_back(bench::latency_cell(run_repeated(cfg, repeats)));
+      const std::string label = protocol + "/f=" + std::to_string(f);
+      cells.push_back(bench::latency_cell(report.measure(label, cfg)));
     }
     table.print_row(std::cout, cells);
   }
+  report.write();
   return 0;
 }

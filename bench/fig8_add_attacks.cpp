@@ -13,7 +13,9 @@
 
 int main(int argc, char** argv) {
   using namespace bftsim;
-  const std::size_t repeats = bench::repeats_from_args(argc, argv);
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const std::size_t repeats = args.repeats;
+  bench::Report report{"fig8_add_attacks", args};
 
   bench::print_title("Fig. 8 — ADD+ variants under static / rushing-adaptive attacks",
                      "n=16 (f=7), lambda=1000ms, delay=N(250,50), " +
@@ -32,9 +34,12 @@ int main(int argc, char** argv) {
           experiment_config(variant, 16, 1000, DelaySpec::normal(250, 50));
       cfg.attack = attack;
       cfg.max_time_ms = 600'000;
-      cells.push_back(bench::latency_cell(run_repeated(cfg, repeats)));
+      const std::string label =
+          variant + "/" + (attack.empty() ? "clean" : attack);
+      cells.push_back(bench::latency_cell(report.measure(label, cfg)));
     }
     table.print_row(std::cout, cells);
   }
+  report.write();
   return 0;
 }

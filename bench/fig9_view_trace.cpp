@@ -12,14 +12,18 @@
 
 namespace {
 
-void view_matrix(const bftsim::SimConfig& cfg, const std::string& title);
+void view_matrix(const bftsim::SimConfig& cfg, const bftsim::RunResult& result,
+                 const std::string& title);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace bftsim;
-  const std::uint64_t seed =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4;
+  // The positional argument is the seed here (this bench plots single
+  // runs), not a repetition count; --json still exports both panels.
+  const bench::BenchArgs args = bench::parse_args(argc, argv, 4);
+  const std::uint64_t seed = args.repeats;
+  bench::Report report{"fig9_view_trace", args};
 
   // Panel 1 — the paper's configuration: underestimated timeout.
   SimConfig cfg = experiment_config("hotstuff-ns", 16, 150,
@@ -27,7 +31,10 @@ int main(int argc, char** argv) {
   cfg.seed = seed;
   cfg.record_views = true;
   cfg.max_time_ms = 600'000;
-  view_matrix(cfg, "Fig. 9 — per-node views, HotStuff+NS, λ=150, N(250,50)");
+  const RunResult paper_run = run_simulation(cfg);
+  report.add_single("paper", cfg, paper_run);
+  view_matrix(cfg, paper_run,
+              "Fig. 9 — per-node views, HotStuff+NS, λ=150, N(250,50)");
 
   // Panel 2 — stressed variant: fail-stopped leaders force timeouts, and
   // the naive synchronizer's exponential back-off produces long, visible
@@ -38,16 +45,19 @@ int main(int argc, char** argv) {
   stressed.honest = 12;
   stressed.record_views = true;
   stressed.max_time_ms = 600'000;
-  view_matrix(stressed,
+  const RunResult stressed_run = run_simulation(stressed);
+  report.add_single("stress", stressed, stressed_run);
+  view_matrix(stressed, stressed_run,
               "Fig. 9 (stress) — HotStuff+NS, λ=1000, N(1000,300), 4 fail-stops");
+  report.write();
   return 0;
 }
 
 namespace {
 
-void view_matrix(const bftsim::SimConfig& cfg, const std::string& title) {
+void view_matrix(const bftsim::SimConfig& cfg, const bftsim::RunResult& result,
+                 const std::string& title) {
   using namespace bftsim;
-  const RunResult result = run_simulation(cfg);
 
   bench::print_title(title,
                      "seed=" + std::to_string(cfg.seed) + ", terminated=" +

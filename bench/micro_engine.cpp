@@ -1,12 +1,26 @@
 // Micro-benchmarks of the simulation engine (google-benchmark): event
 // queue throughput, RNG sampling, and end-to-end runs per engine — the raw
-// numbers behind the simulator's Fig. 2 speed.
+// numbers behind the simulator's Fig. 2 speed — plus a serial-vs-parallel
+// experiment-runner comparison whose speedup and determinism check are
+// written to a JSON file (default micro_engine.json; --json PATH to move,
+// --jobs N to size the pool, --skip-micro to run only the comparison).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
 #include "baseline/baseline.hpp"
+#include "bench_common.hpp"
 #include "core/event_queue.hpp"
 #include "core/rng.hpp"
+#include "core/thread_pool.hpp"
 #include "net/delay_model.hpp"
+#include "runner/export.hpp"
+#include "runner/runner.hpp"
 #include "sim/simulation.hpp"
 
 namespace {
@@ -85,6 +99,115 @@ void BM_SimulatePbftPacketLevel(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatePbftPacketLevel)->Arg(16)->Arg(32);
 
+void BM_RunRepeatedParallel(benchmark::State& state) {
+  SimConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.n = 32;
+  cfg.lambda_ms = 1000;
+  cfg.delay = DelaySpec::normal(250, 50);
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_repeated_parallel(cfg, 16, jobs).runs);
+  }
+}
+BENCHMARK(BM_RunRepeatedParallel)->Arg(1)->Arg(2)->Arg(4);
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Times run_repeated vs run_repeated_parallel on the same workload,
+/// checks the aggregates are equivalent, prints the comparison, and
+/// writes it to `json_path`. Speedup tracks the machine: ~min(jobs,
+/// cores)× on idle multi-core hosts, ~1× on a single core.
+void measure_parallel_speedup(const std::string& json_path, std::size_t jobs,
+                              std::size_t repeats) {
+  SimConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.n = 32;
+  cfg.lambda_ms = 1000;
+  cfg.delay = DelaySpec::normal(250, 50);
+  cfg.seed = 1;
+
+  // Warm-up: touch the registry and fault in code/pages outside the
+  // timed sections.
+  (void)run_repeated(cfg, 2);
+
+  const auto serial_start = std::chrono::steady_clock::now();
+  const Aggregate serial = run_repeated(cfg, repeats);
+  const double serial_seconds = seconds_since(serial_start);
+
+  const auto parallel_start = std::chrono::steady_clock::now();
+  const Aggregate parallel = run_repeated_parallel(cfg, repeats, jobs);
+  const double parallel_seconds = seconds_since(parallel_start);
+
+  const bool identical = equivalent(serial, parallel);
+  const double speedup =
+      parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+
+  std::printf("\n--- run_repeated serial vs parallel (pbft, n=32, %zu runs) ---\n",
+              repeats);
+  std::printf("serial:    %.3f s\n", serial_seconds);
+  std::printf("parallel:  %.3f s  (%zu jobs, %u hardware threads)\n",
+              parallel_seconds, jobs, std::thread::hardware_concurrency());
+  std::printf("speedup:   %.2fx\n", speedup);
+  std::printf("aggregates identical (modulo wall clock): %s\n",
+              identical ? "yes" : "NO — determinism bug");
+
+  json::Object o;
+  o["bench"] = "micro_engine";
+  o["workload"] = "run_repeated pbft n=32";
+  o["repeats"] = static_cast<std::int64_t>(repeats);
+  o["jobs"] = static_cast<std::int64_t>(jobs);
+  o["hardware_threads"] =
+      static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  o["serial_seconds"] = serial_seconds;
+  o["parallel_seconds"] = parallel_seconds;
+  o["speedup"] = speedup;
+  o["aggregates_identical"] = identical;
+  o["serial_aggregate"] = aggregate_to_json(serial);
+  o["parallel_aggregate"] = aggregate_to_json(parallel);
+  write_json_file(json_path, json::Value{std::move(o)});
+  std::printf("[speedup record written to %s]\n", json_path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = "micro_engine.json";
+  std::size_t jobs = 4;
+  std::size_t repeats = 64;
+  bool run_micro = true;
+  if (const char* env = std::getenv("BFTSIM_JOBS")) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value > 0) jobs = static_cast<std::size_t>(value);
+  }
+
+  // Strip our flags before handing argv to google-benchmark.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
+      repeats = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--skip-micro") == 0) {
+      run_micro = false;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (jobs == 0) jobs = bftsim::ThreadPool::default_workers();
+  bench::require_writable(json_path);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (run_micro) benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  measure_parallel_speedup(json_path, jobs, repeats);
+  return 0;
+}

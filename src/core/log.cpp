@@ -1,6 +1,7 @@
 #include "core/log.hpp"
 
 #include <iostream>
+#include <mutex>
 
 namespace bftsim {
 
@@ -9,6 +10,9 @@ std::ostream* Log::sink_ = &std::cerr;
 
 void Log::write(LogLevel level, const std::string& line) {
   if (!enabled(level)) return;
+  // Parallel experiment runs share the sink; serialize whole lines.
+  static std::mutex mutex;
+  const std::lock_guard<std::mutex> lock(mutex);
   const char* tag = "";
   switch (level) {
     case LogLevel::kError: tag = "[error] "; break;

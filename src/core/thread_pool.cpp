@@ -1,0 +1,101 @@
+#include "core/thread_pool.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+namespace bftsim {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+std::size_t ThreadPool::default_workers() {
+  if (const char* env = std::getenv("BFTSIM_JOBS")) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value > 0) return static_cast<std::size_t>(value);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+
+  struct Shared {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t done = 0;
+    std::vector<std::exception_ptr> errors;
+  } shared;
+  shared.errors.resize(count);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.submit([&shared, &fn, i, count] {
+      try {
+        fn(i);
+      } catch (...) {
+        shared.errors[i] = std::current_exception();
+      }
+      const std::lock_guard<std::mutex> lock(shared.mutex);
+      if (++shared.done == count) shared.done_cv.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(shared.mutex);
+  shared.done_cv.wait(lock, [&shared, count] { return shared.done == count; });
+  lock.unlock();
+
+  for (std::exception_ptr& error : shared.errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace bftsim

@@ -1,0 +1,67 @@
+// Fixed-size worker pool for fanning independent simulation runs across
+// cores. Deliberately minimal — one shared FIFO task queue, no work
+// stealing, no futures: the experiment runner derives all seeds up front,
+// so tasks are uniform and a single queue keeps execution order (and thus
+// aggregation order) easy to reason about. Destruction drains the queue
+// and joins every worker.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bftsim {
+
+/// A fixed set of worker threads consuming one FIFO queue of tasks.
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (0 is treated as 1).
+  explicit ThreadPool(std::size_t workers);
+
+  /// Drains the remaining queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker. Tasks must not throw —
+  /// use parallel_for() for exception-propagating batch work.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished (the queue is
+  /// empty and no worker is mid-task).
+  void wait_idle();
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Worker count to use when the caller does not specify one: the
+  /// BFTSIM_JOBS environment variable if set to a positive integer, else
+  /// std::thread::hardware_concurrency() (at least 1).
+  [[nodiscard]] static std::size_t default_workers();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< signals workers: task or shutdown
+  std::condition_variable idle_cv_;  ///< signals wait_idle(): drained
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;  ///< tasks popped but not yet finished
+  bool stopping_ = false;
+};
+
+/// Runs `fn(i)` for every i in [0, count) on `pool` and blocks until all
+/// calls return. Exceptions are caught per index; after completion the one
+/// with the lowest index is rethrown on the calling thread (so failures
+/// are deterministic regardless of scheduling).
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace bftsim

@@ -1,3 +1,7 @@
+// Serializers turning runner outputs (RunResult, Aggregate, RunManifest)
+// into json::Value trees, plus the pretty-printing file writer. Key order
+// is deliberate — the json layer preserves insertion order, so exported
+// files diff cleanly across runs.
 #include "runner/export.hpp"
 
 #include <fstream>
@@ -78,6 +82,42 @@ json::Value aggregate_to_json(const Aggregate& aggregate) {
   o["events"] = summary_to_json(aggregate.events);
   o["wall_seconds_total"] = aggregate.wall_seconds_total;
   return json::Value{std::move(o)};
+}
+
+json::Value manifest_to_json(const RunManifest& manifest) {
+  json::Object o;
+  o["name"] = manifest.name;
+  o["protocol"] = manifest.config.protocol;
+  o["n"] = static_cast<std::int64_t>(manifest.config.n);
+  o["lambda_ms"] = manifest.config.lambda_ms;
+  o["delay"] = manifest.config.delay.describe();
+  o["seed_begin"] = static_cast<std::int64_t>(manifest.config.seed);
+  o["seed_end"] =
+      static_cast<std::int64_t>(manifest.config.seed + manifest.repeats);
+  o["repeats"] = static_cast<std::int64_t>(manifest.repeats);
+  o["jobs"] = static_cast<std::int64_t>(manifest.jobs);
+  o["wall_seconds"] = manifest.wall_seconds;
+  o["config"] = manifest.config.to_json();
+  return json::Value{std::move(o)};
+}
+
+json::Value experiment_to_json(const RunManifest& manifest,
+                               const Aggregate& aggregate) {
+  json::Object o;
+  o["manifest"] = manifest_to_json(manifest);
+  o["aggregate"] = aggregate_to_json(aggregate);
+  return json::Value{std::move(o)};
+}
+
+json::Value experiment_to_json(const RunManifest& manifest,
+                               const Aggregate& aggregate,
+                               const std::vector<RunResult>& runs) {
+  json::Value v = experiment_to_json(manifest, aggregate);
+  json::Array run_array;
+  run_array.reserve(runs.size());
+  for (const RunResult& run : runs) run_array.push_back(result_to_json(run));
+  v.as_object()["runs"] = json::Value{std::move(run_array)};
+  return v;
 }
 
 void write_json_file(const std::string& path, const json::Value& value) {

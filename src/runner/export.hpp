@@ -1,14 +1,43 @@
-// JSON export of run results and aggregates, for plotting pipelines and
-// archival of experiment outputs.
+// JSON export of run results, aggregates, and experiment manifests, for
+// plotting pipelines and archival of experiment outputs (the BENCH_*.json
+// trajectory: every bench binary can emit its numbers machine-readably).
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
+#include "core/config.hpp"
 #include "core/json.hpp"
 #include "runner/runner.hpp"
 #include "sim/result.hpp"
 
 namespace bftsim {
+
+/// Identifying metadata of one experiment batch: what was run, with which
+/// seeds, on how many workers, and how long the batch took on the host.
+/// Serialized next to every exported Aggregate so a result file is
+/// self-describing and reproducible.
+struct RunManifest {
+  std::string name;     ///< experiment / sweep-point label (e.g. "fig3/pbft")
+  SimConfig config;     ///< base configuration; config.seed is the first seed
+  std::size_t repeats = 0;  ///< seeds config.seed .. config.seed + repeats - 1
+  std::size_t jobs = 1;     ///< worker threads the batch ran on
+  double wall_seconds = 0.0;  ///< host wall-clock for the whole batch
+};
+
+/// Serializes a manifest (protocol, n, λ, delay spec, seed range, worker
+/// count, wall-clock, and the full config for exact reproduction).
+[[nodiscard]] json::Value manifest_to_json(const RunManifest& manifest);
+
+/// Serializes one experiment: `{"manifest": ..., "aggregate": ...}`.
+[[nodiscard]] json::Value experiment_to_json(const RunManifest& manifest,
+                                             const Aggregate& aggregate);
+
+/// As above, plus a `"runs"` array with every per-run result.
+[[nodiscard]] json::Value experiment_to_json(const RunManifest& manifest,
+                                             const Aggregate& aggregate,
+                                             const std::vector<RunResult>& runs);
 
 /// Serializes one run's outcome (metrics, decisions, optional views).
 /// `include_views` controls the potentially large view trajectory.

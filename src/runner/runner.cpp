@@ -1,15 +1,46 @@
+// Implementation of the repeated-trial experiment driver. The serial and
+// parallel paths share one batch executor and one aggregation routine:
+// seeds are derived up front, per-run results land in a slot indexed by
+// repeat number, and summaries are computed from that vector in order —
+// which is what makes run_repeated_parallel() bit-identical to
+// run_repeated() regardless of worker count or scheduling.
 #include "runner/runner.hpp"
 
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 
+#include "core/thread_pool.hpp"
 #include "protocols/registry.hpp"
 #include "sim/simulation.hpp"
 
 namespace bftsim {
 
-Aggregate run_repeated(const SimConfig& base, std::size_t repeats) {
+namespace {
+
+/// Executes `repeats` runs of `base` with seeds base.seed + i. With more
+/// than one job the runs are fanned across a pool; result order is by
+/// repeat index either way.
+std::vector<RunResult> run_batch(const SimConfig& base, std::size_t repeats,
+                                 std::size_t jobs) {
+  std::vector<RunResult> results(repeats);
+  const auto one_run = [&base, &results](std::size_t i) {
+    SimConfig cfg = base;
+    cfg.seed = base.seed + i;
+    results[i] = run_simulation(cfg);
+  };
+  if (jobs == 1) {
+    for (std::size_t i = 0; i < repeats; ++i) one_run(i);
+  } else {
+    ThreadPool pool(jobs == 0 ? ThreadPool::default_workers() : jobs);
+    parallel_for(pool, repeats, one_run);
+  }
+  return results;
+}
+
+/// Folds per-run results (in repeat order) into an Aggregate. See the
+/// Aggregate comment for the timed-out-run inclusion rule.
+Aggregate aggregate_results(const std::vector<RunResult>& results) {
   Aggregate agg;
   std::vector<double> latency;
   std::vector<double> per_dec_latency;
@@ -17,14 +48,10 @@ Aggregate run_repeated(const SimConfig& base, std::size_t repeats) {
   std::vector<double> per_dec_messages;
   std::vector<double> events;
 
-  for (std::size_t i = 0; i < repeats; ++i) {
-    SimConfig cfg = base;
-    cfg.seed = base.seed + i;
-    const RunResult result = run_simulation(cfg);
+  for (const RunResult& result : results) {
     ++agg.runs;
     agg.wall_seconds_total += result.wall_seconds;
     messages.push_back(static_cast<double>(result.messages_sent));
-    per_dec_messages.push_back(result.per_decision_messages());
     events.push_back(static_cast<double>(result.events_processed));
     if (!result.terminated) {
       ++agg.timeouts;
@@ -32,6 +59,7 @@ Aggregate run_repeated(const SimConfig& base, std::size_t repeats) {
     }
     latency.push_back(result.latency_ms());
     per_dec_latency.push_back(result.per_decision_latency_ms());
+    per_dec_messages.push_back(result.per_decision_messages());
   }
 
   agg.latency_ms = summarize(std::move(latency));
@@ -40,6 +68,59 @@ Aggregate run_repeated(const SimConfig& base, std::size_t repeats) {
   agg.per_decision_messages = summarize(std::move(per_dec_messages));
   agg.events = summarize(std::move(events));
   return agg;
+}
+
+bool summaries_equal(const Summary& a, const Summary& b) noexcept {
+  return a.count == b.count && a.mean == b.mean && a.stddev == b.stddev &&
+         a.min == b.min && a.max == b.max && a.median == b.median &&
+         a.p90 == b.p90 && a.p99 == b.p99;
+}
+
+}  // namespace
+
+bool equivalent(const Aggregate& a, const Aggregate& b) noexcept {
+  return a.runs == b.runs && a.timeouts == b.timeouts &&
+         summaries_equal(a.latency_ms, b.latency_ms) &&
+         summaries_equal(a.per_decision_latency_ms, b.per_decision_latency_ms) &&
+         summaries_equal(a.messages, b.messages) &&
+         summaries_equal(a.per_decision_messages, b.per_decision_messages) &&
+         summaries_equal(a.events, b.events);
+}
+
+Aggregate run_repeated(const SimConfig& base, std::size_t repeats) {
+  return aggregate_results(run_batch(base, repeats, 1));
+}
+
+Aggregate run_repeated_parallel(const SimConfig& base, std::size_t repeats,
+                                std::size_t jobs) {
+  return aggregate_results(run_batch(base, repeats, jobs));
+}
+
+std::vector<Aggregate> run_sweep(const std::vector<SimConfig>& points,
+                                 std::size_t repeats, std::size_t jobs) {
+  std::vector<std::vector<RunResult>> results(points.size());
+  for (std::vector<RunResult>& point_results : results) {
+    point_results.resize(repeats);
+  }
+
+  // One flat task per (point, repeat) pair over one shared pool, so a
+  // point with slow runs cannot serialize the whole sweep behind it.
+  ThreadPool pool(jobs == 0 ? ThreadPool::default_workers() : jobs);
+  parallel_for(pool, points.size() * repeats,
+               [&points, &results, repeats](std::size_t flat) {
+                 const std::size_t p = flat / repeats;
+                 const std::size_t i = flat % repeats;
+                 SimConfig cfg = points[p];
+                 cfg.seed = points[p].seed + i;
+                 results[p][i] = run_simulation(cfg);
+               });
+
+  std::vector<Aggregate> aggregates;
+  aggregates.reserve(points.size());
+  for (const std::vector<RunResult>& point_results : results) {
+    aggregates.push_back(aggregate_results(point_results));
+  }
+  return aggregates;
 }
 
 SimConfig experiment_config(const std::string& protocol, std::uint32_t n,

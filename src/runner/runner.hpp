@@ -16,6 +16,15 @@
 namespace bftsim {
 
 /// Aggregated outcome of repeated runs of one configuration.
+///
+/// Timed-out runs (those that hit the horizon without reaching the decision
+/// target) count toward `runs` and `timeouts` and are included in the raw
+/// volume summaries (`messages`, `events`) — the work they generated is
+/// real. They are excluded from every per-decision and latency summary
+/// (`latency_ms`, `per_decision_latency_ms`, `per_decision_messages`): a
+/// run that never reached its target has no meaningful per-decision rate.
+/// `timeouts > 0` therefore flags that the raw and per-decision summaries
+/// cover different run subsets (their `count` fields show which).
 struct Aggregate {
   std::size_t runs = 0;
   std::size_t timeouts = 0;  ///< runs that hit the horizon without deciding
@@ -33,10 +42,33 @@ struct Aggregate {
   }
 };
 
+/// True when `a` and `b` agree on every deterministic field — run/timeout
+/// counts and all five summaries, compared exactly. Wall-clock totals are
+/// ignored (host timing is the one nondeterministic output). This is the
+/// serial-vs-parallel determinism check used by tests and benches.
+[[nodiscard]] bool equivalent(const Aggregate& a, const Aggregate& b) noexcept;
+
 /// Runs `base` `repeats` times (seeds base.seed, base.seed+1, ...) and
-/// aggregates. Runs that fail to terminate count as timeouts and are
-/// excluded from the latency summaries (message counts still included).
+/// aggregates. Runs that fail to terminate count as timeouts; see the
+/// Aggregate comment for which summaries include them.
 [[nodiscard]] Aggregate run_repeated(const SimConfig& base, std::size_t repeats);
+
+/// Parallel run_repeated: fans the `repeats` independent (config, seed)
+/// runs across `jobs` worker threads (0 = ThreadPool::default_workers()).
+/// Seeds are derived up front and results aggregated in submission order,
+/// and every run owns its own Simulation/RNG/Metrics, so the returned
+/// Aggregate is `equivalent()` to the serial one for any job count.
+[[nodiscard]] Aggregate run_repeated_parallel(const SimConfig& base,
+                                              std::size_t repeats,
+                                              std::size_t jobs);
+
+/// Runs every configuration in `points` `repeats` times, fanning all
+/// (point, seed) pairs across one shared pool of `jobs` workers (0 =
+/// default), and returns one Aggregate per point, in input order. Each
+/// entry is `equivalent()` to `run_repeated(points[i], repeats)`.
+[[nodiscard]] std::vector<Aggregate> run_sweep(const std::vector<SimConfig>& points,
+                                               std::size_t repeats,
+                                               std::size_t jobs);
 
 /// Convenience: configure `protocol` with the registry's measurement
 /// count (10 decisions for pipelined protocols, else 1), per §IV.

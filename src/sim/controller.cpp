@@ -1,3 +1,7 @@
+// The simulation controller's event loop (§III-A1): node/attacker Context
+// implementations, the network send path (delay sampling, topology
+// penalties, attacker interception), timer management, the optional
+// per-node CPU cost model, and run-termination bookkeeping.
 #include "sim/controller.hpp"
 
 #include <algorithm>

@@ -1,3 +1,6 @@
+// Derived metrics over one run's recorded outcome: k-th decision
+// completion times, round complexity (§II-C), and the cross-node
+// decision-consistency (safety) check used by the tests.
 #include "sim/result.hpp"
 
 #include <algorithm>

@@ -1,3 +1,8 @@
+// The run facade: builds a Controller for one configuration, runs it to
+// termination, and stamps the host wall-clock cost onto the result. Each
+// call owns its Controller (and thus its event queue, RNG streams and
+// metrics), so concurrent calls from the parallel runner never share
+// mutable state.
 #include "sim/simulation.hpp"
 
 #include <chrono>

@@ -1,0 +1,134 @@
+#include "core/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace bftsim {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool{4};
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersIsTreatedAsOne) {
+  ThreadPool pool{0};
+  EXPECT_EQ(pool.worker_count(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; });
+  pool.wait_idle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, DestructorDrainsTheQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool{2};
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    // No wait_idle: the destructor must finish the queued work before
+    // joining (join semantics).
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, WaitIdleWithNoTasksReturnsImmediately) {
+  ThreadPool pool{2};
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(pool, hits.size(),
+               [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForPreservesResultOrdering) {
+  // Each task writes to its own slot; the output must be in index order
+  // regardless of which worker ran which task.
+  ThreadPool pool{4};
+  std::vector<std::size_t> out(100, 0);
+  parallel_for(pool, out.size(), [&out](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroCountIsANoop) {
+  ThreadPool pool{2};
+  parallel_for(pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesExceptions) {
+  ThreadPool pool{4};
+  EXPECT_THROW(
+      parallel_for(pool, 16,
+                   [](std::size_t i) {
+                     if (i == 7) throw std::runtime_error("task 7 failed");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsTheLowestIndexError) {
+  // Deterministic choice among concurrent failures: index order, not
+  // completion order.
+  ThreadPool pool{4};
+  try {
+    parallel_for(pool, 16, [](std::size_t i) {
+      if (i % 5 == 3) throw std::runtime_error("idx=" + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "idx=3");
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForFinishesRemainingTasksAfterAFailure) {
+  ThreadPool pool{4};
+  std::atomic<int> completed{0};
+  try {
+    parallel_for(pool, 32, [&completed](std::size_t i) {
+      if (i == 0) throw std::runtime_error("early failure");
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error&) {
+    // parallel_for only returns (and rethrows) once every task ran.
+    EXPECT_EQ(completed.load(), 31);
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossParallelForCalls) {
+  ThreadPool pool{3};
+  std::vector<int> a(10, 0), b(10, 0);
+  parallel_for(pool, a.size(), [&a](std::size_t i) { a[i] = 1; });
+  parallel_for(pool, b.size(), [&b](std::size_t i) { b[i] = 2; });
+  EXPECT_EQ(std::accumulate(a.begin(), a.end(), 0), 10);
+  EXPECT_EQ(std::accumulate(b.begin(), b.end(), 0), 20);
+}
+
+TEST(ThreadPoolTest, DefaultWorkersHonorsEnvOverride) {
+  ASSERT_EQ(setenv("BFTSIM_JOBS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(ThreadPool::default_workers(), 3u);
+  ASSERT_EQ(unsetenv("BFTSIM_JOBS"), 0);
+  EXPECT_GE(ThreadPool::default_workers(), 1u);
+}
+
+}  // namespace
+}  // namespace bftsim

@@ -72,6 +72,62 @@ TEST(ExportTest, AggregateJson) {
   EXPECT_LE(latency.get_number("min", 0), latency.get_number("max", 1e18));
 }
 
+TEST(ExportTest, ManifestJsonDescribesTheBatch) {
+  RunManifest manifest;
+  manifest.name = "fig3/pbft";
+  manifest.config = SimConfig{};
+  manifest.config.protocol = "pbft";
+  manifest.config.n = 16;
+  manifest.config.lambda_ms = 1000;
+  manifest.config.seed = 5;
+  manifest.repeats = 100;
+  manifest.jobs = 4;
+  manifest.wall_seconds = 1.5;
+
+  const json::Value v = manifest_to_json(manifest);
+  EXPECT_EQ(v.get_string("name", ""), "fig3/pbft");
+  EXPECT_EQ(v.get_string("protocol", ""), "pbft");
+  EXPECT_EQ(v.get_int("n", 0), 16);
+  EXPECT_DOUBLE_EQ(v.get_number("lambda_ms", 0), 1000.0);
+  EXPECT_EQ(v.get_int("seed_begin", 0), 5);
+  EXPECT_EQ(v.get_int("seed_end", 0), 105);  // half-open: seed + repeats
+  EXPECT_EQ(v.get_int("repeats", 0), 100);
+  EXPECT_EQ(v.get_int("jobs", 0), 4);
+  EXPECT_DOUBLE_EQ(v.get_number("wall_seconds", 0), 1.5);
+  EXPECT_FALSE(v.get_string("delay", "").empty());
+  // The embedded config must reproduce the run exactly.
+  const json::Value& cfg = v.as_object().at("config");
+  EXPECT_EQ(SimConfig::from_json(cfg).protocol, "pbft");
+  EXPECT_EQ(SimConfig::from_json(cfg).seed, 5u);
+}
+
+TEST(ExportTest, ExperimentJsonBundlesManifestAndAggregate) {
+  SimConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.n = 8;
+  cfg.delay = DelaySpec::normal(250, 50);
+  const Aggregate agg = run_repeated(cfg, 3);
+
+  RunManifest manifest;
+  manifest.name = "test/pbft";
+  manifest.config = cfg;
+  manifest.repeats = 3;
+  manifest.jobs = 2;
+
+  const json::Value v = experiment_to_json(manifest, agg);
+  EXPECT_EQ(v.as_object().at("manifest").get_string("name", ""), "test/pbft");
+  EXPECT_EQ(v.as_object().at("aggregate").get_int("runs", 0), 3);
+  EXPECT_FALSE(v.as_object().contains("runs"));
+
+  // The per-run overload appends every RunResult.
+  std::vector<RunResult> runs{sample_run(), sample_run()};
+  const json::Value with_runs = experiment_to_json(manifest, agg, runs);
+  ASSERT_TRUE(with_runs.as_object().contains("runs"));
+  EXPECT_EQ(with_runs.as_object().at("runs").as_array().size(), 2u);
+  // And the whole document survives a parse round-trip.
+  EXPECT_EQ(json::parse(with_runs.dump(2)).dump(), with_runs.dump());
+}
+
 TEST(ExportTest, WriteJsonFileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/bftsim_export_test.json";
   const json::Value v = result_to_json(sample_run());
