@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "core/rng.hpp"
@@ -78,6 +79,117 @@ TEST(EventQueueTest, CarriesMessageEvents) {
   EXPECT_EQ(delivery.msg.dst, 2u);
 }
 
+namespace {
+struct PingPayload final : Payload {
+  [[nodiscard]] std::string_view type() const noexcept override { return "test/ping"; }
+  [[nodiscard]] std::uint64_t digest() const noexcept override { return 0; }
+};
+}  // namespace
+
+TEST(EventQueueTest, PopHandsOverThePayloadWithoutRetainingACopy) {
+  EventQueue queue;
+  PayloadPtr payload = make_payload<PingPayload>();
+  Message msg;
+  msg.src = 1;
+  msg.dst = 2;
+  msg.payload = payload;
+  queue.push(10, MessageDelivery{std::move(msg)});
+  // One owner here, one inside the queued event.
+  EXPECT_EQ(payload.use_count(), 2);
+  {
+    const Event ev = queue.pop();
+    // The pop moved the event out: ownership transferred, nothing retained.
+    EXPECT_EQ(payload.use_count(), 2);
+    EXPECT_EQ(std::get<MessageDelivery>(ev.body).msg.payload.get(), payload.get());
+  }
+  EXPECT_EQ(payload.use_count(), 1);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, CancelTombstonesOnlyPendingTimers) {
+  EventQueue queue;
+  queue.push(10, TimerFire{TimerOwner::kNode, 0, /*timer=*/5, 0});
+  EXPECT_EQ(queue.pending_timer_count(), 1u);
+
+  // Never-scheduled id: rejected, no tombstone.
+  EXPECT_FALSE(queue.cancel_timer(99));
+  EXPECT_EQ(queue.tombstone_count(), 0u);
+
+  // Pending id: tombstoned exactly once.
+  EXPECT_TRUE(queue.cancel_timer(5));
+  EXPECT_FALSE(queue.cancel_timer(5));  // double-cancel is a no-op
+  EXPECT_EQ(queue.tombstone_count(), 1u);
+  EXPECT_EQ(queue.pending_timer_count(), 0u);
+
+  // The fire event still pops (lazy deletion), and the dispatcher's
+  // consume call retires the tombstone.
+  const Event ev = queue.pop();
+  EXPECT_TRUE(queue.consume_cancellation(std::get<TimerFire>(ev.body).timer));
+  EXPECT_FALSE(queue.consume_cancellation(5));
+  EXPECT_EQ(queue.tombstone_count(), 0u);
+}
+
+TEST(EventQueueTest, CancelAfterFireLeavesNoTombstone) {
+  EventQueue queue;
+  queue.push(10, TimerFire{TimerOwner::kNode, 0, /*timer=*/7, 0});
+  const Event ev = queue.pop();
+  EXPECT_FALSE(queue.consume_cancellation(std::get<TimerFire>(ev.body).timer));
+  // The timer already fired; a late cancel must not leak a tombstone that
+  // no future pop would ever consume.
+  EXPECT_FALSE(queue.cancel_timer(7));
+  EXPECT_EQ(queue.tombstone_count(), 0u);
+  EXPECT_EQ(queue.pending_timer_count(), 0u);
+}
+
+TEST(EventQueueTest, TimerChurnKeepsBookkeepingBounded) {
+  // The pacemaker pattern: a steady pool of armed timeouts where rounds
+  // keep cancelling some and re-arming others. Pre-overhaul, every
+  // cancellation left a controller-side tombstone that nothing retired,
+  // so a long-churning run accumulated them without bound. Now both sets
+  // must stay bounded by the number of timers actually in the queue.
+  EventQueue queue;
+  Rng rng{2024};
+  TimerId next_id = 1;
+  Time clock = 0;
+  constexpr std::size_t kDepth = 8;
+  std::vector<TimerId> live;  // armed and not cancelled, per the test
+  for (std::size_t i = 0; i < kDepth; ++i) {
+    const TimerId id = next_id++;
+    queue.push(clock + 1 + static_cast<Time>(i),
+               TimerFire{TimerOwner::kNode, 0, id, 0});
+    live.push_back(id);
+  }
+  for (int round = 0; round < 5'000; ++round) {
+    if (round % 3 == 0 && !live.empty()) {
+      EXPECT_TRUE(queue.cancel_timer(live.front()));
+      live.erase(live.begin());
+    }
+    const Event ev = queue.pop();
+    clock = ev.at;
+    const TimerId fired = std::get<TimerFire>(ev.body).timer;
+    const bool was_cancelled = queue.consume_cancellation(fired);
+    const auto it = std::find(live.begin(), live.end(), fired);
+    EXPECT_EQ(was_cancelled, it == live.end());
+    if (it != live.end()) live.erase(it);
+    const TimerId id = next_id++;
+    queue.push(clock + 1 + static_cast<Time>(rng.next_below(16)),
+               TimerFire{TimerOwner::kNode, 0, id, 0});
+    live.push_back(id);
+    ASSERT_EQ(queue.size(), kDepth) << "round " << round;
+    ASSERT_LE(queue.tombstone_count(), kDepth) << "round " << round;
+    ASSERT_EQ(queue.pending_timer_count() + queue.tombstone_count(),
+              queue.size())
+        << "round " << round;
+  }
+  // Draining the queue retires every remaining tombstone.
+  while (!queue.empty()) {
+    const Event ev = queue.pop();
+    (void)queue.consume_cancellation(std::get<TimerFire>(ev.body).timer);
+  }
+  EXPECT_EQ(queue.tombstone_count(), 0u);
+  EXPECT_EQ(queue.pending_timer_count(), 0u);
+}
+
 class EventQueuePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(EventQueuePropertyTest, RandomSchedulesPopSorted) {
@@ -93,7 +205,9 @@ TEST_P(EventQueuePropertyTest, RandomSchedulesPopSorted) {
   for (int i = 0; i < n; ++i) {
     const Event ev = queue.pop();
     EXPECT_GE(ev.at, prev);
-    if (!first && ev.at == prev) EXPECT_GT(ev.seq, prev_seq);  // stable ties
+    if (!first && ev.at == prev) {
+      EXPECT_GT(ev.seq, prev_seq);  // stable ties
+    }
     prev = ev.at;
     prev_seq = ev.seq;
     first = false;
