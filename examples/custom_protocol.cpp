@@ -25,16 +25,21 @@ namespace {
 
 using namespace bftsim;
 
+// Custom payloads pick dispatch tags at or above kUserBase; registering a
+// name next to the protocol keeps per-type metrics readable.
 struct GossipValue final : Payload {
+  static constexpr PayloadType kType = PayloadType::kUserBase;
   Value value;
-  explicit GossipValue(Value v) : value(v) {}
+  explicit GossipValue(Value v) : Payload(kType), value(v) {}
   std::string_view type() const noexcept override { return "gossip/value"; }
   std::uint64_t digest() const noexcept override { return hash_words({value}); }
 };
 
 struct GossipConfirm final : Payload {
+  static constexpr PayloadType kType =
+      static_cast<PayloadType>(to_index(PayloadType::kUserBase) + 1);
   Value value;
-  explicit GossipConfirm(Value v) : value(v) {}
+  explicit GossipConfirm(Value v) : Payload(kType), value(v) {}
   std::string_view type() const noexcept override { return "gossip/confirm"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({value, 0xC0ULL});
@@ -94,6 +99,8 @@ class JitterAmplifier final : public Attacker {
 };
 
 void register_extensions() {
+  PayloadTypeRegistry::instance().add(GossipValue::kType, "gossip/value");
+  PayloadTypeRegistry::instance().add(GossipConfirm::kType, "gossip/confirm");
   ProtocolRegistry::instance().add(
       {"majority-gossip", NetModel::kPartialSync, byzantine_third, 1,
        [](NodeId, const SimConfig&) -> std::unique_ptr<Node> {

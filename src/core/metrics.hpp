@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "net/payload_type.hpp"
 
 namespace bftsim {
 
@@ -37,7 +38,20 @@ class Metrics {
   void on_inject() noexcept { ++messages_injected_; }
   void on_timer() noexcept { ++timers_fired_; }
   void on_event() noexcept { ++events_processed_; }
-  void count_type(const std::string& type) { ++per_type_[type]; }
+
+  /// Per-kind message counting, hot path: one flat-array increment. The
+  /// branch only fires for user-defined tags above the builtin range.
+  void count_type(PayloadType t) {
+    const std::size_t index = to_index(t);
+    if (index >= typed_counts_.size()) [[unlikely]] {
+      typed_counts_.resize(index + 1, 0);
+    }
+    ++typed_counts_[index];
+  }
+
+  /// Fallback for untagged payloads (PayloadType::kUnknown): counts under
+  /// the payload's type() string. Allocates; not on the builtin hot path.
+  void count_type(const std::string& type) { ++untyped_counts_[type]; }
 
   void on_decision(Decision d) { decisions_.push_back(d); }
   void on_view(ViewRecord v) { views_.push_back(v); }
@@ -49,9 +63,10 @@ class Metrics {
   [[nodiscard]] std::uint64_t messages_injected() const noexcept { return messages_injected_; }
   [[nodiscard]] std::uint64_t timers_fired() const noexcept { return timers_fired_; }
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_processed_; }
-  [[nodiscard]] const std::map<std::string, std::uint64_t>& per_type() const noexcept {
-    return per_type_;
-  }
+  /// Per-kind send counts keyed by human-readable name, rebuilt on demand
+  /// from the flat tag array (via PayloadTypeRegistry) plus the untagged
+  /// fallback map. Only report/teardown code calls this.
+  [[nodiscard]] std::map<std::string, std::uint64_t> per_type() const;
   [[nodiscard]] const std::vector<Decision>& decisions() const noexcept {
     return decisions_;
   }
@@ -75,7 +90,10 @@ class Metrics {
   std::uint64_t messages_injected_ = 0;
   std::uint64_t timers_fired_ = 0;
   std::uint64_t events_processed_ = 0;
-  std::map<std::string, std::uint64_t> per_type_;
+  /// Indexed by to_index(PayloadType); pre-sized so builtin tags never grow it.
+  std::vector<std::uint64_t> typed_counts_ =
+      std::vector<std::uint64_t>(to_index(PayloadType::kBuiltinSentinel), 0);
+  std::map<std::string, std::uint64_t> untyped_counts_;
   std::vector<Decision> decisions_;
   std::vector<ViewRecord> views_;
 };

@@ -6,13 +6,23 @@
 // message's payload (modification attack) but never mutates a payload in
 // place, since payloads are shared between the fan-out copies of a
 // broadcast.
+//
+// Every payload carries a PayloadType tag (a stable small integer set at
+// construction, see net/payload_type.hpp). Dispatch switches on the tag —
+// `Message::type_id()` / `Message::is()` — and `as<T>()` is a tag-checked
+// static_cast, so the per-message hot path never touches RTTI. Payload
+// classes without a `kType` member (untagged user payloads) keep the old
+// dynamic_cast behavior.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <string_view>
+#include <type_traits>
 
 #include "core/types.hpp"
+#include "net/payload_type.hpp"
 
 namespace bftsim {
 
@@ -20,13 +30,19 @@ namespace bftsim {
 ///
 /// `type()` is a stable, human-readable tag used by traces, the validator
 /// and attackers; `digest()` is a deterministic fingerprint of the payload
-/// contents used for trace hashing and cross-validation.
+/// contents used for trace hashing and cross-validation. `type_id()` is
+/// the non-virtual dispatch tag; derived classes pass their PayloadType up
+/// through the constructor (and conventionally expose it as a static
+/// `kType` member so Message::as<T>() can check it).
 class Payload {
  public:
   Payload() = default;
+  explicit Payload(PayloadType type_id) noexcept : type_id_(type_id) {}
   Payload(const Payload&) = default;
   Payload& operator=(const Payload&) = default;
   virtual ~Payload() = default;
+
+  [[nodiscard]] PayloadType type_id() const noexcept { return type_id_; }
 
   [[nodiscard]] virtual std::string_view type() const noexcept = 0;
   [[nodiscard]] virtual std::uint64_t digest() const noexcept = 0;
@@ -34,6 +50,9 @@ class Payload {
   /// Estimated wire size in bytes, used by the packet-level baseline
   /// simulator to fragment messages. Message-level simulation ignores it.
   [[nodiscard]] virtual std::size_t wire_size() const noexcept { return 128; }
+
+ private:
+  PayloadType type_id_ = PayloadType::kUnknown;
 };
 
 using PayloadPtr = std::shared_ptr<const Payload>;
@@ -44,6 +63,12 @@ template <typename T, typename... Args>
   return std::make_shared<const T>(std::forward<Args>(args)...);
 }
 
+/// True when payload class T declares its dispatch tag.
+template <typename T>
+concept TaggedPayload = requires {
+  { T::kType } -> std::convertible_to<PayloadType>;
+};
+
 /// A message in the simulated network.
 struct Message {
   NodeId src = kNoNode;
@@ -52,10 +77,27 @@ struct Message {
   std::uint64_t id = 0;  ///< unique per transmission, assigned by the network
   PayloadPtr payload;
 
+  /// Dispatch tag of the payload (kUnknown when empty or untagged).
+  [[nodiscard]] PayloadType type_id() const noexcept {
+    return payload != nullptr ? payload->type_id() : PayloadType::kUnknown;
+  }
+
+  /// True when the payload carries tag `t`.
+  [[nodiscard]] bool is(PayloadType t) const noexcept { return type_id() == t; }
+
   /// Downcasts the payload to a concrete type; returns nullptr on mismatch.
+  /// Tag-checked static_cast for tagged payloads (the debug assert catches
+  /// a kType that lies about the dynamic type); dynamic_cast otherwise.
   template <typename T>
   [[nodiscard]] const T* as() const noexcept {
-    return dynamic_cast<const T*>(payload.get());
+    if constexpr (TaggedPayload<T>) {
+      if (payload == nullptr || payload->type_id() != T::kType) return nullptr;
+      assert(dynamic_cast<const T*>(payload.get()) != nullptr &&
+             "payload kType does not match its dynamic type");
+      return static_cast<const T*>(payload.get());
+    } else {
+      return dynamic_cast<const T*>(payload.get());
+    }
   }
 };
 

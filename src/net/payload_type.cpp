@@ -1,0 +1,83 @@
+#include "net/payload_type.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace bftsim {
+
+PayloadTypeRegistry& PayloadTypeRegistry::instance() {
+  static PayloadTypeRegistry registry = [] {
+    PayloadTypeRegistry r;
+    register_builtin_payload_types(r);
+    return r;
+  }();
+  return registry;
+}
+
+void PayloadTypeRegistry::add(PayloadType id, std::string_view name) {
+  const std::size_t index = to_index(id);
+  if (index >= names_.size()) names_.resize(index + 1);
+  if (!names_[index].empty() && names_[index] != name) {
+    throw std::invalid_argument("payload type id " + std::to_string(index) +
+                                " already registered as " + names_[index]);
+  }
+  names_[index] = std::string(name);
+}
+
+std::string PayloadTypeRegistry::name(PayloadType id) const {
+  const std::size_t index = to_index(id);
+  if (index < names_.size() && !names_[index].empty()) return names_[index];
+  return "payload-type-" + std::to_string(index);
+}
+
+bool PayloadTypeRegistry::contains(PayloadType id) const noexcept {
+  const std::size_t index = to_index(id);
+  return index < names_.size() && !names_[index].empty();
+}
+
+std::size_t PayloadTypeRegistry::index_limit() const noexcept {
+  return names_.size();
+}
+
+void register_builtin_payload_types(PayloadTypeRegistry& registry) {
+  if (registry.contains(PayloadType::kPbftPrePrepare)) return;  // already done
+
+  registry.add(PayloadType::kPbftPrePrepare, "pbft/pre-prepare");
+  registry.add(PayloadType::kPbftPrepare, "pbft/prepare");
+  registry.add(PayloadType::kPbftCommit, "pbft/commit");
+  registry.add(PayloadType::kPbftViewChange, "pbft/view-change");
+  registry.add(PayloadType::kPbftNewView, "pbft/new-view");
+
+  registry.add(PayloadType::kHotStuffProposal, "hotstuff/proposal");
+  registry.add(PayloadType::kHotStuffVote, "hotstuff/vote");
+  registry.add(PayloadType::kHotStuffBlockRequest, "hotstuff/block-req");
+  registry.add(PayloadType::kHotStuffBlockResponse, "hotstuff/block-resp");
+
+  registry.add(PayloadType::kLibraTimeout, "librabft/timeout");
+  registry.add(PayloadType::kLibraTimeoutCertificate, "librabft/tc");
+
+  registry.add(PayloadType::kTendermintProposal, "tendermint/proposal");
+  registry.add(PayloadType::kTendermintPrevote, "tendermint/prevote");
+  registry.add(PayloadType::kTendermintPrecommit, "tendermint/precommit");
+
+  registry.add(PayloadType::kSyncHotStuffProposal, "sync-hs/proposal");
+  registry.add(PayloadType::kSyncHotStuffVote, "sync-hs/vote");
+  registry.add(PayloadType::kSyncHotStuffBlame, "sync-hs/blame");
+
+  registry.add(PayloadType::kAddElect, "add/elect");
+  registry.add(PayloadType::kAddPropose, "add/propose");
+  registry.add(PayloadType::kAddPrepare, "add/prepare");
+  registry.add(PayloadType::kAddVote, "add/vote");
+  registry.add(PayloadType::kAddCommit, "add/commit");
+
+  registry.add(PayloadType::kAlgorandProposal, "algorand/proposal");
+  registry.add(PayloadType::kAlgorandSoftVote, "algorand/soft-vote");
+  registry.add(PayloadType::kAlgorandCertVote, "algorand/cert-vote");
+  registry.add(PayloadType::kAlgorandNextVote, "algorand/next-vote");
+
+  registry.add(PayloadType::kBrachaInit, "asyncba/init");
+  registry.add(PayloadType::kBrachaEcho, "asyncba/echo");
+  registry.add(PayloadType::kBrachaReady, "asyncba/ready");
+}
+
+}  // namespace bftsim

@@ -1,0 +1,109 @@
+// Payload type tags: stable small-integer ids for every message kind.
+//
+// The hot-path message dispatch (Node::on_message) switches on these tags
+// instead of walking dynamic_cast chains; Message::as<T>() checks the tag
+// and static_casts (with a debug-build dynamic_cast assert). Ids are
+// stable across runs and registered alongside the protocol registry, so
+// metrics can count message kinds with a flat array increment instead of
+// a per-send string allocation and map lookup.
+//
+// Custom protocols pick ids at or above kUserBase and may register a
+// human-readable name; see examples/custom_protocol.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace bftsim {
+
+/// Stable id per message kind. Builtin protocols enumerate below
+/// kBuiltinSentinel; user protocols start at kUserBase.
+enum class PayloadType : std::uint16_t {
+  kUnknown = 0,  ///< untagged payload: as<T>() falls back to dynamic_cast
+
+  // PBFT.
+  kPbftPrePrepare,
+  kPbftPrepare,
+  kPbftCommit,
+  kPbftViewChange,
+  kPbftNewView,
+
+  // Chained HotStuff core (shared by hotstuff-ns and librabft).
+  kHotStuffProposal,
+  kHotStuffVote,
+  kHotStuffBlockRequest,
+  kHotStuffBlockResponse,
+
+  // LibraBFT pacemaker.
+  kLibraTimeout,
+  kLibraTimeoutCertificate,
+
+  // Tendermint.
+  kTendermintProposal,
+  kTendermintPrevote,
+  kTendermintPrecommit,
+
+  // Sync HotStuff.
+  kSyncHotStuffProposal,
+  kSyncHotStuffVote,
+  kSyncHotStuffBlame,
+
+  // ADD+ variants.
+  kAddElect,
+  kAddPropose,
+  kAddPrepare,
+  kAddVote,
+  kAddCommit,
+
+  // Algorand.
+  kAlgorandProposal,
+  kAlgorandSoftVote,
+  kAlgorandCertVote,
+  kAlgorandNextVote,
+
+  // Bracha async BA.
+  kBrachaInit,
+  kBrachaEcho,
+  kBrachaReady,
+
+  kBuiltinSentinel,  ///< one past the last builtin id
+
+  /// First id available to user-defined protocols.
+  kUserBase = 64,
+};
+
+[[nodiscard]] constexpr std::uint16_t to_index(PayloadType t) noexcept {
+  return static_cast<std::uint16_t>(t);
+}
+
+/// Maps payload type ids to their human-readable names (the same strings
+/// the payloads' virtual type() returns). Builtins are registered on first
+/// access; custom protocols register theirs next to their ProtocolRegistry
+/// entry.
+class PayloadTypeRegistry {
+ public:
+  /// The singleton registry, with all builtin types registered.
+  [[nodiscard]] static PayloadTypeRegistry& instance();
+
+  /// Registers a type id; throws std::invalid_argument when the id is
+  /// already registered under a different name.
+  void add(PayloadType id, std::string_view name);
+
+  /// Name for `id`; "payload-type-<id>" when unregistered.
+  [[nodiscard]] std::string name(PayloadType id) const;
+
+  [[nodiscard]] bool contains(PayloadType id) const noexcept;
+
+  /// Largest registered index + 1 (sizing hint for per-type count arrays).
+  [[nodiscard]] std::size_t index_limit() const noexcept;
+
+ private:
+  PayloadTypeRegistry() = default;
+  std::vector<std::string> names_;  ///< indexed by to_index(id); "" = absent
+};
+
+/// Registers names for every builtin payload type (idempotent).
+void register_builtin_payload_types(PayloadTypeRegistry& registry);
+
+}  // namespace bftsim

@@ -130,72 +130,81 @@ void AddNode::try_commit_phase(std::uint64_t iter, Value value, Context& ctx) {
 }
 
 void AddNode::on_message(const Message& msg, Context& ctx) {
-  if (const auto* elect = msg.as<AddElect>()) {
-    if (variant_ != Variant::kV2) return;
-    if (!ctx.vrf().verify(msg.src, elect->iter, elect->credential)) return;
-    const auto it = min_elect_.find(elect->iter);
-    if (it == min_elect_.end() || elect->credential.value < it->second.first) {
-      min_elect_[elect->iter] = {elect->credential.value, msg.src};
-    }
-    return;
+  switch (msg.type_id()) {
+    case PayloadType::kAddElect: handle_elect(msg, ctx); break;
+    case PayloadType::kAddPropose: handle_propose(msg, ctx); break;
+    case PayloadType::kAddPrepare: handle_prepare(msg, ctx); break;
+    case PayloadType::kAddVote: handle_vote(msg, ctx); break;
+    case PayloadType::kAddCommit: handle_commit(msg, ctx); break;
+    default: break;
   }
+}
 
-  if (const auto* prop = msg.as<AddPropose>()) {
-    switch (variant_) {
-      case Variant::kV1:
-        if (msg.src == prop->iter % ctx.n()) {
-          auto& slot = leader_proposal_[prop->iter];
-          if (!slot.has_value()) slot = prop->value;
-          // A different second value would be equivocation; first wins.
-        }
-        break;
-      case Variant::kV2: {
-        proposals_[prop->iter][msg.src] = prop->value;
-        const auto elect = min_elect_.find(prop->iter);
-        if (elect != min_elect_.end() && elect->second.second == msg.src) {
-          auto& slot = leader_proposal_[prop->iter];
-          if (!slot.has_value()) slot = prop->value;
-        }
-        break;
+void AddNode::handle_elect(const Message& msg, Context& ctx) {
+  const auto* elect = msg.as<AddElect>();
+  if (variant_ != Variant::kV2) return;
+  if (!ctx.vrf().verify(msg.src, elect->iter, elect->credential)) return;
+  const auto it = min_elect_.find(elect->iter);
+  if (it == min_elect_.end() || elect->credential.value < it->second.first) {
+    min_elect_[elect->iter] = {elect->credential.value, msg.src};
+  }
+}
+
+void AddNode::handle_propose(const Message& msg, Context& ctx) {
+  const auto* prop = msg.as<AddPropose>();
+  switch (variant_) {
+    case Variant::kV1:
+      if (msg.src == prop->iter % ctx.n()) {
+        auto& slot = leader_proposal_[prop->iter];
+        if (!slot.has_value()) slot = prop->value;
+        // A different second value would be equivocation; first wins.
       }
-      case Variant::kV3: {
-        if (!prop->has_credential ||
-            !ctx.vrf().verify(msg.src, prop->iter, prop->credential)) {
-          return;
-        }
-        const auto it = best_proposal_.find(prop->iter);
-        if (it == best_proposal_.end() ||
-            prop->credential.value < it->second.first) {
-          best_proposal_[prop->iter] = {prop->credential.value, prop->value};
-        }
-        break;
+      break;
+    case Variant::kV2: {
+      proposals_[prop->iter][msg.src] = prop->value;
+      const auto elect = min_elect_.find(prop->iter);
+      if (elect != min_elect_.end() && elect->second.second == msg.src) {
+        auto& slot = leader_proposal_[prop->iter];
+        if (!slot.has_value()) slot = prop->value;
       }
+      break;
     }
-    return;
-  }
-
-  if (const auto* prep = msg.as<AddPrepare>()) {
-    if (variant_ != Variant::kV3) return;
-    votes_.add({prep->iter, prep->value}, msg.src);
-    try_commit_phase(prep->iter, prep->value, ctx);
-    return;
-  }
-
-  if (const auto* vote = msg.as<AddVote>()) {
-    if (variant_ == Variant::kV3) return;
-    votes_.add({vote->iter, vote->value}, msg.src);
-    try_commit_phase(vote->iter, vote->value, ctx);
-    return;
-  }
-
-  if (const auto* commit = msg.as<AddCommit>()) {
-    if (commits_.add_reaches({commit->iter, commit->value}, msg.src, quorum(ctx)) &&
-        !decided_) {
-      decided_ = true;
-      lock_ = commit->value;
-      ctx.report_decision(commit->value);
+    case Variant::kV3: {
+      if (!prop->has_credential ||
+          !ctx.vrf().verify(msg.src, prop->iter, prop->credential)) {
+        return;
+      }
+      const auto it = best_proposal_.find(prop->iter);
+      if (it == best_proposal_.end() ||
+          prop->credential.value < it->second.first) {
+        best_proposal_[prop->iter] = {prop->credential.value, prop->value};
+      }
+      break;
     }
-    return;
+  }
+}
+
+void AddNode::handle_prepare(const Message& msg, Context& ctx) {
+  const auto* prep = msg.as<AddPrepare>();
+  if (variant_ != Variant::kV3) return;
+  votes_.add({prep->iter, prep->value}, msg.src);
+  try_commit_phase(prep->iter, prep->value, ctx);
+}
+
+void AddNode::handle_vote(const Message& msg, Context& ctx) {
+  const auto* vote = msg.as<AddVote>();
+  if (variant_ == Variant::kV3) return;
+  votes_.add({vote->iter, vote->value}, msg.src);
+  try_commit_phase(vote->iter, vote->value, ctx);
+}
+
+void AddNode::handle_commit(const Message& msg, Context& ctx) {
+  const auto* commit = msg.as<AddCommit>();
+  if (commits_.add_reaches({commit->iter, commit->value}, msg.src, quorum(ctx)) &&
+      !decided_) {
+    decided_ = true;
+    lock_ = commit->value;
+    ctx.report_decision(commit->value);
   }
 }
 

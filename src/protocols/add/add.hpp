@@ -38,10 +38,11 @@ namespace bftsim::add {
 enum class Variant : std::uint8_t { kV1, kV2, kV3 };
 
 struct AddElect final : Payload {  // v2 only
+  static constexpr PayloadType kType = PayloadType::kAddElect;
   std::uint64_t iter = 0;
   VrfOutput credential;
 
-  AddElect(std::uint64_t i, VrfOutput c) : iter(i), credential(c) {}
+  AddElect(std::uint64_t i, VrfOutput c) : Payload(kType), iter(i), credential(c) {}
   std::string_view type() const noexcept override { return "add/elect"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x454cULL, iter, credential.value});
@@ -50,14 +51,15 @@ struct AddElect final : Payload {  // v2 only
 };
 
 struct AddPropose final : Payload {
+  static constexpr PayloadType kType = PayloadType::kAddPropose;
   std::uint64_t iter = 0;
   Value value = 0;
   bool has_credential = false;  // v3 carries the credential in the proposal
   VrfOutput credential;
 
-  AddPropose(std::uint64_t i, Value v) : iter(i), value(v) {}
+  AddPropose(std::uint64_t i, Value v) : Payload(kType), iter(i), value(v) {}
   AddPropose(std::uint64_t i, Value v, VrfOutput c)
-      : iter(i), value(v), has_credential(true), credential(c) {}
+      : Payload(kType), iter(i), value(v), has_credential(true), credential(c) {}
   std::string_view type() const noexcept override { return "add/propose"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x5052ULL, iter, value, credential.value});
@@ -66,10 +68,11 @@ struct AddPropose final : Payload {
 };
 
 struct AddPrepare final : Payload {  // v3 only
+  static constexpr PayloadType kType = PayloadType::kAddPrepare;
   std::uint64_t iter = 0;
   Value value = 0;
 
-  AddPrepare(std::uint64_t i, Value v) : iter(i), value(v) {}
+  AddPrepare(std::uint64_t i, Value v) : Payload(kType), iter(i), value(v) {}
   std::string_view type() const noexcept override { return "add/prepare"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x5245ULL, iter, value});
@@ -78,10 +81,11 @@ struct AddPrepare final : Payload {  // v3 only
 };
 
 struct AddVote final : Payload {
+  static constexpr PayloadType kType = PayloadType::kAddVote;
   std::uint64_t iter = 0;
   Value value = 0;
 
-  AddVote(std::uint64_t i, Value v) : iter(i), value(v) {}
+  AddVote(std::uint64_t i, Value v) : Payload(kType), iter(i), value(v) {}
   std::string_view type() const noexcept override { return "add/vote"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x564fULL, iter, value});
@@ -90,10 +94,11 @@ struct AddVote final : Payload {
 };
 
 struct AddCommit final : Payload {
+  static constexpr PayloadType kType = PayloadType::kAddCommit;
   std::uint64_t iter = 0;
   Value value = 0;
 
-  AddCommit(std::uint64_t i, Value v) : iter(i), value(v) {}
+  AddCommit(std::uint64_t i, Value v) : Payload(kType), iter(i), value(v) {}
   std::string_view type() const noexcept override { return "add/commit"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x434fULL, iter, value});
@@ -127,6 +132,11 @@ class AddNode final : public Node {
   void step(std::uint64_t iter, std::uint64_t round, Context& ctx);
   void do_vote(std::uint64_t iter, Context& ctx);
   void try_commit_phase(std::uint64_t iter, Value value, Context& ctx);
+  void handle_elect(const Message& msg, Context& ctx);
+  void handle_propose(const Message& msg, Context& ctx);
+  void handle_prepare(const Message& msg, Context& ctx);
+  void handle_vote(const Message& msg, Context& ctx);
+  void handle_commit(const Message& msg, Context& ctx);
 
   NodeId id_;
   Variant variant_;

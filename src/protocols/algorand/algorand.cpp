@@ -84,36 +84,43 @@ void AlgorandNode::on_timer(const TimerEvent& ev, Context& ctx) {
 }
 
 void AlgorandNode::on_message(const Message& msg, Context& ctx) {
-  if (const auto* prop = msg.as<AlgoProposal>()) {
-    if (!ctx.vrf().verify(msg.src, prop->period, prop->credential)) return;
-    const auto it = best_proposal_.find(prop->period);
-    if (it == best_proposal_.end() || prop->credential.value < it->second.first) {
-      best_proposal_[prop->period] = {prop->credential.value, prop->value};
+  switch (msg.type_id()) {
+    case PayloadType::kAlgorandProposal: {
+      const auto* prop = msg.as<AlgoProposal>();
+      if (!ctx.vrf().verify(msg.src, prop->period, prop->credential)) return;
+      const auto it = best_proposal_.find(prop->period);
+      if (it == best_proposal_.end() || prop->credential.value < it->second.first) {
+        best_proposal_[prop->period] = {prop->credential.value, prop->value};
+      }
+      break;
     }
-    return;
-  }
-  if (const auto* soft = msg.as<AlgoSoftVote>()) {
-    if (soft_votes_.add_reaches({soft->period, soft->value}, msg.src, quorum(ctx)) &&
-        soft->period == period_ && cert_voted_.mark(soft->period)) {
-      cert_value_[soft->period] = soft->value;
-      ctx.broadcast(make_payload<AlgoCertVote>(soft->period, soft->value));
+    case PayloadType::kAlgorandSoftVote: {
+      const auto* soft = msg.as<AlgoSoftVote>();
+      if (soft_votes_.add_reaches({soft->period, soft->value}, msg.src, quorum(ctx)) &&
+          soft->period == period_ && cert_voted_.mark(soft->period)) {
+        cert_value_[soft->period] = soft->value;
+        ctx.broadcast(make_payload<AlgoCertVote>(soft->period, soft->value));
+      }
+      break;
     }
-    return;
-  }
-  if (const auto* cert = msg.as<AlgoCertVote>()) {
-    if (cert_votes_.add_reaches({cert->period, cert->value}, msg.src, quorum(ctx)) &&
-        !decided_) {
-      decided_ = true;
-      ctx.report_decision(cert->value);
+    case PayloadType::kAlgorandCertVote: {
+      const auto* cert = msg.as<AlgoCertVote>();
+      if (cert_votes_.add_reaches({cert->period, cert->value}, msg.src, quorum(ctx)) &&
+          !decided_) {
+        decided_ = true;
+        ctx.report_decision(cert->value);
+      }
+      break;
     }
-    return;
-  }
-  if (const auto* next = msg.as<AlgoNextVote>()) {
-    if (next_votes_.add_reaches({next->period, next->value}, msg.src, quorum(ctx)) &&
-        next->period >= period_) {
-      enter_period(next->period + 1, next->value, ctx);
+    case PayloadType::kAlgorandNextVote: {
+      const auto* next = msg.as<AlgoNextVote>();
+      if (next_votes_.add_reaches({next->period, next->value}, msg.src, quorum(ctx)) &&
+          next->period >= period_) {
+        enter_period(next->period + 1, next->value, ctx);
+      }
+      break;
     }
-    return;
+    default: break;
   }
 }
 

@@ -26,12 +26,13 @@
 namespace bftsim::algorand {
 
 struct AlgoProposal final : Payload {
+  static constexpr PayloadType kType = PayloadType::kAlgorandProposal;
   std::uint64_t period = 1;
   Value value = 0;
   VrfOutput credential;
 
   AlgoProposal(std::uint64_t p, Value v, VrfOutput c)
-      : period(p), value(v), credential(c) {}
+      : Payload(kType), period(p), value(v), credential(c) {}
   std::string_view type() const noexcept override { return "algorand/proposal"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x4150ULL, period, value, credential.value});
@@ -40,10 +41,11 @@ struct AlgoProposal final : Payload {
 };
 
 struct AlgoSoftVote final : Payload {
+  static constexpr PayloadType kType = PayloadType::kAlgorandSoftVote;
   std::uint64_t period = 1;
   Value value = 0;
 
-  AlgoSoftVote(std::uint64_t p, Value v) : period(p), value(v) {}
+  AlgoSoftVote(std::uint64_t p, Value v) : Payload(kType), period(p), value(v) {}
   std::string_view type() const noexcept override { return "algorand/soft-vote"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x4153ULL, period, value});
@@ -52,10 +54,11 @@ struct AlgoSoftVote final : Payload {
 };
 
 struct AlgoCertVote final : Payload {
+  static constexpr PayloadType kType = PayloadType::kAlgorandCertVote;
   std::uint64_t period = 1;
   Value value = 0;
 
-  AlgoCertVote(std::uint64_t p, Value v) : period(p), value(v) {}
+  AlgoCertVote(std::uint64_t p, Value v) : Payload(kType), period(p), value(v) {}
   std::string_view type() const noexcept override { return "algorand/cert-vote"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x4143ULL, period, value});
@@ -64,10 +67,11 @@ struct AlgoCertVote final : Payload {
 };
 
 struct AlgoNextVote final : Payload {
+  static constexpr PayloadType kType = PayloadType::kAlgorandNextVote;
   std::uint64_t period = 1;
   Value value = kBottom;  ///< kBottom encodes ⊥
 
-  AlgoNextVote(std::uint64_t p, Value v) : period(p), value(v) {}
+  AlgoNextVote(std::uint64_t p, Value v) : Payload(kType), period(p), value(v) {}
   std::string_view type() const noexcept override { return "algorand/next-vote"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x414eULL, period, value});

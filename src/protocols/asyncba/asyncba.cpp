@@ -35,40 +35,46 @@ void AsyncBaNode::rbc_broadcast(Context& ctx) {
 }
 
 void AsyncBaNode::on_message(const Message& msg, Context& ctx) {
-  if (const auto* init = msg.as<BrachaInit>()) {
-    // Echo the originator's value (first value only: conflicting inits from
-    // an equivocating origin are ignored, which is RBC's whole point).
-    const RbcKey key{init->round, init->step, msg.src};
-    if (echo_sent_.mark(key)) {
-      echoed_[key] = init->value;
-      ctx.broadcast(
-          make_payload<BrachaEcho>(init->round, init->step, msg.src, init->value));
+  switch (msg.type_id()) {
+    case PayloadType::kBrachaInit: {
+      const auto* init = msg.as<BrachaInit>();
+      // Echo the originator's value (first value only: conflicting inits from
+      // an equivocating origin are ignored, which is RBC's whole point).
+      const RbcKey key{init->round, init->step, msg.src};
+      if (echo_sent_.mark(key)) {
+        echoed_[key] = init->value;
+        ctx.broadcast(
+            make_payload<BrachaEcho>(init->round, init->step, msg.src, init->value));
+      }
+      break;
     }
-    return;
-  }
-  if (const auto* echo = msg.as<BrachaEcho>()) {
-    const RbcKey key{echo->round, echo->step, echo->origin};
-    if (echoes_.add_reaches({key, echo->value}, msg.src, echo_quorum(ctx)) &&
-        ready_sent_.mark(key)) {
-      readied_[key] = echo->value;
-      ctx.broadcast(
-          make_payload<BrachaReady>(echo->round, echo->step, echo->origin, echo->value));
+    case PayloadType::kBrachaEcho: {
+      const auto* echo = msg.as<BrachaEcho>();
+      const RbcKey key{echo->round, echo->step, echo->origin};
+      if (echoes_.add_reaches({key, echo->value}, msg.src, echo_quorum(ctx)) &&
+          ready_sent_.mark(key)) {
+        readied_[key] = echo->value;
+        ctx.broadcast(
+            make_payload<BrachaReady>(echo->round, echo->step, echo->origin, echo->value));
+      }
+      break;
     }
-    return;
-  }
-  if (const auto* ready = msg.as<BrachaReady>()) {
-    const RbcKey key{ready->round, ready->step, ready->origin};
-    readies_.add(std::pair{key, ready->value}, msg.src);
-    // Amplification: f+1 readies are proof enough to join the broadcast.
-    if (readies_.count({key, ready->value}) >= ctx.f() + 1 && ready_sent_.mark(key)) {
-      readied_[key] = ready->value;
-      ctx.broadcast(
-          make_payload<BrachaReady>(ready->round, ready->step, ready->origin, ready->value));
+    case PayloadType::kBrachaReady: {
+      const auto* ready = msg.as<BrachaReady>();
+      const RbcKey key{ready->round, ready->step, ready->origin};
+      readies_.add(std::pair{key, ready->value}, msg.src);
+      // Amplification: f+1 readies are proof enough to join the broadcast.
+      if (readies_.count({key, ready->value}) >= ctx.f() + 1 && ready_sent_.mark(key)) {
+        readied_[key] = ready->value;
+        ctx.broadcast(
+            make_payload<BrachaReady>(ready->round, ready->step, ready->origin, ready->value));
+      }
+      if (readies_.count({key, ready->value}) >= 2 * ctx.f() + 1) {
+        try_accept(key, ready->value, ctx);
+      }
+      break;
     }
-    if (readies_.count({key, ready->value}) >= 2 * ctx.f() + 1) {
-      try_accept(key, ready->value, ctx);
-    }
-    return;
+    default: break;
   }
 }
 

@@ -27,11 +27,13 @@ namespace bftsim::asyncba {
 using RbcKey = std::tuple<std::uint64_t, std::uint8_t, NodeId>;
 
 struct BrachaInit final : Payload {
+  static constexpr PayloadType kType = PayloadType::kBrachaInit;
   std::uint64_t round = 0;
   std::uint8_t step = 1;
   Value value = 0;
 
-  BrachaInit(std::uint64_t r, std::uint8_t s, Value v) : round(r), step(s), value(v) {}
+  BrachaInit(std::uint64_t r, std::uint8_t s, Value v)
+      : Payload(kType), round(r), step(s), value(v) {}
   std::string_view type() const noexcept override { return "asyncba/init"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x494eULL, round, step, value});
@@ -40,13 +42,14 @@ struct BrachaInit final : Payload {
 };
 
 struct BrachaEcho final : Payload {
+  static constexpr PayloadType kType = PayloadType::kBrachaEcho;
   std::uint64_t round = 0;
   std::uint8_t step = 1;
   NodeId origin = kNoNode;
   Value value = 0;
 
   BrachaEcho(std::uint64_t r, std::uint8_t s, NodeId o, Value v)
-      : round(r), step(s), origin(o), value(v) {}
+      : Payload(kType), round(r), step(s), origin(o), value(v) {}
   std::string_view type() const noexcept override { return "asyncba/echo"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x4543ULL, round, step, origin, value});
@@ -55,13 +58,14 @@ struct BrachaEcho final : Payload {
 };
 
 struct BrachaReady final : Payload {
+  static constexpr PayloadType kType = PayloadType::kBrachaReady;
   std::uint64_t round = 0;
   std::uint8_t step = 1;
   NodeId origin = kNoNode;
   Value value = 0;
 
   BrachaReady(std::uint64_t r, std::uint8_t s, NodeId o, Value v)
-      : round(r), step(s), origin(o), value(v) {}
+      : Payload(kType), round(r), step(s), origin(o), value(v) {}
   std::string_view type() const noexcept override { return "asyncba/ready"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x5244ULL, round, step, origin, value});

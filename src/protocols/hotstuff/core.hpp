@@ -45,21 +45,23 @@ inline constexpr Value kGenesisId = 0x67656e65736973ULL;  // "genesis"
 // --- messages ---------------------------------------------------------------
 
 struct Proposal final : Payload {
+  static constexpr PayloadType kType = PayloadType::kHotStuffProposal;
   Block block;
   Signature sig;
 
-  Proposal(Block b, Signature s) : block(b), sig(s) {}
+  Proposal(Block b, Signature s) : Payload(kType), block(b), sig(s) {}
   std::string_view type() const noexcept override { return "hotstuff/proposal"; }
   std::uint64_t digest() const noexcept override { return block.digest(); }
   std::size_t wire_size() const noexcept override { return 512; }
 };
 
 struct Vote final : Payload {
+  static constexpr PayloadType kType = PayloadType::kHotStuffVote;
   View view = 0;
   Value block_id = 0;
   Signature sig;
 
-  Vote(View v, Value b, Signature s) : view(v), block_id(b), sig(s) {}
+  Vote(View v, Value b, Signature s) : Payload(kType), view(v), block_id(b), sig(s) {}
   std::string_view type() const noexcept override { return "hotstuff/vote"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x564fULL, view, block_id});
@@ -70,9 +72,10 @@ struct Vote final : Payload {
 /// Request for missing ancestor blocks, sent to the peer whose message
 /// referenced an unknown block.
 struct BlockRequest final : Payload {
+  static constexpr PayloadType kType = PayloadType::kHotStuffBlockRequest;
   Value block_id = 0;
 
-  explicit BlockRequest(Value b) : block_id(b) {}
+  explicit BlockRequest(Value b) : Payload(kType), block_id(b) {}
   std::string_view type() const noexcept override { return "hotstuff/block-req"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x4252ULL, block_id});
@@ -81,9 +84,10 @@ struct BlockRequest final : Payload {
 };
 
 struct BlockResponse final : Payload {
+  static constexpr PayloadType kType = PayloadType::kHotStuffBlockResponse;
   std::vector<Block> blocks;  ///< requested block and up to kChunk ancestors
 
-  explicit BlockResponse(std::vector<Block> b) : blocks(std::move(b)) {}
+  explicit BlockResponse(std::vector<Block> b) : Payload(kType), blocks(std::move(b)) {}
   std::string_view type() const noexcept override { return "hotstuff/block-resp"; }
   std::uint64_t digest() const noexcept override {
     std::uint64_t h = 0x4253ULL;

@@ -34,10 +34,10 @@ void HotStuffNsNode::propose(Context& ctx) {
 
 void HotStuffNsNode::on_message(const Message& msg, Context& ctx) {
   if (core_.handle_catchup(msg, ctx)) return;
-  if (msg.as<Proposal>() != nullptr) {
-    handle_proposal(msg, ctx);
-  } else if (msg.as<Vote>() != nullptr) {
-    handle_vote(msg, ctx);
+  switch (msg.type_id()) {
+    case PayloadType::kHotStuffProposal: handle_proposal(msg, ctx); break;
+    case PayloadType::kHotStuffVote: handle_vote(msg, ctx); break;
+    default: break;
   }
 }
 

@@ -63,14 +63,14 @@ void LibraBftNode::propose(Context& ctx) {
 
 void LibraBftNode::on_message(const Message& msg, Context& ctx) {
   if (core_.handle_catchup(msg, ctx)) return;
-  if (msg.as<Proposal>() != nullptr) {
-    handle_proposal(msg, ctx);
-  } else if (msg.as<Vote>() != nullptr) {
-    handle_vote(msg, ctx);
-  } else if (msg.as<TimeoutMsg>() != nullptr) {
-    handle_timeout(msg, ctx);
-  } else if (const auto* tc = msg.as<TcMsg>()) {
-    handle_tc(tc->tc, ctx);
+  switch (msg.type_id()) {
+    case PayloadType::kHotStuffProposal: handle_proposal(msg, ctx); break;
+    case PayloadType::kHotStuffVote: handle_vote(msg, ctx); break;
+    case PayloadType::kLibraTimeout: handle_timeout(msg, ctx); break;
+    case PayloadType::kLibraTimeoutCertificate:
+      handle_tc(msg.as<TcMsg>()->tc, ctx);
+      break;
+    default: break;
   }
 }
 

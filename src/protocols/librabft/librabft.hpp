@@ -23,10 +23,11 @@ using hotstuff::Block;
 using hotstuff::Core;
 
 struct TimeoutMsg final : Payload {
+  static constexpr PayloadType kType = PayloadType::kLibraTimeout;
   View view = 0;
   Signature sig;
 
-  TimeoutMsg(View v, Signature s) : view(v), sig(s) {}
+  TimeoutMsg(View v, Signature s) : Payload(kType), view(v), sig(s) {}
   std::string_view type() const noexcept override { return "librabft/timeout"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x544fULL, view});
@@ -35,9 +36,10 @@ struct TimeoutMsg final : Payload {
 };
 
 struct TcMsg final : Payload {
+  static constexpr PayloadType kType = PayloadType::kLibraTimeoutCertificate;
   TimeoutCert tc;
 
-  explicit TcMsg(TimeoutCert t) : tc(std::move(t)) {}
+  explicit TcMsg(TimeoutCert t) : Payload(kType), tc(std::move(t)) {}
   std::string_view type() const noexcept override { return "librabft/tc"; }
   std::uint64_t digest() const noexcept override { return tc.digest(); }
   std::size_t wire_size() const noexcept override { return 256; }

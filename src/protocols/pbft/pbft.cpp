@@ -45,16 +45,13 @@ void PbftNode::propose(Context& ctx) {
 }
 
 void PbftNode::on_message(const Message& msg, Context& ctx) {
-  if (msg.as<PrePrepare>() != nullptr) {
-    handle_pre_prepare(msg, ctx);
-  } else if (msg.as<Prepare>() != nullptr) {
-    handle_prepare(msg, ctx);
-  } else if (msg.as<Commit>() != nullptr) {
-    handle_commit(msg, ctx);
-  } else if (msg.as<ViewChange>() != nullptr) {
-    handle_view_change(msg, ctx);
-  } else if (msg.as<NewView>() != nullptr) {
-    handle_new_view(msg, ctx);
+  switch (msg.type_id()) {
+    case PayloadType::kPbftPrePrepare: handle_pre_prepare(msg, ctx); break;
+    case PayloadType::kPbftPrepare: handle_prepare(msg, ctx); break;
+    case PayloadType::kPbftCommit: handle_commit(msg, ctx); break;
+    case PayloadType::kPbftViewChange: handle_view_change(msg, ctx); break;
+    case PayloadType::kPbftNewView: handle_new_view(msg, ctx); break;
+    default: break;
   }
 }
 

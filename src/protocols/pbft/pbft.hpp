@@ -32,13 +32,14 @@ namespace bftsim::pbft {
 // --- messages ---------------------------------------------------------------
 
 struct PrePrepare final : Payload {
+  static constexpr PayloadType kType = PayloadType::kPbftPrePrepare;
   View view = 0;
   std::uint64_t seq = 0;
   Value value = kBottom;
   Signature sig;
 
   PrePrepare(View v, std::uint64_t s, Value val, Signature signature)
-      : view(v), seq(s), value(val), sig(signature) {}
+      : Payload(kType), view(v), seq(s), value(val), sig(signature) {}
   std::string_view type() const noexcept override { return "pbft/pre-prepare"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x5050ULL, view, seq, value});
@@ -47,13 +48,14 @@ struct PrePrepare final : Payload {
 };
 
 struct Prepare final : Payload {
+  static constexpr PayloadType kType = PayloadType::kPbftPrepare;
   View view = 0;
   std::uint64_t seq = 0;
   Value value = kBottom;
   Signature sig;
 
   Prepare(View v, std::uint64_t s, Value val, Signature signature)
-      : view(v), seq(s), value(val), sig(signature) {}
+      : Payload(kType), view(v), seq(s), value(val), sig(signature) {}
   std::string_view type() const noexcept override { return "pbft/prepare"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x5052ULL, view, seq, value});
@@ -62,13 +64,14 @@ struct Prepare final : Payload {
 };
 
 struct Commit final : Payload {
+  static constexpr PayloadType kType = PayloadType::kPbftCommit;
   View view = 0;
   std::uint64_t seq = 0;
   Value value = kBottom;
   Signature sig;
 
   Commit(View v, std::uint64_t s, Value val, Signature signature)
-      : view(v), seq(s), value(val), sig(signature) {}
+      : Payload(kType), view(v), seq(s), value(val), sig(signature) {}
   std::string_view type() const noexcept override { return "pbft/commit"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x434dULL, view, seq, value});
@@ -77,6 +80,7 @@ struct Commit final : Payload {
 };
 
 struct ViewChange final : Payload {
+  static constexpr PayloadType kType = PayloadType::kPbftViewChange;
   View new_view = 0;
   std::uint64_t seq = 0;  ///< the sender's working sequence number
   bool has_prepared = false;
@@ -85,7 +89,7 @@ struct ViewChange final : Payload {
   Signature sig;
 
   ViewChange(View nv, std::uint64_t s, bool hp, View pv, Value pval, Signature signature)
-      : new_view(nv), seq(s), has_prepared(hp), prepared_view(pv),
+      : Payload(kType), new_view(nv), seq(s), has_prepared(hp), prepared_view(pv),
         prepared_value(pval), sig(signature) {}
   std::string_view type() const noexcept override { return "pbft/view-change"; }
   std::uint64_t digest() const noexcept override {
@@ -97,6 +101,7 @@ struct ViewChange final : Payload {
 };
 
 struct NewView final : Payload {
+  static constexpr PayloadType kType = PayloadType::kPbftNewView;
   View new_view = 0;
   std::uint64_t seq = 0;
   bool has_prepared = false;
@@ -104,7 +109,8 @@ struct NewView final : Payload {
   Signature sig;
 
   NewView(View nv, std::uint64_t s, bool hp, Value pval, Signature signature)
-      : new_view(nv), seq(s), has_prepared(hp), prepared_value(pval), sig(signature) {}
+      : Payload(kType), new_view(nv), seq(s), has_prepared(hp), prepared_value(pval),
+        sig(signature) {}
   std::string_view type() const noexcept override { return "pbft/new-view"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x4e56ULL, new_view, seq,

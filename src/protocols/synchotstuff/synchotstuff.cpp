@@ -48,12 +48,11 @@ void SyncHotStuffNode::propose(Context& ctx) {
 }
 
 void SyncHotStuffNode::on_message(const Message& msg, Context& ctx) {
-  if (msg.as<ShsProposal>() != nullptr) {
-    handle_proposal(msg, ctx);
-  } else if (msg.as<ShsVote>() != nullptr) {
-    handle_vote(msg, ctx);
-  } else if (msg.as<ShsBlame>() != nullptr) {
-    handle_blame(msg, ctx);
+  switch (msg.type_id()) {
+    case PayloadType::kSyncHotStuffProposal: handle_proposal(msg, ctx); break;
+    case PayloadType::kSyncHotStuffVote: handle_vote(msg, ctx); break;
+    case PayloadType::kSyncHotStuffBlame: handle_blame(msg, ctx); break;
+    default: break;
   }
 }
 

@@ -37,13 +37,14 @@
 namespace bftsim::synchotstuff {
 
 struct ShsProposal final : Payload {
+  static constexpr PayloadType kType = PayloadType::kSyncHotStuffProposal;
   std::uint64_t height = 0;
   View view = 0;
   Value value = 0;
   Signature sig;
 
   ShsProposal(std::uint64_t h, View v, Value val, Signature s)
-      : height(h), view(v), value(val), sig(s) {}
+      : Payload(kType), height(h), view(v), value(val), sig(s) {}
   std::string_view type() const noexcept override { return "sync-hs/proposal"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x5348ULL, height, view, value});
@@ -52,13 +53,14 @@ struct ShsProposal final : Payload {
 };
 
 struct ShsVote final : Payload {
+  static constexpr PayloadType kType = PayloadType::kSyncHotStuffVote;
   std::uint64_t height = 0;
   View view = 0;
   Value value = 0;
   Signature sig;
 
   ShsVote(std::uint64_t h, View v, Value val, Signature s)
-      : height(h), view(v), value(val), sig(s) {}
+      : Payload(kType), height(h), view(v), value(val), sig(s) {}
   std::string_view type() const noexcept override { return "sync-hs/vote"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x5356ULL, height, view, value});
@@ -67,10 +69,11 @@ struct ShsVote final : Payload {
 };
 
 struct ShsBlame final : Payload {
+  static constexpr PayloadType kType = PayloadType::kSyncHotStuffBlame;
   View view = 0;
   Signature sig;
 
-  ShsBlame(View v, Signature s) : view(v), sig(s) {}
+  ShsBlame(View v, Signature s) : Payload(kType), view(v), sig(s) {}
   std::string_view type() const noexcept override { return "sync-hs/blame"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x5342ULL, view});

@@ -72,12 +72,11 @@ void TendermintNode::on_timer(const TimerEvent& ev, Context& ctx) {
 }
 
 void TendermintNode::on_message(const Message& msg, Context& ctx) {
-  if (msg.as<TmProposal>() != nullptr) {
-    handle_proposal(msg, ctx);
-  } else if (msg.as<TmPrevote>() != nullptr) {
-    handle_prevote(msg, ctx);
-  } else if (msg.as<TmPrecommit>() != nullptr) {
-    handle_precommit(msg, ctx);
+  switch (msg.type_id()) {
+    case PayloadType::kTendermintProposal: handle_proposal(msg, ctx); break;
+    case PayloadType::kTendermintPrevote: handle_prevote(msg, ctx); break;
+    case PayloadType::kTendermintPrecommit: handle_precommit(msg, ctx); break;
+    default: break;
   }
 }
 

@@ -29,6 +29,7 @@ namespace bftsim::tendermint {
 
 /// Round identifier within a height; nil votes carry kBottom as value.
 struct TmProposal final : Payload {
+  static constexpr PayloadType kType = PayloadType::kTendermintProposal;
   std::uint64_t height = 0;
   std::uint64_t round = 0;
   Value value = 0;
@@ -37,7 +38,7 @@ struct TmProposal final : Payload {
 
   TmProposal(std::uint64_t h, std::uint64_t r, Value v, std::int64_t vr,
              Signature s)
-      : height(h), round(r), value(v), valid_round(vr), sig(s) {}
+      : Payload(kType), height(h), round(r), value(v), valid_round(vr), sig(s) {}
   std::string_view type() const noexcept override { return "tendermint/proposal"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x5450ULL, height, round, value,
@@ -47,13 +48,14 @@ struct TmProposal final : Payload {
 };
 
 struct TmPrevote final : Payload {
+  static constexpr PayloadType kType = PayloadType::kTendermintPrevote;
   std::uint64_t height = 0;
   std::uint64_t round = 0;
   Value value = kBottom;  ///< kBottom = nil
   Signature sig;
 
   TmPrevote(std::uint64_t h, std::uint64_t r, Value v, Signature s)
-      : height(h), round(r), value(v), sig(s) {}
+      : Payload(kType), height(h), round(r), value(v), sig(s) {}
   std::string_view type() const noexcept override { return "tendermint/prevote"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x5456ULL, height, round, value});
@@ -62,13 +64,14 @@ struct TmPrevote final : Payload {
 };
 
 struct TmPrecommit final : Payload {
+  static constexpr PayloadType kType = PayloadType::kTendermintPrecommit;
   std::uint64_t height = 0;
   std::uint64_t round = 0;
   Value value = kBottom;  ///< kBottom = nil
   Signature sig;
 
   TmPrecommit(std::uint64_t h, std::uint64_t r, Value v, Signature s)
-      : height(h), round(r), value(v), sig(s) {}
+      : Payload(kType), height(h), round(r), value(v), sig(s) {}
   std::string_view type() const noexcept override { return "tendermint/precommit"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x5443ULL, height, round, value});

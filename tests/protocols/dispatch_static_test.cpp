@@ -1,0 +1,46 @@
+// Enforces the tag-dispatch contract on the protocol sources: on_message
+// chains must switch on Message::type_id() / use the tag-checked as<T>(),
+// never RTTI. A dynamic_cast creeping back into src/protocols would silently
+// reintroduce the per-delivery RTTI cost this PR removed, so the absence is
+// asserted here rather than left to review.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef BFTSIM_REPO_ROOT
+#error "BFTSIM_REPO_ROOT must point at the repository checkout"
+#endif
+
+namespace {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(DispatchStaticTest, NoDynamicCastInProtocolSources) {
+  const std::filesystem::path root =
+      std::filesystem::path(BFTSIM_REPO_ROOT) / "src" / "protocols";
+  ASSERT_TRUE(std::filesystem::is_directory(root));
+  std::size_t scanned = 0;
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::filesystem::path& path = entry.path();
+    const std::string ext = path.extension().string();
+    if (ext != ".hpp" && ext != ".cpp") continue;
+    ++scanned;
+    const std::string contents = read_file(path);
+    EXPECT_EQ(contents.find("dynamic_cast"), std::string::npos)
+        << "RTTI dispatch in " << path.string()
+        << " — use PayloadType tags (Message::is / as<T>) instead";
+  }
+  // Sanity: the scan actually saw the protocol tree (all eight protocols).
+  EXPECT_GE(scanned, 16u);
+}
+
+}  // namespace
