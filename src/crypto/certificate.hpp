@@ -19,6 +19,12 @@ struct QuorumCert {
 
   [[nodiscard]] bool valid(std::uint32_t quorum) const noexcept {
     if (signers.size() < quorum) return false;
+    // Certificates assembled from vote trackers carry ascending signer
+    // lists, so distinctness is checkable in place; the copy + sort only
+    // runs for unsorted lists (e.g. attacker-forged certificates).
+    if (std::is_sorted(signers.begin(), signers.end())) {
+      return std::adjacent_find(signers.begin(), signers.end()) == signers.end();
+    }
     std::vector<NodeId> s = signers;
     std::sort(s.begin(), s.end());
     return std::adjacent_find(s.begin(), s.end()) == s.end();  // distinct
@@ -42,6 +48,9 @@ struct TimeoutCert {
 
   [[nodiscard]] bool valid(std::uint32_t quorum) const noexcept {
     if (signers.size() < quorum) return false;
+    if (std::is_sorted(signers.begin(), signers.end())) {
+      return std::adjacent_find(signers.begin(), signers.end()) == signers.end();
+    }
     std::vector<NodeId> s = signers;
     std::sort(s.begin(), s.end());
     return std::adjacent_find(s.begin(), s.end()) == s.end();

@@ -1,13 +1,42 @@
 // Vote-counting utilities shared by the protocol implementations.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <set>
+#include <vector>
 
 #include "core/types.hpp"
 
 namespace bftsim {
+
+/// Sorted, duplicate-free voter list. Vote sets are quorum-sized (tens of
+/// entries), so a flat vector with ordered insertion beats a node-based
+/// std::set on every operation; iteration stays ascending, which is what
+/// keeps certificate signer lists — and therefore digests and message
+/// contents — identical to the std::set it replaced.
+class VoterSet {
+ public:
+  /// Inserts `voter`; returns false on duplicates.
+  bool insert(NodeId voter) {
+    const auto it = std::lower_bound(ids_.begin(), ids_.end(), voter);
+    if (it != ids_.end() && *it == voter) return false;
+    ids_.insert(it, voter);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ids_.empty(); }
+  [[nodiscard]] bool contains(NodeId voter) const noexcept {
+    return std::binary_search(ids_.begin(), ids_.end(), voter);
+  }
+  [[nodiscard]] auto begin() const noexcept { return ids_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return ids_.end(); }
+
+ private:
+  std::vector<NodeId> ids_;
+};
 
 /// Counts distinct voters per key (e.g. per (view, value) pair) and reports
 /// when a quorum is first reached.
@@ -16,7 +45,7 @@ class QuorumTracker {
  public:
   /// Records `voter`'s vote for `key`; returns false on duplicate votes.
   bool add(const Key& key, NodeId voter) {
-    return votes_[key].insert(voter).second;
+    return votes_[key].insert(voter);
   }
 
   [[nodiscard]] std::size_t count(const Key& key) const noexcept {
@@ -37,9 +66,9 @@ class QuorumTracker {
     return !was_reached && voters.size() >= quorum;
   }
 
-  /// The distinct voters recorded for `key`.
-  [[nodiscard]] const std::set<NodeId>& voters(const Key& key) const {
-    static const std::set<NodeId> kEmpty;
+  /// The distinct voters recorded for `key`, in ascending id order.
+  [[nodiscard]] const VoterSet& voters(const Key& key) const {
+    static const VoterSet kEmpty;
     const auto it = votes_.find(key);
     return it == votes_.end() ? kEmpty : it->second;
   }
@@ -47,7 +76,7 @@ class QuorumTracker {
   void clear() noexcept { votes_.clear(); }
 
  private:
-  std::map<Key, std::set<NodeId>> votes_;
+  std::map<Key, VoterSet> votes_;
 };
 
 /// Remembers keys for which an action was already performed (e.g. "already

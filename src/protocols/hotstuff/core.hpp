@@ -13,7 +13,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <unordered_map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -162,7 +162,10 @@ class Core {
   [[nodiscard]] bool extends(const Block& descendant, Value ancestor_id) const noexcept;
 
   NodeId id_;
-  std::map<Value, Block> blocks_;
+  /// Block ids are uniform 64-bit hashes, looked up on every proposal /
+  /// ancestry walk and never iterated — a hash map keeps the walk O(1)
+  /// per hop instead of a tree descent per hop.
+  std::unordered_map<Value, Block> blocks_;
   QuorumCert high_qc_;
   QuorumCert locked_qc_;
   std::uint64_t last_reported_height_ = 0;  ///< genesis is height 0

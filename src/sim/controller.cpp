@@ -41,10 +41,7 @@ class Controller::NodeCtx final : public Context {
   void broadcast(PayloadPtr payload, bool include_self) override {
     // One signature covers the whole fan-out.
     const Time wire_at = c_.charge_cpu(id_, c_.sign_cost_);
-    for (NodeId dst = 0; dst < c_.cfg_.n; ++dst) {
-      if (dst == id_) continue;
-      c_.network_send(id_, dst, payload, wire_at - c_.now_);
-    }
+    c_.network_broadcast(id_, payload, wire_at - c_.now_);
     if (include_self) c_.deliver_self(id_, std::move(payload));
   }
 
@@ -80,15 +77,15 @@ class Controller::AtkCtx final : public AttackerContext {
   bool corrupt(NodeId node) override { return c_.corrupt(node); }
 
   bool is_corrupt(NodeId node) const noexcept override {
-    return c_.corrupt_.contains(node);
+    return c_.is_corrupt(node);
   }
 
   std::uint32_t corrupted_count() const noexcept override {
-    return static_cast<std::uint32_t>(c_.corrupt_.size());
+    return static_cast<std::uint32_t>(c_.corrupted_order_.size());
   }
 
   Signature sign_as(NodeId node, std::uint64_t digest) override {
-    if (!c_.corrupt_.contains(node)) {
+    if (!c_.is_corrupt(node)) {
       return Signature{node, digest, 0};  // unforgeable: invalid tag
     }
     return c_.signer_.sign(node, digest);
@@ -164,6 +161,13 @@ Controller::Controller(SimConfig cfg)
   sign_cost_ = from_ms(cfg_.cost.sign_ms);
   cost_model_on_ = cfg_.cost.enabled();
   cpu_free_.assign(cfg_.n, 0);
+  corrupt_flags_.assign(cfg_.n, 0);
+
+  // Size the event queue for the steady-state backlog: every node can have
+  // a broadcast in flight (n-1 deliveries each) plus timers; the heap's
+  // backing vector then recycles its slots for the rest of the run.
+  queue_.reserve(static_cast<std::size_t>(cfg_.n) * cfg_.n + 256);
+  if (cost_model_on_) cpu_charged_.reserve(256);
 
   attacker_ = make_attacker(cfg_);
   atk_ctx_ = std::make_unique<AtkCtx>(*this);
@@ -187,7 +191,12 @@ void Controller::network_send(NodeId src, NodeId dst, PayloadPtr payload,
 
   metrics_.on_send();
   metrics_.on_bytes(msg.payload->wire_size());
-  metrics_.count_type(std::string(msg.payload->type()));
+  const PayloadType tid = msg.payload->type_id();
+  if (tid != PayloadType::kUnknown) {
+    metrics_.count_type(tid);
+  } else {
+    metrics_.count_type(std::string(msg.payload->type()));
+  }
   if (cfg_.record_trace) {
     trace_.add(TraceRecord{TraceKind::kSend, now_, src, dst,
                            std::string(msg.payload->type()),
@@ -211,6 +220,65 @@ void Controller::network_send(NodeId src, NodeId dst, PayloadPtr payload,
   }
   schedule_network_delivery(std::move(in_flight.msg),
                             std::max<Time>(in_flight.delay, 0));
+}
+
+void Controller::network_broadcast(NodeId src, const PayloadPtr& payload,
+                                   Time extra_delay) {
+  assert(payload != nullptr);
+  // Hoist everything that depends only on the payload out of the fan-out
+  // loop: the virtual wire_size()/type_id() calls, and (when tracing) the
+  // type string and digest. The per-destination sequence — message id,
+  // delay sample, attacker verdict, scheduling — is unchanged, so a run is
+  // bit-identical to one using n-1 network_send calls.
+  const std::size_t wire = payload->wire_size();
+  const PayloadType tid = payload->type_id();
+  const bool tagged = tid != PayloadType::kUnknown;
+  std::string trace_type;
+  std::uint64_t trace_digest = 0;
+  if (cfg_.record_trace) {
+    trace_type = std::string(payload->type());
+    trace_digest = payload->digest();
+  }
+
+  for (NodeId dst = 0; dst < cfg_.n; ++dst) {
+    if (dst == src) continue;
+    Message msg;
+    msg.src = src;
+    msg.dst = dst;
+    msg.send_time = now_;
+    msg.id = next_msg_id_++;
+    msg.payload = payload;
+
+    metrics_.on_send();
+    metrics_.on_bytes(wire);
+    if (tagged) {
+      metrics_.count_type(tid);
+    } else {
+      metrics_.count_type(std::string(payload->type()));
+    }
+    if (cfg_.record_trace) {
+      trace_.add(TraceRecord{TraceKind::kSend, now_, src, dst, trace_type,
+                             trace_digest, msg.id, 0, 0});
+    }
+
+    const Time sampled =
+        topology_.adjust(delay_sampler_.sample(net_rng_), src, dst);
+    MessageInFlight in_flight{std::move(msg), extra_delay + sampled};
+    const Disposition verdict = attacker_->attack(in_flight, *atk_ctx_);
+    if (verdict == Disposition::kDrop) {
+      metrics_.on_drop();
+      if (cfg_.record_trace) {
+        trace_.add(TraceRecord{TraceKind::kDrop, now_, in_flight.msg.src,
+                               in_flight.msg.dst,
+                               std::string(in_flight.msg.payload->type()),
+                               in_flight.msg.payload->digest(),
+                               in_flight.msg.id, 0, 0});
+      }
+      continue;
+    }
+    schedule_network_delivery(std::move(in_flight.msg),
+                              std::max<Time>(in_flight.delay, 0));
+  }
 }
 
 void Controller::schedule_network_delivery(Message msg, Time delay) {
@@ -274,7 +342,7 @@ void Controller::deliver_now(const Message& msg) {
                            std::string(msg.payload->type()),
                            msg.payload->digest(), msg.id, 0, 0});
   }
-  if (corrupt_.contains(msg.dst)) return;  // attacker swallows its nodes' input
+  if (is_corrupt(msg.dst)) return;  // attacker swallows its nodes' input
   nodes_[msg.dst]->on_message(msg, *ctxs_[msg.dst]);
 }
 
@@ -289,7 +357,7 @@ TimerId Controller::set_timer(TimerOwner owner, NodeId node, Time delay,
   return id;
 }
 
-void Controller::cancel_timer(TimerId id) { cancelled_timers_.insert(id); }
+void Controller::cancel_timer(TimerId id) { queue_.cancel_timer(id); }
 
 void Controller::schedule_system_event(Time at, std::uint64_t tag) {
   queue_.push(std::max(at, now_),
@@ -322,9 +390,9 @@ void Controller::record_view(NodeId node, View view) {
 
 bool Controller::corrupt(NodeId node) {
   if (node >= cfg_.n) return false;
-  if (corrupt_.contains(node)) return false;
-  if (corrupt_.size() + failstopped_.size() >= f_) return false;
-  corrupt_.insert(node);
+  if (is_corrupt(node)) return false;
+  if (corrupted_order_.size() + failstopped_.size() >= f_) return false;
+  corrupt_flags_[node] = 1;
   corrupted_order_.push_back(node);
   if (cfg_.record_trace) {
     trace_.add(TraceRecord{TraceKind::kCorrupt, now_, node, kNoNode, {}, 0, 0, 0, 0});
@@ -349,7 +417,7 @@ bool Controller::is_live(NodeId id) const noexcept {
 }
 
 bool Controller::is_honest(NodeId id) const noexcept {
-  return is_live(id) && !corrupt_.contains(id);
+  return is_live(id) && !is_corrupt(id);
 }
 
 // ---------------------------------------------------------------------------
@@ -362,12 +430,12 @@ void Controller::dispatch(Event& ev) {
     return;
   }
   auto& fire = std::get<TimerFire>(ev.body);
-  if (cancelled_timers_.erase(fire.timer) > 0) return;
+  if (queue_.consume_cancellation(fire.timer)) return;
   metrics_.on_timer();
   const TimerEvent te{fire.timer, fire.tag, now_};
   switch (fire.owner) {
     case TimerOwner::kNode:
-      if (is_live(fire.node) && !corrupt_.contains(fire.node)) {
+      if (is_live(fire.node) && !is_corrupt(fire.node)) {
         nodes_[fire.node]->on_timer(te, *ctxs_[fire.node]);
       }
       break;

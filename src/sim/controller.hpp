@@ -70,6 +70,11 @@ class Controller {
   /// before the message reaches the wire.
   void network_send(NodeId src, NodeId dst, PayloadPtr payload,
                     Time extra_delay = 0);
+  /// Fan-out path for Context::broadcast: sends `payload` to every node but
+  /// `src`, hoisting the per-payload work (wire size, tag, trace fields)
+  /// out of the per-destination loop. Observable behavior is identical to
+  /// n-1 network_send calls in destination order.
+  void network_broadcast(NodeId src, const PayloadPtr& payload, Time extra_delay);
   void deliver_self(NodeId id, PayloadPtr payload);
   void inject_message(Message msg, Time delay);
 
@@ -91,6 +96,9 @@ class Controller {
   void dispatch(Event& ev);
   [[nodiscard]] bool is_live(NodeId id) const noexcept;
   [[nodiscard]] bool is_honest(NodeId id) const noexcept;
+  [[nodiscard]] bool is_corrupt(NodeId id) const noexcept {
+    return id < corrupt_flags_.size() && corrupt_flags_[id] != 0;
+  }
 
   SimConfig cfg_;
   std::uint32_t f_ = 0;       ///< protocol fault threshold (= attacker budget)
@@ -125,7 +133,7 @@ class Controller {
   std::unordered_set<std::uint64_t> cpu_charged_;
 
   std::vector<NodeId> failstopped_;
-  std::unordered_set<NodeId> corrupt_;
+  std::vector<std::uint8_t> corrupt_flags_;  ///< indexed by NodeId; hot-path check
   std::vector<NodeId> corrupted_order_;
   std::vector<std::uint32_t> decided_count_;
 
@@ -133,7 +141,6 @@ class Controller {
   Trace trace_;
   std::uint64_t next_msg_id_ = 1;
   std::uint64_t next_timer_id_ = 1;
-  std::unordered_set<TimerId> cancelled_timers_;
   bool ran_ = false;
 };
 
