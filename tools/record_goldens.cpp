@@ -1,0 +1,242 @@
+// Records golden engine aggregates for the determinism regression suite.
+//
+// Runs a fixed list of configuration points — two protocols (or engine
+// variants) per figure/ablation bench, small n and repeat counts so the
+// replay stays test-sized — and writes their aggregates to a JSON file
+// (default tests/data/engine_goldens.json). The checked-in goldens were
+// produced by the pre-overhaul engine; tests/sim/engine_goldens_test.cpp
+// replays every point against the current engine and requires equivalent()
+// aggregates, which is what keeps hot-path rewrites bit-identical.
+//
+// Regenerate (only when an intentional behavior change is being made):
+//   cmake --build build -j --target record_goldens
+//   ./build/tools/record_goldens tests/data/engine_goldens.json
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baseline/baseline.hpp"
+#include "core/json.hpp"
+#include "runner/export.hpp"
+#include "runner/runner.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace bftsim;
+
+struct AggregatePoint {
+  std::string name;
+  SimConfig cfg;
+  std::size_t repeats = 3;
+};
+
+json::Value partition_params(double resolve_ms, int subnets) {
+  json::Object params;
+  params["resolve_ms"] = resolve_ms;
+  params["mode"] = "drop";
+  if (subnets > 0) params["subnets"] = static_cast<std::int64_t>(subnets);
+  return json::Value{std::move(params)};
+}
+
+/// One spot-check pair per bench (fig2-fig9, ablations, beyond-paper),
+/// mirroring the exact configurations those benches run, at test-sized
+/// repeat counts.
+std::vector<AggregatePoint> aggregate_points() {
+  std::vector<AggregatePoint> points;
+  const auto add = [&points](std::string name, SimConfig cfg,
+                             std::size_t repeats = 3) {
+    points.push_back(AggregatePoint{std::move(name), std::move(cfg), repeats});
+  };
+
+  {  // fig2: PBFT scalability (message-level engine rows).
+    SimConfig cfg;
+    cfg.protocol = "pbft";
+    cfg.n = 16;
+    cfg.lambda_ms = 1000;
+    cfg.delay = DelaySpec::normal(250, 50);
+    cfg.decisions = 1;
+    add("fig2/pbft/n=16", cfg);
+    cfg.n = 32;
+    add("fig2/pbft/n=32", cfg);
+  }
+  {  // fig3: protocol comparison across network environments.
+    add("fig3/hotstuff-ns/N(500,100)",
+        experiment_config("hotstuff-ns", 16, 1000, DelaySpec::normal(500, 100)));
+    add("fig3/asyncba/N(1000,300)",
+        experiment_config("asyncba", 16, 1000, DelaySpec::normal(1000, 300)));
+  }
+  {  // fig4: overestimated lambda.
+    add("fig4/pbft/lambda=2000",
+        experiment_config("pbft", 16, 2000, DelaySpec::normal(250, 50)));
+    add("fig4/librabft/lambda=1500",
+        experiment_config("librabft", 16, 1500, DelaySpec::normal(250, 50)));
+  }
+  {  // fig5: underestimated lambda.
+    add("fig5/hotstuff-ns/lambda=150",
+        experiment_config("hotstuff-ns", 16, 150, DelaySpec::normal(250, 50)));
+    add("fig5/pbft/lambda=250",
+        experiment_config("pbft", 16, 250, DelaySpec::normal(250, 50)));
+  }
+  {  // fig6: network partition, two subnets, resolves at 33 s.
+    for (const char* protocol : {"algorand", "pbft"}) {
+      SimConfig cfg =
+          experiment_config(protocol, 16, 1000, DelaySpec::normal(250, 50));
+      cfg.decisions = 1;
+      cfg.attack = "partition";
+      cfg.attack_params = partition_params(33'000, 2);
+      cfg.max_time_ms = 600'000;
+      add(std::string("fig6/") + protocol + "/partition", cfg);
+    }
+  }
+  {  // fig7: fail-stop resilience.
+    SimConfig cfg =
+        experiment_config("hotstuff-ns", 16, 1000, DelaySpec::normal(1000, 300));
+    cfg.honest = 14;
+    cfg.max_time_ms = 600'000;
+    add("fig7/hotstuff-ns/f=2", cfg);
+    cfg = experiment_config("addv2", 16, 1000, DelaySpec::normal(1000, 300));
+    cfg.honest = 13;
+    cfg.max_time_ms = 600'000;
+    add("fig7/addv2/f=3", cfg);
+  }
+  {  // fig8: ADD+ variants under attacks.
+    SimConfig cfg = experiment_config("addv1", 16, 1000, DelaySpec::normal(250, 50));
+    cfg.attack = "add-static";
+    cfg.max_time_ms = 600'000;
+    add("fig8/addv1/add-static", cfg);
+    cfg = experiment_config("addv3", 16, 1000, DelaySpec::normal(250, 50));
+    cfg.attack = "add-adaptive";
+    cfg.max_time_ms = 600'000;
+    add("fig8/addv3/add-adaptive", cfg);
+  }
+  {  // ablation_pacemaker: crashed leaders and a healed partition.
+    SimConfig cfg =
+        experiment_config("librabft", 16, 1000, DelaySpec::normal(1000, 300));
+    cfg.honest = 14;
+    add("ablation_pacemaker/librabft/f=2", cfg);
+    cfg = experiment_config("tendermint", 16, 1000, DelaySpec::normal(250, 50));
+    cfg.decisions = 1;
+    cfg.attack = "partition";
+    cfg.attack_params = partition_params(33'000, 0);
+    add("ablation_pacemaker/tendermint/healed-partition", cfg);
+  }
+  {  // ablation_costmodel: verification-cost sweep points.
+    SimConfig cfg = experiment_config("pbft", 16, 1000, DelaySpec::normal(250, 50));
+    cfg.decisions = 10;
+    cfg.cost.verify_ms = 2.0;
+    cfg.cost.sign_ms = 1.0;
+    add("ablation_costmodel/pbft/verify=2", cfg);
+    cfg = experiment_config("tendermint", 16, 1000, DelaySpec::normal(250, 50));
+    cfg.decisions = 10;
+    cfg.cost.verify_ms = 5.0;
+    cfg.cost.sign_ms = 2.5;
+    add("ablation_costmodel/tendermint/verify=5", cfg);
+  }
+  {  // beyond_paper: extension protocols.
+    add("beyond/sync-hotstuff/N(250,50)",
+        experiment_config("sync-hotstuff", 16, 1000, DelaySpec::normal(250, 50)));
+    add("beyond/tendermint/N(1000,300)",
+        experiment_config("tendermint", 16, 1000, DelaySpec::normal(1000, 300)));
+  }
+  return points;
+}
+
+struct SinglePoint {
+  std::string name;
+  SimConfig cfg;
+  bool baseline = false;  ///< run the packet-level engine instead
+};
+
+/// Single-run points: the fig9 view-trace panels (record_views on) and one
+/// packet-level baseline row from fig2 (the baseline engine shares the
+/// controller dispatch path, so it must stay bit-identical too).
+std::vector<SinglePoint> single_points() {
+  std::vector<SinglePoint> points;
+
+  SimConfig cfg = experiment_config("hotstuff-ns", 16, 150, DelaySpec::normal(250, 50));
+  cfg.seed = 4;
+  cfg.record_views = true;
+  cfg.max_time_ms = 600'000;
+  points.push_back(SinglePoint{"fig9/paper", cfg, false});
+
+  cfg = experiment_config("hotstuff-ns", 16, 1000, DelaySpec::normal(1000, 300));
+  cfg.seed = 4;
+  cfg.honest = 12;
+  cfg.record_views = true;
+  cfg.max_time_ms = 600'000;
+  points.push_back(SinglePoint{"fig9/stress", cfg, false});
+
+  cfg = SimConfig{};
+  cfg.protocol = "pbft";
+  cfg.n = 8;
+  cfg.lambda_ms = 1000;
+  cfg.delay = DelaySpec::normal(250, 50);
+  cfg.decisions = 1;
+  cfg.seed = 1;
+  points.push_back(SinglePoint{"fig2/baseline/pbft/n=8", cfg, true});
+
+  return points;
+}
+
+json::Value single_result_to_json(const RunResult& r) {
+  json::Object o;
+  o["terminated"] = r.terminated;
+  o["termination_time"] = static_cast<std::int64_t>(r.termination_time);
+  o["events_processed"] = static_cast<std::int64_t>(r.events_processed);
+  o["messages_sent"] = static_cast<std::int64_t>(r.messages_sent);
+  o["messages_delivered"] = static_cast<std::int64_t>(r.messages_delivered);
+  o["messages_dropped"] = static_cast<std::int64_t>(r.messages_dropped);
+  o["bytes_sent"] = static_cast<std::int64_t>(r.bytes_sent);
+  o["timers_fired"] = static_cast<std::int64_t>(r.timers_fired);
+  o["decision_count"] = static_cast<std::int64_t>(r.decisions.size());
+  o["view_count"] = static_cast<std::int64_t>(r.views.size());
+  return json::Value{std::move(o)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "tests/data/engine_goldens.json";
+
+  json::Array aggregate_array;
+  for (const AggregatePoint& point : aggregate_points()) {
+    std::printf("recording %-45s ...", point.name.c_str());
+    std::fflush(stdout);
+    const Aggregate agg = run_repeated(point.cfg, point.repeats);
+    json::Object o;
+    o["name"] = point.name;
+    o["repeats"] = static_cast<std::int64_t>(point.repeats);
+    o["config"] = point.cfg.to_json();
+    o["aggregate"] = aggregate_to_json(agg);
+    aggregate_array.push_back(json::Value{std::move(o)});
+    std::printf(" done (%zu runs, %.0f events mean)\n", agg.runs, agg.events.mean);
+  }
+
+  json::Array single_array;
+  for (const SinglePoint& point : single_points()) {
+    std::printf("recording %-45s ...", point.name.c_str());
+    std::fflush(stdout);
+    const RunResult r = point.baseline
+                            ? baseline::run_baseline_simulation(point.cfg)
+                            : run_simulation(point.cfg);
+    json::Object o;
+    o["name"] = point.name;
+    o["baseline"] = point.baseline;
+    o["config"] = point.cfg.to_json();
+    o["result"] = single_result_to_json(r);
+    single_array.push_back(json::Value{std::move(o)});
+    std::printf(" done (%llu events)\n",
+                static_cast<unsigned long long>(r.events_processed));
+  }
+
+  json::Object top;
+  top["generated_by"] = "tools/record_goldens";
+  top["aggregate_points"] = json::Value{std::move(aggregate_array)};
+  top["single_points"] = json::Value{std::move(single_array)};
+  write_json_file(out_path, json::Value{std::move(top)});
+  std::printf("goldens written to %s\n", out_path.c_str());
+  return 0;
+}
