@@ -117,12 +117,73 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Measures single-run engine throughput (events/sec) on fixed HotStuff
+/// and PBFT workloads at n ∈ {16, 64, 128}. This is the series behind
+/// BENCH_engine.json: run it before and after an engine change on the
+/// same machine and compare events_per_sec per workload (the aggregates
+/// must stay `equivalent()` — any difference is an ordering bug, not an
+/// optimization).
+json::Value measure_engine_throughput() {
+  struct Workload {
+    const char* protocol;
+    std::uint32_t n;
+    std::uint32_t decisions;
+    std::size_t repeats;
+  };
+  // Repeats shrink with n so every row costs roughly the same wall time.
+  // HotStuff (linear message complexity) runs 100 pipelined decisions per
+  // run so the hot path dominates per-run setup; PBFT (quadratic) already
+  // produces large event counts at 10.
+  // Repeat counts keep every row at hundreds of ms so one timer tick or
+  // scheduler hiccup cannot dominate the events/sec figure.
+  const Workload workloads[] = {
+      {"hotstuff-ns", 16, 100, 64}, {"hotstuff-ns", 64, 100, 32},
+      {"hotstuff-ns", 128, 100, 16}, {"pbft", 16, 10, 96},
+      {"pbft", 64, 10, 16},          {"pbft", 128, 10, 6},
+  };
+
+  std::printf("\n--- engine throughput (events/sec, serial run_repeated) ---\n");
+  json::Array rows;
+  for (const Workload& w : workloads) {
+    SimConfig cfg;
+    cfg.protocol = w.protocol;
+    cfg.n = w.n;
+    cfg.lambda_ms = 1000;
+    cfg.delay = DelaySpec::normal(250, 50);
+    cfg.decisions = w.decisions;
+    cfg.seed = 1;
+
+    (void)run_repeated(cfg, 1);  // warm-up outside the timed region
+    const auto start = std::chrono::steady_clock::now();
+    const Aggregate agg = run_repeated(cfg, w.repeats);
+    const double seconds = seconds_since(start);
+
+    const double events_total = agg.events.mean * static_cast<double>(agg.runs);
+    const double events_per_sec = seconds > 0.0 ? events_total / seconds : 0.0;
+    std::printf("%-12s n=%-4u %8.0f events in %6.3f s -> %12.0f events/s\n",
+                w.protocol, w.n, events_total, seconds, events_per_sec);
+
+    json::Object row;
+    row["protocol"] = w.protocol;
+    row["n"] = static_cast<std::int64_t>(w.n);
+    row["decisions"] = static_cast<std::int64_t>(cfg.decisions);
+    row["repeats"] = static_cast<std::int64_t>(w.repeats);
+    row["events_total"] = events_total;
+    row["wall_seconds"] = seconds;
+    row["events_per_sec"] = events_per_sec;
+    row["aggregate"] = aggregate_to_json(agg);
+    rows.push_back(json::Value{std::move(row)});
+  }
+  return json::Value{std::move(rows)};
+}
+
 /// Times run_repeated vs run_repeated_parallel on the same workload,
 /// checks the aggregates are equivalent, prints the comparison, and
 /// writes it to `json_path`. Speedup tracks the machine: ~min(jobs,
 /// cores)× on idle multi-core hosts, ~1× on a single core.
 void measure_parallel_speedup(const std::string& json_path, std::size_t jobs,
-                              std::size_t repeats) {
+                              std::size_t repeats,
+                              json::Value engine_throughput) {
   SimConfig cfg;
   cfg.protocol = "pbft";
   cfg.n = 32;
@@ -168,6 +229,7 @@ void measure_parallel_speedup(const std::string& json_path, std::size_t jobs,
   o["aggregates_identical"] = identical;
   o["serial_aggregate"] = aggregate_to_json(serial);
   o["parallel_aggregate"] = aggregate_to_json(parallel);
+  o["engine_throughput"] = std::move(engine_throughput);
   write_json_file(json_path, json::Value{std::move(o)});
   std::printf("[speedup record written to %s]\n", json_path.c_str());
 }
@@ -208,6 +270,6 @@ int main(int argc, char** argv) {
   if (run_micro) benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  measure_parallel_speedup(json_path, jobs, repeats);
+  measure_parallel_speedup(json_path, jobs, repeats, measure_engine_throughput());
   return 0;
 }
