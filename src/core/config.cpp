@@ -1,11 +1,18 @@
 #include "core/config.hpp"
 
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+
+#include "core/config_check.hpp"
 
 namespace bftsim {
 
 namespace {
+
+using cfgcheck::fail;
+using cfgcheck::number_in;
+using cfgcheck::require_keys;
 
 [[nodiscard]] std::string kind_name(DelaySpec::Kind kind) {
   switch (kind) {
@@ -17,12 +24,13 @@ namespace {
   return "?";
 }
 
-[[nodiscard]] DelaySpec::Kind kind_from_name(const std::string& name) {
+[[nodiscard]] DelaySpec::Kind kind_from_name(const std::string& name,
+                                             const std::string& path) {
   if (name == "constant") return DelaySpec::Kind::kConstant;
   if (name == "uniform") return DelaySpec::Kind::kUniform;
   if (name == "normal") return DelaySpec::Kind::kNormal;
   if (name == "exponential") return DelaySpec::Kind::kExponential;
-  throw std::invalid_argument("unknown delay kind: " + name);
+  fail(path + ".kind", "unknown delay kind \"" + name + "\"");
 }
 
 }  // namespace
@@ -48,13 +56,14 @@ json::Value DelaySpec::to_json() const {
   return json::Value{std::move(o)};
 }
 
-DelaySpec DelaySpec::from_json(const json::Value& v) {
+DelaySpec DelaySpec::from_json(const json::Value& v, const std::string& path) {
+  require_keys(v, path, {"kind", "a", "b", "min_ms", "max_ms"});
   DelaySpec spec;
-  spec.kind = kind_from_name(v.get_string("kind", "normal"));
-  spec.a = v.get_number("a", spec.a);
-  spec.b = v.get_number("b", spec.b);
-  spec.min_ms = v.get_number("min_ms", spec.min_ms);
-  spec.max_ms = v.get_number("max_ms", spec.max_ms);
+  spec.kind = kind_from_name(v.get_string("kind", "normal"), path);
+  spec.a = number_in(v, path, "a", spec.a, 0.0, 1e12);
+  spec.b = number_in(v, path, "b", spec.b, 0.0, 1e12);
+  spec.min_ms = number_in(v, path, "min_ms", spec.min_ms, 0.0, 1e12);
+  spec.max_ms = number_in(v, path, "max_ms", spec.max_ms, 0.0, 1e12);
   return spec;
 }
 
@@ -65,10 +74,11 @@ json::Value CostModel::to_json() const {
   return json::Value{std::move(o)};
 }
 
-CostModel CostModel::from_json(const json::Value& v) {
+CostModel CostModel::from_json(const json::Value& v, const std::string& path) {
+  require_keys(v, path, {"verify_ms", "sign_ms"});
   CostModel cost;
-  cost.verify_ms = v.get_number("verify_ms", cost.verify_ms);
-  cost.sign_ms = v.get_number("sign_ms", cost.sign_ms);
+  cost.verify_ms = number_in(v, path, "verify_ms", cost.verify_ms, 0.0, 1e9);
+  cost.sign_ms = number_in(v, path, "sign_ms", cost.sign_ms, 0.0, 1e9);
   return cost;
 }
 
@@ -89,6 +99,7 @@ void SimConfig::validate() const {
   if (cost.verify_ms < 0 || cost.sign_ms < 0) {
     throw std::invalid_argument("config: negative computation cost");
   }
+  faults.validate(n);
 }
 
 json::Value SimConfig::to_json() const {
@@ -107,25 +118,36 @@ json::Value SimConfig::to_json() const {
   if (cost.enabled()) o["cost"] = cost.to_json();
   if (topology.is_object()) o["topology"] = topology;
   if (protocol_params.is_object()) o["protocol_params"] = protocol_params;
+  if (faults.enabled()) o["faults"] = faults.to_json();
   o["record_trace"] = record_trace;
   o["record_views"] = record_views;
   return json::Value{std::move(o)};
 }
 
 SimConfig SimConfig::from_json(const json::Value& v) {
+  require_keys(v, "$",
+               {"protocol", "n", "honest", "lambda_ms", "delay", "seed",
+                "decisions", "max_time_ms", "max_events", "attack",
+                "attack_params", "protocol_params", "cost", "topology",
+                "faults", "record_trace", "record_views"});
   SimConfig cfg;
   cfg.protocol = v.get_string("protocol", cfg.protocol);
-  cfg.n = static_cast<std::uint32_t>(v.get_int("n", cfg.n));
-  cfg.honest = static_cast<std::uint32_t>(v.get_int("honest", cfg.honest));
-  cfg.lambda_ms = v.get_number("lambda_ms", cfg.lambda_ms);
+  cfg.n = static_cast<std::uint32_t>(cfgcheck::int_in(v, "$", "n", cfg.n, 1, 1'000'000));
+  cfg.honest = static_cast<std::uint32_t>(
+      cfgcheck::int_in(v, "$", "honest", cfg.honest, 0, cfg.n));
+  cfg.lambda_ms = number_in(v, "$", "lambda_ms", cfg.lambda_ms, 1e-6, 1e12);
   if (const json::Value* d = v.as_object().find("delay")) {
-    cfg.delay = DelaySpec::from_json(*d);
+    cfg.delay = DelaySpec::from_json(*d, "$.delay");
   }
-  cfg.seed = static_cast<std::uint64_t>(v.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
-  cfg.decisions = static_cast<std::uint32_t>(v.get_int("decisions", cfg.decisions));
-  cfg.max_time_ms = v.get_number("max_time_ms", cfg.max_time_ms);
-  cfg.max_events = static_cast<std::uint64_t>(
-      v.get_int("max_events", static_cast<std::int64_t>(cfg.max_events)));
+  cfg.seed = static_cast<std::uint64_t>(cfgcheck::int_in(
+      v, "$", "seed", static_cast<std::int64_t>(cfg.seed), 0,
+      std::numeric_limits<std::int64_t>::max()));
+  cfg.decisions = static_cast<std::uint32_t>(
+      cfgcheck::int_in(v, "$", "decisions", cfg.decisions, 1, 1'000'000'000));
+  cfg.max_time_ms = number_in(v, "$", "max_time_ms", cfg.max_time_ms, 1e-6, 1e12);
+  cfg.max_events = static_cast<std::uint64_t>(cfgcheck::int_in(
+      v, "$", "max_events", static_cast<std::int64_t>(cfg.max_events), 1,
+      std::numeric_limits<std::int64_t>::max()));
   cfg.attack = v.get_string("attack", cfg.attack);
   if (const json::Value* p = v.as_object().find("attack_params")) {
     cfg.attack_params = *p;
@@ -134,10 +156,20 @@ SimConfig SimConfig::from_json(const json::Value& v) {
     cfg.protocol_params = *p;
   }
   if (const json::Value* c = v.as_object().find("cost")) {
-    cfg.cost = CostModel::from_json(*c);
+    cfg.cost = CostModel::from_json(*c, "$.cost");
   }
   if (const json::Value* t = v.as_object().find("topology")) {
+    // The spec itself is parsed by TopologySpec::from_json in the network
+    // layer; the structural checks are mirrored here so a typo fails at
+    // config-load time with a "$.topology..." path like every other key.
+    require_keys(*t, "$.topology", {"regions", "cross_factor", "cross_extra_ms"});
+    (void)cfgcheck::int_in(*t, "$.topology", "regions", 1, 1, 1'000'000);
+    (void)number_in(*t, "$.topology", "cross_factor", 1.0, 0.0, 1e6);
+    (void)number_in(*t, "$.topology", "cross_extra_ms", 0.0, 0.0, 1e9);
     cfg.topology = *t;
+  }
+  if (const json::Value* f = v.as_object().find("faults")) {
+    cfg.faults = FaultConfig::from_json(*f, "$.faults");
   }
   cfg.record_trace = v.get_bool("record_trace", cfg.record_trace);
   cfg.record_views = v.get_bool("record_views", cfg.record_views);

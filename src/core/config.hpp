@@ -10,6 +10,7 @@
 
 #include "core/json.hpp"
 #include "core/types.hpp"
+#include "faults/fault_config.hpp"
 
 namespace bftsim {
 
@@ -39,7 +40,10 @@ struct DelaySpec {
 
   [[nodiscard]] std::string describe() const;
   [[nodiscard]] json::Value to_json() const;
-  [[nodiscard]] static DelaySpec from_json(const json::Value& v);
+  /// Strict parse: unknown keys / out-of-range values throw a single-line
+  /// error naming the JSON path (rooted at `path`).
+  [[nodiscard]] static DelaySpec from_json(const json::Value& v,
+                                           const std::string& path = "$.delay");
 };
 
 /// Computation-cost model (the paper's §III-A3 future-work note: estimate
@@ -56,7 +60,8 @@ struct CostModel {
     return verify_ms > 0.0 || sign_ms > 0.0;
   }
   [[nodiscard]] json::Value to_json() const;
-  [[nodiscard]] static CostModel from_json(const json::Value& v);
+  [[nodiscard]] static CostModel from_json(const json::Value& v,
+                                           const std::string& path = "$.cost");
 };
 
 /// Full configuration of one simulation run.
@@ -84,6 +89,10 @@ struct SimConfig {
   /// Geo-distribution: regions > 1 applies cross-region delay penalties
   /// (declared in net/topology.hpp; stored as JSON here to keep layering).
   json::Value topology;
+
+  /// Deterministic fault scenario (crash/recover windows, link flaps,
+  /// message corruption, clock skew); disabled by default. See docs/FAULTS.md.
+  FaultConfig faults;
 
   bool record_trace = false;  ///< record full message trace (validator input)
   bool record_views = true;   ///< record per-node view changes (Fig. 9)

@@ -1,0 +1,62 @@
+// Shared helpers for strict, path-aware configuration parsing.
+//
+// Every parse error is a single line naming the JSON path of the offending
+// value ("config error at $.faults.corruption.rate: must be within [0, 1]"),
+// so a malformed sweep file points straight at the bad key instead of
+// failing somewhere deep inside a run.
+#pragma once
+
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "core/json.hpp"
+
+namespace bftsim::cfgcheck {
+
+/// Throws the canonical single-line config error for `path`.
+[[noreturn]] inline void fail(const std::string& path, const std::string& what) {
+  throw std::invalid_argument("config error at " + path + ": " + what);
+}
+
+/// Rejects keys of object `v` that are not in `allowed` (typo guard).
+inline void require_keys(const json::Value& v, const std::string& path,
+                         std::initializer_list<std::string_view> allowed) {
+  for (const auto& [key, value] : v.as_object()) {
+    bool known = false;
+    for (const std::string_view candidate : allowed) {
+      if (key == candidate) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) fail(path + "." + key, "unknown key");
+  }
+}
+
+/// Reads an optional number at `key`, requiring `lo <= value <= hi`.
+inline double number_in(const json::Value& v, const std::string& path,
+                        const std::string& key, double fallback, double lo,
+                        double hi) {
+  const double value = v.get_number(key, fallback);
+  if (value < lo || value > hi) {
+    fail(path + "." + key,
+         "must be within [" + std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return value;
+}
+
+/// Reads an optional integer at `key`, requiring `lo <= value <= hi`.
+inline std::int64_t int_in(const json::Value& v, const std::string& path,
+                           const std::string& key, std::int64_t fallback,
+                           std::int64_t lo, std::int64_t hi) {
+  const std::int64_t value = v.get_int(key, fallback);
+  if (value < lo || value > hi) {
+    fail(path + "." + key,
+         "must be within [" + std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return value;
+}
+
+}  // namespace bftsim::cfgcheck

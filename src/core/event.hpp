@@ -16,7 +16,9 @@
 namespace bftsim {
 
 /// Who registered a timer (and therefore who receives its firing).
-enum class TimerOwner : std::uint8_t { kNode, kAttacker, kSystem };
+/// kFault timers carry a fault-timeline index in their tag and drive the
+/// fault injector's crash/recover and link up/down transitions.
+enum class TimerOwner : std::uint8_t { kNode, kAttacker, kSystem, kFault };
 
 /// A message event: `msg` is delivered to `msg.dst`.
 struct MessageDelivery {

@@ -36,6 +36,7 @@ class Metrics {
   void on_deliver() noexcept { ++messages_delivered_; }
   void on_drop() noexcept { ++messages_dropped_; }
   void on_inject() noexcept { ++messages_injected_; }
+  void on_corrupt() noexcept { ++messages_corrupted_; }
   void on_timer() noexcept { ++timers_fired_; }
   void on_event() noexcept { ++events_processed_; }
 
@@ -61,6 +62,7 @@ class Metrics {
   [[nodiscard]] std::uint64_t messages_delivered() const noexcept { return messages_delivered_; }
   [[nodiscard]] std::uint64_t messages_dropped() const noexcept { return messages_dropped_; }
   [[nodiscard]] std::uint64_t messages_injected() const noexcept { return messages_injected_; }
+  [[nodiscard]] std::uint64_t messages_corrupted() const noexcept { return messages_corrupted_; }
   [[nodiscard]] std::uint64_t timers_fired() const noexcept { return timers_fired_; }
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_processed_; }
   /// Per-kind send counts keyed by human-readable name, rebuilt on demand
@@ -88,6 +90,7 @@ class Metrics {
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t messages_dropped_ = 0;
   std::uint64_t messages_injected_ = 0;
+  std::uint64_t messages_corrupted_ = 0;
   std::uint64_t timers_fired_ = 0;
   std::uint64_t events_processed_ = 0;
   /// Indexed by to_index(PayloadType); pre-sized so builtin tags never grow it.

@@ -28,12 +28,15 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `task` for execution on some worker. Tasks must not throw —
-  /// use parallel_for() for exception-propagating batch work.
+  /// Enqueues `task` for execution on some worker. An exception escaping
+  /// the task is captured (it never terminates the worker or the process)
+  /// and rethrown from the next wait_idle() call; parallel_for() offers
+  /// deterministic per-index propagation for batch work.
   void submit(std::function<void()> task);
 
   /// Blocks until every task submitted so far has finished (the queue is
-  /// empty and no worker is mid-task).
+  /// empty and no worker is mid-task). If any task threw since the last
+  /// call, rethrows the first captured exception (the rest are discarded).
   void wait_idle();
 
   [[nodiscard]] std::size_t worker_count() const noexcept {
@@ -55,6 +58,7 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::size_t in_flight_ = 0;  ///< tasks popped but not yet finished
   bool stopping_ = false;
+  std::exception_ptr first_error_;  ///< first escaped task exception
 };
 
 /// Runs `fn(i)` for every i in [0, count) on `pool` and blocks until all

@@ -1,0 +1,185 @@
+// FaultConfig JSON (de)serialization and validation. Compiled into
+// bftsim_core (not bftsim_faults) because SimConfig embeds a FaultConfig;
+// the plan/injector machinery that depends on the event queue stays in the
+// faults library.
+#include "faults/fault_config.hpp"
+
+#include <string>
+
+#include "core/config_check.hpp"
+
+namespace bftsim {
+
+namespace {
+
+using cfgcheck::fail;
+using cfgcheck::number_in;
+using cfgcheck::require_keys;
+
+/// A window's duration must be positive and its start non-negative.
+void check_window(const std::string& path, double at_ms, double duration_ms) {
+  if (at_ms < 0) fail(path + ".at_ms", "must be >= 0");
+  if (duration_ms <= 0) fail(path + ".duration_ms", "must be > 0");
+}
+
+RandomWindowSpec random_spec_from_json(const json::Value& v,
+                                       const std::string& path) {
+  require_keys(v, path,
+               {"count", "start_ms", "end_ms", "min_duration_ms", "max_duration_ms"});
+  RandomWindowSpec spec;
+  spec.count = static_cast<std::uint32_t>(
+      cfgcheck::int_in(v, path, "count", 0, 0, 100'000));
+  spec.start_ms = number_in(v, path, "start_ms", 0.0, 0.0, 1e12);
+  spec.end_ms = number_in(v, path, "end_ms", 0.0, 0.0, 1e12);
+  spec.min_duration_ms = number_in(v, path, "min_duration_ms", 0.0, 0.0, 1e12);
+  spec.max_duration_ms =
+      number_in(v, path, "max_duration_ms", spec.min_duration_ms, 0.0, 1e12);
+  if (spec.count > 0) {
+    if (spec.end_ms <= spec.start_ms) fail(path + ".end_ms", "must be > start_ms");
+    if (spec.min_duration_ms <= 0) fail(path + ".min_duration_ms", "must be > 0");
+    if (spec.max_duration_ms < spec.min_duration_ms) {
+      fail(path + ".max_duration_ms", "must be >= min_duration_ms");
+    }
+  }
+  return spec;
+}
+
+json::Value random_spec_to_json(const RandomWindowSpec& spec) {
+  json::Object o;
+  o["count"] = static_cast<std::int64_t>(spec.count);
+  o["start_ms"] = spec.start_ms;
+  o["end_ms"] = spec.end_ms;
+  o["min_duration_ms"] = spec.min_duration_ms;
+  o["max_duration_ms"] = spec.max_duration_ms;
+  return json::Value{std::move(o)};
+}
+
+}  // namespace
+
+void FaultConfig::validate(std::uint32_t n) const {
+  for (std::size_t i = 0; i < crashes.size(); ++i) {
+    if (crashes[i].node >= n) {
+      fail("$.faults.crashes[" + std::to_string(i) + "].node",
+           "must be < n (" + std::to_string(n) + ")");
+    }
+  }
+  for (std::size_t i = 0; i < link_flaps.size(); ++i) {
+    const std::string path = "$.faults.link_flaps[" + std::to_string(i) + "]";
+    if (link_flaps[i].a >= n) fail(path + ".a", "must be < n (" + std::to_string(n) + ")");
+    if (link_flaps[i].b >= n) fail(path + ".b", "must be < n (" + std::to_string(n) + ")");
+    if (link_flaps[i].a == link_flaps[i].b) fail(path + ".b", "must differ from a");
+  }
+  if (random_link_flaps.enabled() && n < 2) {
+    fail("$.faults.random_link_flaps.count", "needs n >= 2");
+  }
+}
+
+json::Value FaultConfig::to_json() const {
+  json::Object o;
+  if (!crashes.empty()) {
+    json::Array arr;
+    for (const CrashWindow& w : crashes) {
+      json::Object e;
+      e["node"] = static_cast<std::int64_t>(w.node);
+      e["at_ms"] = w.at_ms;
+      e["duration_ms"] = w.duration_ms;
+      arr.push_back(json::Value{std::move(e)});
+    }
+    o["crashes"] = json::Value{std::move(arr)};
+  }
+  if (random_crashes.enabled()) {
+    o["random_crashes"] = random_spec_to_json(random_crashes);
+  }
+  if (!link_flaps.empty()) {
+    json::Array arr;
+    for (const LinkFlapWindow& w : link_flaps) {
+      json::Object e;
+      e["a"] = static_cast<std::int64_t>(w.a);
+      e["b"] = static_cast<std::int64_t>(w.b);
+      e["at_ms"] = w.at_ms;
+      e["duration_ms"] = w.duration_ms;
+      arr.push_back(json::Value{std::move(e)});
+    }
+    o["link_flaps"] = json::Value{std::move(arr)};
+  }
+  if (random_link_flaps.enabled()) {
+    o["random_link_flaps"] = random_spec_to_json(random_link_flaps);
+  }
+  if (corruption.enabled()) {
+    json::Object c;
+    c["rate"] = corruption.rate;
+    c["start_ms"] = corruption.start_ms;
+    c["end_ms"] = corruption.end_ms;
+    o["corruption"] = json::Value{std::move(c)};
+  }
+  if (clock.enabled()) {
+    json::Object c;
+    c["max_skew_ms"] = clock.max_skew_ms;
+    c["max_drift"] = clock.max_drift;
+    o["clock"] = json::Value{std::move(c)};
+  }
+  return json::Value{std::move(o)};
+}
+
+FaultConfig FaultConfig::from_json(const json::Value& v, const std::string& path) {
+  require_keys(v, path,
+               {"crashes", "random_crashes", "link_flaps", "random_link_flaps",
+                "corruption", "clock"});
+  FaultConfig cfg;
+
+  if (const json::Value* arr = v.as_object().find("crashes")) {
+    std::size_t i = 0;
+    for (const json::Value& e : arr->as_array()) {
+      const std::string entry = path + ".crashes[" + std::to_string(i++) + "]";
+      require_keys(e, entry, {"node", "at_ms", "duration_ms"});
+      CrashWindow w;
+      w.node = static_cast<NodeId>(
+          cfgcheck::int_in(e, entry, "node", 0, 0, 1'000'000));
+      w.at_ms = e.get_number("at_ms", 0.0);
+      w.duration_ms = e.get_number("duration_ms", 0.0);
+      check_window(entry, w.at_ms, w.duration_ms);
+      cfg.crashes.push_back(w);
+    }
+  }
+  if (const json::Value* spec = v.as_object().find("random_crashes")) {
+    cfg.random_crashes = random_spec_from_json(*spec, path + ".random_crashes");
+  }
+  if (const json::Value* arr = v.as_object().find("link_flaps")) {
+    std::size_t i = 0;
+    for (const json::Value& e : arr->as_array()) {
+      const std::string entry = path + ".link_flaps[" + std::to_string(i++) + "]";
+      require_keys(e, entry, {"a", "b", "at_ms", "duration_ms"});
+      LinkFlapWindow w;
+      w.a = static_cast<NodeId>(cfgcheck::int_in(e, entry, "a", 0, 0, 1'000'000));
+      w.b = static_cast<NodeId>(cfgcheck::int_in(e, entry, "b", 0, 0, 1'000'000));
+      w.at_ms = e.get_number("at_ms", 0.0);
+      w.duration_ms = e.get_number("duration_ms", 0.0);
+      check_window(entry, w.at_ms, w.duration_ms);
+      cfg.link_flaps.push_back(w);
+    }
+  }
+  if (const json::Value* spec = v.as_object().find("random_link_flaps")) {
+    cfg.random_link_flaps =
+        random_spec_from_json(*spec, path + ".random_link_flaps");
+  }
+  if (const json::Value* c = v.as_object().find("corruption")) {
+    const std::string entry = path + ".corruption";
+    require_keys(*c, entry, {"rate", "start_ms", "end_ms"});
+    cfg.corruption.rate = number_in(*c, entry, "rate", 0.0, 0.0, 1.0);
+    cfg.corruption.start_ms = number_in(*c, entry, "start_ms", 0.0, 0.0, 1e12);
+    cfg.corruption.end_ms = number_in(*c, entry, "end_ms", 0.0, 0.0, 1e12);
+    if (cfg.corruption.end_ms != 0 &&
+        cfg.corruption.end_ms <= cfg.corruption.start_ms) {
+      fail(entry + ".end_ms", "must be > start_ms (or 0 for open-ended)");
+    }
+  }
+  if (const json::Value* c = v.as_object().find("clock")) {
+    const std::string entry = path + ".clock";
+    require_keys(*c, entry, {"max_skew_ms", "max_drift"});
+    cfg.clock.max_skew_ms = number_in(*c, entry, "max_skew_ms", 0.0, 0.0, 1e6);
+    cfg.clock.max_drift = number_in(*c, entry, "max_drift", 0.0, 0.0, 0.5);
+  }
+  return cfg;
+}
+
+}  // namespace bftsim

@@ -1,0 +1,109 @@
+// Fault-scenario configuration (the benign-but-nasty counterpart of the
+// attacker module): crash/recover windows, link flaps, probabilistic
+// message corruption and per-node clock skew/drift.
+//
+// A FaultConfig only *describes* a scenario; the deterministic expansion
+// into a concrete timeline (random windows sampled from the run's RNG
+// streams) happens in FaultPlan::build (src/faults/fault_plan.hpp), and the
+// runtime state the controller queries lives in FaultInjector. The struct
+// is part of SimConfig, so fault scenarios travel inside the same JSON
+// config files as everything else, under the "faults" key (schema:
+// docs/FAULTS.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/json.hpp"
+#include "core/types.hpp"
+
+namespace bftsim {
+
+/// One scheduled crash window: `node` is dead (drops inbound messages,
+/// timers are deferred) during [at_ms, at_ms + duration_ms).
+struct CrashWindow {
+  NodeId node = 0;
+  double at_ms = 0.0;
+  double duration_ms = 0.0;
+};
+
+/// One scheduled link outage: messages between `a` and `b` (both
+/// directions) are dropped during [at_ms, at_ms + duration_ms).
+struct LinkFlapWindow {
+  NodeId a = 0;
+  NodeId b = 0;
+  double at_ms = 0.0;
+  double duration_ms = 0.0;
+};
+
+/// Generator for randomly placed windows (crash or link flap): `count`
+/// windows start uniformly in [start_ms, end_ms) and last uniformly
+/// between min_duration_ms and max_duration_ms; targets are drawn
+/// uniformly from the node (or node-pair) space.
+struct RandomWindowSpec {
+  std::uint32_t count = 0;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  double min_duration_ms = 0.0;
+  double max_duration_ms = 0.0;
+
+  [[nodiscard]] bool enabled() const noexcept { return count > 0; }
+};
+
+/// Probabilistic message corruption: each network message sent inside
+/// [start_ms, end_ms) is, with probability `rate`, delivered with a
+/// perturbed payload digest, which simulated signature/QC verification
+/// rejects (the receiving node discards it). end_ms == 0 means "until the
+/// end of the run".
+struct CorruptionSpec {
+  double rate = 0.0;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+
+  [[nodiscard]] bool enabled() const noexcept { return rate > 0.0; }
+};
+
+/// Per-node clock imperfection applied to timer registration: each node
+/// draws a fixed skew in [-max_skew_ms, +max_skew_ms] (added to every
+/// timer delay) and a drift factor in [1 - max_drift, 1 + max_drift]
+/// (multiplied into every timer delay).
+struct ClockSpec {
+  double max_skew_ms = 0.0;
+  double max_drift = 0.0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return max_skew_ms > 0.0 || max_drift > 0.0;
+  }
+};
+
+/// Full fault scenario for one run. Disabled (the default) means every
+/// controller fault hook is compiled out of the hot path via one null
+/// check, keeping attack-free runs bit-identical to the recorded goldens.
+struct FaultConfig {
+  std::vector<CrashWindow> crashes;
+  RandomWindowSpec random_crashes;
+  std::vector<LinkFlapWindow> link_flaps;
+  RandomWindowSpec random_link_flaps;
+  CorruptionSpec corruption;
+  ClockSpec clock;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return !crashes.empty() || random_crashes.enabled() ||
+           !link_flaps.empty() || random_link_flaps.enabled() ||
+           corruption.enabled() || clock.enabled();
+  }
+
+  /// Cross-checks the scenario against the run's node count; throws
+  /// std::invalid_argument with the offending JSON path.
+  void validate(std::uint32_t n) const;
+
+  [[nodiscard]] json::Value to_json() const;
+
+  /// Strict parse: unknown keys and out-of-range values throw a single-line
+  /// error naming the JSON path (rooted at `path`, default "$.faults").
+  [[nodiscard]] static FaultConfig from_json(const json::Value& v,
+                                             const std::string& path = "$.faults");
+};
+
+}  // namespace bftsim

@@ -1,0 +1,121 @@
+#include "faults/fault_plan.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "crypto/hash.hpp"
+
+namespace bftsim {
+
+namespace {
+
+using Window = std::pair<Time, Time>;  // [start, end)
+
+/// Merges overlapping or touching windows in place; input need not be sorted.
+void merge_windows(std::vector<Window>& windows) {
+  if (windows.size() < 2) return;
+  std::sort(windows.begin(), windows.end());
+  std::vector<Window> merged;
+  merged.push_back(windows.front());
+  for (std::size_t i = 1; i < windows.size(); ++i) {
+    if (windows[i].first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, windows[i].second);
+    } else {
+      merged.push_back(windows[i]);
+    }
+  }
+  windows = std::move(merged);
+}
+
+Window sample_window(const RandomWindowSpec& spec, Rng& rng) {
+  const Time start = from_ms(rng.uniform(spec.start_ms, spec.end_ms));
+  const Time duration =
+      from_ms(rng.uniform(spec.min_duration_ms, spec.max_duration_ms));
+  return {start, start + std::max<Time>(duration, 1)};
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kRecover: return "recover";
+    case FaultKind::kLinkDown: return "link-down";
+    case FaultKind::kLinkUp: return "link-up";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::build(const FaultConfig& cfg, std::uint32_t n, Rng rng) {
+  // Per-target window collection. std::map keys keep the emission order
+  // deterministic (ascending node / pair id), independent of config order.
+  std::map<NodeId, std::vector<Window>> crash_windows;
+  std::map<std::pair<NodeId, NodeId>, std::vector<Window>> link_windows;
+
+  for (const CrashWindow& w : cfg.crashes) {
+    const Time start = from_ms(w.at_ms);
+    crash_windows[w.node].push_back({start, start + from_ms(w.duration_ms)});
+  }
+  for (std::uint32_t i = 0; i < cfg.random_crashes.count; ++i) {
+    const auto node = static_cast<NodeId>(rng.next_below(n));
+    crash_windows[node].push_back(sample_window(cfg.random_crashes, rng));
+  }
+
+  for (const LinkFlapWindow& w : cfg.link_flaps) {
+    const Time start = from_ms(w.at_ms);
+    const auto key = std::minmax(w.a, w.b);
+    link_windows[{key.first, key.second}].push_back(
+        {start, start + from_ms(w.duration_ms)});
+  }
+  for (std::uint32_t i = 0; i < cfg.random_link_flaps.count; ++i) {
+    const auto a = static_cast<NodeId>(rng.next_below(n));
+    auto b = static_cast<NodeId>(rng.next_below(n - 1));
+    if (b >= a) ++b;  // uniform over the n-1 other nodes
+    const auto key = std::minmax(a, b);
+    link_windows[{key.first, key.second}].push_back(
+        sample_window(cfg.random_link_flaps, rng));
+  }
+
+  FaultPlan plan;
+  for (auto& [node, windows] : crash_windows) {
+    merge_windows(windows);
+    for (const Window& w : windows) {
+      plan.events_.push_back({w.first, FaultKind::kCrash, node, kNoNode, w.second});
+      plan.events_.push_back({w.second, FaultKind::kRecover, node, kNoNode, 0});
+    }
+  }
+  for (auto& [link, windows] : link_windows) {
+    merge_windows(windows);
+    for (const Window& w : windows) {
+      plan.events_.push_back(
+          {w.first, FaultKind::kLinkDown, link.first, link.second, w.second});
+      plan.events_.push_back(
+          {w.second, FaultKind::kLinkUp, link.first, link.second, 0});
+    }
+  }
+
+  // Stable sort by time: equal-time events keep the deterministic emission
+  // order above (crashes by node, then links by pair), so the timeline —
+  // and thus every downstream state transition — is a pure function of
+  // (cfg, n, rng state).
+  std::stable_sort(plan.events_.begin(), plan.events_.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     return x.at < y.at;
+                   });
+  return plan;
+}
+
+std::uint64_t FaultPlan::fingerprint() const noexcept {
+  std::uint64_t h = hash_words({0x464c54ULL, events_.size()});  // "FLT"
+  for (const FaultEvent& ev : events_) {
+    h = hash_combine(h, static_cast<std::uint64_t>(ev.at));
+    h = hash_combine(h, static_cast<std::uint64_t>(ev.kind));
+    h = hash_combine(h, ev.a);
+    h = hash_combine(h, ev.b);
+    h = hash_combine(h, static_cast<std::uint64_t>(ev.until));
+  }
+  return h;
+}
+
+}  // namespace bftsim

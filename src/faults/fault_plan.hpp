@@ -1,0 +1,61 @@
+// Deterministic expansion of a FaultConfig into a concrete fault timeline.
+//
+// FaultPlan::build turns the scenario description (explicit windows plus
+// random-window generators) into a sorted list of FaultEvents, sampling
+// every random choice from one dedicated RNG stream forked off the run
+// seed. The same (config, seed) pair therefore always yields the same
+// timeline — fault scenarios replay bit-identically, which is what lets
+// fault results be pinned by the golden suite like engine results.
+//
+// Overlapping windows for the same node (or the same link) are merged at
+// build time, so the runtime state machine in FaultInjector only ever sees
+// well-nested down/up transitions.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/types.hpp"
+#include "faults/fault_config.hpp"
+
+namespace bftsim {
+
+/// Kind of one scheduled fault transition.
+enum class FaultKind : std::uint8_t { kCrash, kRecover, kLinkDown, kLinkUp };
+
+[[nodiscard]] std::string_view to_string(FaultKind kind) noexcept;
+
+/// One fault transition on the timeline. For kCrash/kLinkDown, `until` is
+/// the matching recovery time (the window end), which the controller uses
+/// to defer a crashed node's timers.
+struct FaultEvent {
+  Time at = 0;
+  FaultKind kind = FaultKind::kCrash;
+  NodeId a = kNoNode;  ///< crashed node, or one link endpoint
+  NodeId b = kNoNode;  ///< other link endpoint (links only)
+  Time until = 0;      ///< window end (kCrash / kLinkDown)
+};
+
+/// The expanded, sorted fault timeline of one run.
+class FaultPlan {
+ public:
+  /// Expands `cfg` for an `n`-node run. `rng` must be a stream dedicated
+  /// to fault sampling (the controller forks it off the run seed); the
+  /// result is deterministic in (cfg, n, rng state).
+  [[nodiscard]] static FaultPlan build(const FaultConfig& cfg, std::uint32_t n,
+                                       Rng rng);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+
+  /// Order-sensitive digest of the timeline (determinism tests).
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace bftsim

@@ -1,0 +1,54 @@
+// Pairwise link up/down state for the fault layer.
+//
+// A flat n*n counter matrix: a link flap window increments both directions
+// on its down transition and decrements them on its up transition, so
+// overlapping windows (which the fault plan merges anyway) would still nest
+// correctly. The hot-path query is one array load — the same cost profile
+// as the topology adjustment that already sits on the send path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace bftsim {
+
+/// Tracks which node pairs currently have their link down.
+class LinkState {
+ public:
+  explicit LinkState(std::uint32_t n) : n_(n), down_(static_cast<std::size_t>(n) * n, 0) {}
+
+  void set_down(NodeId a, NodeId b) noexcept {
+    ++down_[index(a, b)];
+    ++down_[index(b, a)];
+    ++down_links_;
+  }
+
+  void set_up(NodeId a, NodeId b) noexcept {
+    if (down_[index(a, b)] > 0) {
+      --down_[index(a, b)];
+      --down_[index(b, a)];
+      --down_links_;
+    }
+  }
+
+  [[nodiscard]] bool is_down(NodeId src, NodeId dst) const noexcept {
+    return src < n_ && dst < n_ && down_[index(src, dst)] != 0;
+  }
+
+  /// True when no link is currently down (lets the send path skip the
+  /// per-destination matrix load outside flap windows).
+  [[nodiscard]] bool all_up() const noexcept { return down_links_ == 0; }
+
+ private:
+  [[nodiscard]] std::size_t index(NodeId src, NodeId dst) const noexcept {
+    return static_cast<std::size_t>(src) * n_ + dst;
+  }
+
+  std::uint32_t n_;
+  std::vector<std::uint16_t> down_;
+  std::size_t down_links_ = 0;
+};
+
+}  // namespace bftsim

@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "core/config.hpp"
+#include "core/config_check.hpp"
 #include "core/types.hpp"
 
 namespace bftsim {
@@ -48,11 +49,18 @@ struct TopologySpec {
     return json::Value{std::move(o)};
   }
 
-  [[nodiscard]] static TopologySpec from_json(const json::Value& v) {
+  /// Strict parse: unknown keys and out-of-range values throw a single-line
+  /// error naming the JSON path (rooted at `path`).
+  [[nodiscard]] static TopologySpec from_json(const json::Value& v,
+                                              const std::string& path = "$.topology") {
+    cfgcheck::require_keys(v, path, {"regions", "cross_factor", "cross_extra_ms"});
     TopologySpec spec;
-    spec.regions = static_cast<std::uint32_t>(v.get_int("regions", spec.regions));
-    spec.cross_factor = v.get_number("cross_factor", spec.cross_factor);
-    spec.cross_extra_ms = v.get_number("cross_extra_ms", spec.cross_extra_ms);
+    spec.regions = static_cast<std::uint32_t>(
+        cfgcheck::int_in(v, path, "regions", spec.regions, 1, 1'000'000));
+    spec.cross_factor =
+        cfgcheck::number_in(v, path, "cross_factor", spec.cross_factor, 0.0, 1e6);
+    spec.cross_extra_ms =
+        cfgcheck::number_in(v, path, "cross_extra_ms", spec.cross_extra_ms, 0.0, 1e9);
     return spec;
   }
 };

@@ -18,6 +18,7 @@ constexpr std::uint64_t kViewTimerTag = 1;
 PbftNode::PbftNode(NodeId id, const SimConfig& cfg) : id_(id) {
   base_timeout_ = from_ms(cfg.lambda_ms) * kTimeoutFactor;
   timeout_ = base_timeout_;
+  fault_catch_up_ = cfg.faults.enabled();
 }
 
 void PbftNode::on_start(Context& ctx) {
@@ -182,6 +183,10 @@ void PbftNode::initiate_view_change(View target, Context& ctx) {
 void PbftNode::handle_view_change(const Message& msg, Context& ctx) {
   const auto& m = *msg.as<ViewChange>();
   if (!ctx.signer().verify(m.sig) || m.sig.signer != msg.src) return;
+  // A view-change whose working sequence trails ours marks the sender as a
+  // laggard (typically a node recovering from a crash or partition); hand
+  // it the commits it slept through before the usual view bookkeeping.
+  if (fault_catch_up_ && m.seq < working_seq_) send_catch_up(msg.src, m.seq, ctx);
   if (m.new_view <= view_) return;
 
   view_changes_[m.new_view][msg.src] =
@@ -201,6 +206,22 @@ void PbftNode::handle_view_change(const Message& msg, Context& ctx) {
   }
 
   maybe_complete_view_change(m.new_view, ctx);
+}
+
+void PbftNode::send_catch_up(NodeId dst, std::uint64_t from_seq, Context& ctx) {
+  // Re-send our commit for every decided sequence the laggard is missing.
+  // Commit certificates are final in any view (see handle_commit), so once
+  // 2f+1 peers answer, the laggard decides and flushes forward.
+  for (const auto& [key, inst] : instances_) {
+    const auto& [view, seq] = key;
+    if (seq < from_seq || seq >= working_seq_) continue;
+    if (!inst.committed.has_value()) continue;
+    const Value value = *inst.committed;
+    ctx.send(dst, std::make_shared<const Commit>(
+                      view, seq, value,
+                      ctx.signer().sign(
+                          id_, hash_words({0x434dULL, view, seq, value}))));
+  }
 }
 
 void PbftNode::maybe_complete_view_change(View target, Context& ctx) {

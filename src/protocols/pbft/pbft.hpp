@@ -172,6 +172,7 @@ class PbftNode final : public Node {
   void initiate_view_change(View target, Context& ctx);
   void maybe_complete_view_change(View target, Context& ctx);
   void enter_view(View v, Context& ctx);
+  void send_catch_up(NodeId dst, std::uint64_t from_seq, Context& ctx);
 
   NodeId id_;
   View view_ = 0;
@@ -181,6 +182,13 @@ class PbftNode final : public Node {
   Time timeout_ = 0;               ///< current view timeout (doubles on VC)
   Time base_timeout_ = 0;
   TimerId view_timer_ = 0;
+  // Commit retransmission toward laggards (PBFT's state-transfer mechanism,
+  // reduced to what the simulation needs). Without it a node that slept
+  // through a sequence can never rebuild the 2f+1 commit certificate —
+  // nobody re-sends commits — so crash/recover would permanently forfeit
+  // liveness for the recovered node. Only enabled when fault injection is
+  // active, which keeps fault-free runs byte-identical to the goldens.
+  bool fault_catch_up_ = false;
 
   std::map<std::pair<View, std::uint64_t>, Instance> instances_;
 

@@ -25,6 +25,7 @@ json::Value summary_to_json(const Summary& summary) {
 json::Value result_to_json(const RunResult& result, bool include_views) {
   json::Object o;
   o["terminated"] = result.terminated;
+  o["termination_reason"] = std::string(to_string(result.termination_reason));
   o["termination_ms"] = result.terminated ? json::Value{to_ms(result.termination_time)}
                                           : json::Value{nullptr};
   o["decisions_target"] = static_cast<std::int64_t>(result.decisions_target);
@@ -34,6 +35,7 @@ json::Value result_to_json(const RunResult& result, bool include_views) {
   o["messages_delivered"] = static_cast<std::int64_t>(result.messages_delivered);
   o["messages_dropped"] = static_cast<std::int64_t>(result.messages_dropped);
   o["messages_injected"] = static_cast<std::int64_t>(result.messages_injected);
+  o["messages_corrupted"] = static_cast<std::int64_t>(result.messages_corrupted);
   o["events_processed"] = static_cast<std::int64_t>(result.events_processed);
   o["rounds_used"] = static_cast<std::int64_t>(result.rounds_used());
   o["wall_seconds"] = result.wall_seconds;
@@ -81,6 +83,47 @@ json::Value aggregate_to_json(const Aggregate& aggregate) {
   o["per_decision_messages"] = summary_to_json(aggregate.per_decision_messages);
   o["events"] = summary_to_json(aggregate.events);
   o["wall_seconds_total"] = aggregate.wall_seconds_total;
+  return json::Value{std::move(o)};
+}
+
+json::Value run_failure_to_json(const RunFailure& failure) {
+  json::Object o;
+  o["point"] = static_cast<std::int64_t>(failure.point);
+  o["repeat"] = static_cast<std::int64_t>(failure.repeat);
+  o["seed"] = static_cast<std::int64_t>(failure.seed);
+  o["error"] = failure.error;
+  o["config"] = failure.config.to_json();
+  return json::Value{std::move(o)};
+}
+
+json::Value termination_tally_to_json(const TerminationTally& tally) {
+  json::Object o;
+  o["decided"] = static_cast<std::int64_t>(tally.decided);
+  o["horizon"] = static_cast<std::int64_t>(tally.horizon);
+  o["event_budget"] = static_cast<std::int64_t>(tally.event_budget);
+  o["queue_drained"] = static_cast<std::int64_t>(tally.queue_drained);
+  o["failed"] = static_cast<std::int64_t>(tally.failed);
+  return json::Value{std::move(o)};
+}
+
+json::Value sweep_outcome_to_json(const SweepOutcome& outcome) {
+  json::Object o;
+  json::Array points;
+  points.reserve(outcome.points.size());
+  for (const PointOutcome& point : outcome.points) {
+    json::Object p;
+    p["aggregate"] = aggregate_to_json(point.aggregate);
+    p["termination"] = termination_tally_to_json(point.tally);
+    points.push_back(json::Value{std::move(p)});
+  }
+  o["points"] = json::Value{std::move(points)};
+  json::Array failures;
+  failures.reserve(outcome.failures.size());
+  for (const RunFailure& failure : outcome.failures) {
+    failures.push_back(run_failure_to_json(failure));
+  }
+  o["failures"] = json::Value{std::move(failures)};
+  o["ok"] = outcome.ok();
   return json::Value{std::move(o)};
 }
 

@@ -50,6 +50,17 @@ struct RunManifest {
 /// Serializes a Summary.
 [[nodiscard]] json::Value summary_to_json(const Summary& summary);
 
+/// Serializes one guarded-sweep failure (point/repeat/seed/error + the
+/// full failing config, so the record alone reproduces the failure).
+[[nodiscard]] json::Value run_failure_to_json(const RunFailure& failure);
+
+/// Serializes a per-point termination census.
+[[nodiscard]] json::Value termination_tally_to_json(const TerminationTally& tally);
+
+/// Serializes a full guarded-sweep outcome: per-point aggregates and
+/// tallies, the failure list, and an `"ok"` flag.
+[[nodiscard]] json::Value sweep_outcome_to_json(const SweepOutcome& outcome);
+
 /// Writes `value` to `path` pretty-printed; throws std::runtime_error on
 /// I/O failure.
 void write_json_file(const std::string& path, const json::Value& value);

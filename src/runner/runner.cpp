@@ -6,6 +6,7 @@
 // run_repeated() regardless of worker count or scheduling.
 #include "runner/runner.hpp"
 
+#include <algorithm>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -94,6 +95,79 @@ Aggregate run_repeated(const SimConfig& base, std::size_t repeats) {
 Aggregate run_repeated_parallel(const SimConfig& base, std::size_t repeats,
                                 std::size_t jobs) {
   return aggregate_results(run_batch(base, repeats, jobs));
+}
+
+SimConfig Watchdog::apply(SimConfig cfg) const {
+  if (max_events > 0) cfg.max_events = std::min(cfg.max_events, max_events);
+  if (max_time_ms > 0) cfg.max_time_ms = std::min(cfg.max_time_ms, max_time_ms);
+  return cfg;
+}
+
+SweepOutcome run_sweep_guarded(const std::vector<SimConfig>& points,
+                               std::size_t repeats, std::size_t jobs,
+                               const Watchdog& watchdog) {
+  struct Slot {
+    RunResult result;
+    std::string error;
+    bool failed = false;
+  };
+  std::vector<std::vector<Slot>> slots(points.size());
+  for (std::vector<Slot>& point_slots : slots) point_slots.resize(repeats);
+
+  // Same flat (point, repeat) fan-out as run_sweep, but nothing a run
+  // throws escapes its slot: the sweep always completes and failures are
+  // reported as data.
+  ThreadPool pool(jobs == 0 ? ThreadPool::default_workers() : jobs);
+  parallel_for(pool, points.size() * repeats,
+               [&points, &slots, &watchdog, repeats](std::size_t flat) {
+                 const std::size_t p = flat / repeats;
+                 const std::size_t i = flat % repeats;
+                 Slot& slot = slots[p][i];
+                 try {
+                   SimConfig cfg = watchdog.apply(points[p]);
+                   cfg.seed = points[p].seed + i;
+                   slot.result = run_simulation(cfg);
+                 } catch (const std::exception& e) {
+                   slot.failed = true;
+                   slot.error = e.what();
+                 } catch (...) {
+                   slot.failed = true;
+                   slot.error = "unknown exception";
+                 }
+               });
+
+  SweepOutcome outcome;
+  outcome.points.reserve(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    PointOutcome point;
+    std::vector<RunResult> completed;
+    completed.reserve(repeats);
+    for (std::size_t i = 0; i < repeats; ++i) {
+      const Slot& slot = slots[p][i];
+      if (slot.failed) {
+        ++point.tally.failed;
+        RunFailure failure;
+        failure.point = p;
+        failure.repeat = i;
+        failure.seed = points[p].seed + i;
+        failure.error = slot.error;
+        failure.config = watchdog.apply(points[p]);
+        failure.config.seed = failure.seed;
+        outcome.failures.push_back(std::move(failure));
+        continue;
+      }
+      switch (slot.result.termination_reason) {
+        case TerminationReason::kDecided: ++point.tally.decided; break;
+        case TerminationReason::kHorizon: ++point.tally.horizon; break;
+        case TerminationReason::kEventBudget: ++point.tally.event_budget; break;
+        case TerminationReason::kQueueDrained: ++point.tally.queue_drained; break;
+      }
+      completed.push_back(slot.result);
+    }
+    point.aggregate = aggregate_results(completed);
+    outcome.points.push_back(std::move(point));
+  }
+  return outcome;
 }
 
 std::vector<Aggregate> run_sweep(const std::vector<SimConfig>& points,

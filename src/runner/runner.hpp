@@ -70,6 +70,64 @@ struct Aggregate {
                                                std::size_t repeats,
                                                std::size_t jobs);
 
+/// Budget caps a guarded sweep applies to every run so a divergent
+/// configuration terminates (with a recorded reason) instead of hanging
+/// the sweep. Zero fields keep the config's own budget; nonzero fields
+/// only ever tighten it.
+struct Watchdog {
+  std::uint64_t max_events = 0;  ///< cap on cfg.max_events (0 = keep)
+  double max_time_ms = 0.0;      ///< cap on cfg.max_time_ms (0 = keep)
+
+  [[nodiscard]] SimConfig apply(SimConfig cfg) const;
+};
+
+/// One run of a guarded sweep that threw instead of returning a result.
+/// Carries the exact configuration (with the derived per-repeat seed), so
+/// the failure is reproducible with a single run_simulation call.
+struct RunFailure {
+  std::size_t point = 0;   ///< index into the sweep's `points`
+  std::size_t repeat = 0;  ///< repeat index within the point
+  std::uint64_t seed = 0;  ///< derived seed of the failing run
+  std::string error;       ///< exception message
+  SimConfig config;        ///< full failing config (seed already applied)
+};
+
+/// Per-point census of how runs ended (see TerminationReason).
+struct TerminationTally {
+  std::size_t decided = 0;
+  std::size_t horizon = 0;
+  std::size_t event_budget = 0;
+  std::size_t queue_drained = 0;
+  std::size_t failed = 0;  ///< runs that threw (see SweepOutcome::failures)
+};
+
+/// One point of a guarded sweep: the Aggregate covers only the runs that
+/// completed (failed runs are excluded from every summary), the tally
+/// covers all of them.
+struct PointOutcome {
+  Aggregate aggregate;
+  TerminationTally tally;
+};
+
+/// Outcome of run_sweep_guarded: per-point results plus every failure,
+/// ordered by (point, repeat).
+struct SweepOutcome {
+  std::vector<PointOutcome> points;
+  std::vector<RunFailure> failures;
+
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+};
+
+/// Crash-safe run_sweep: each run executes under a try/catch, so one
+/// throwing configuration produces a RunFailure record (config + seed
+/// included) while the rest of the sweep completes. `watchdog` budgets are
+/// applied to every run. With no failures, each point's Aggregate is
+/// `equivalent()` to the corresponding run_sweep entry (given the same
+/// effective budgets).
+[[nodiscard]] SweepOutcome run_sweep_guarded(const std::vector<SimConfig>& points,
+                                             std::size_t repeats, std::size_t jobs,
+                                             const Watchdog& watchdog = {});
+
 /// Convenience: configure `protocol` with the registry's measurement
 /// count (10 decisions for pipelined protocols, else 1), per §IV.
 [[nodiscard]] SimConfig experiment_config(const std::string& protocol,

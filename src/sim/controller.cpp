@@ -10,6 +10,7 @@
 
 #include "attacker/attacks.hpp"
 #include "core/log.hpp"
+#include "faults/fault_injector.hpp"
 #include "protocols/registry.hpp"
 
 namespace bftsim {
@@ -171,6 +172,20 @@ Controller::Controller(SimConfig cfg)
 
   attacker_ = make_attacker(cfg_);
   atk_ctx_ = std::make_unique<AtkCtx>(*this);
+
+  // Fault layer. The fault RNG is forked off run_rng_ last, and only when
+  // faults are enabled, so every other stream (net, atk, crypto, fs, node)
+  // is untouched and fault-free runs stay bit-identical to the goldens.
+  if (cfg_.faults.enabled()) {
+    faults_ = std::make_unique<FaultInjector>(cfg_.faults, cfg_.n,
+                                              run_rng_.fork(0x666c74));  // "flt"
+    const auto& timeline = faults_->events();
+    for (std::size_t i = 0; i < timeline.size(); ++i) {
+      if (timeline[i].at > horizon_) continue;
+      queue_.push(timeline[i].at,
+                  TimerFire{TimerOwner::kFault, kNoNode, next_timer_id_++, i});
+    }
+  }
 }
 
 Controller::~Controller() = default;
@@ -205,6 +220,19 @@ void Controller::network_send(NodeId src, NodeId dst, PayloadPtr payload,
 
   const Time sampled =
       topology_.adjust(delay_sampler_.sample(net_rng_), src, dst);
+  // Link flaps sit below the attacker: the delay is sampled first (keeping
+  // net_rng_ aligned with fault-free runs) and a down link drops the
+  // message before the attacker ever sees it.
+  if (faults_ != nullptr && faults_->any_link_down() &&
+      faults_->link_down(src, dst)) {
+    metrics_.on_drop();
+    if (cfg_.record_trace) {
+      trace_.add(TraceRecord{TraceKind::kDrop, now_, src, dst,
+                             std::string(msg.payload->type()),
+                             msg.payload->digest(), msg.id, 0, 0});
+    }
+    return;
+  }
   MessageInFlight in_flight{std::move(msg), extra_delay + sampled};
   const Disposition verdict = attacker_->attack(in_flight, *atk_ctx_);
   if (verdict == Disposition::kDrop) {
@@ -217,6 +245,11 @@ void Controller::network_send(NodeId src, NodeId dst, PayloadPtr payload,
                              0, 0});
     }
     return;
+  }
+  if (faults_ != nullptr && faults_->maybe_corrupt(now_)) {
+    in_flight.msg.payload =
+        std::make_shared<const CorruptedPayload>(std::move(in_flight.msg.payload));
+    metrics_.on_corrupt();
   }
   schedule_network_delivery(std::move(in_flight.msg),
                             std::max<Time>(in_flight.delay, 0));
@@ -263,6 +296,15 @@ void Controller::network_broadcast(NodeId src, const PayloadPtr& payload,
 
     const Time sampled =
         topology_.adjust(delay_sampler_.sample(net_rng_), src, dst);
+    if (faults_ != nullptr && faults_->any_link_down() &&
+        faults_->link_down(src, dst)) {
+      metrics_.on_drop();
+      if (cfg_.record_trace) {
+        trace_.add(TraceRecord{TraceKind::kDrop, now_, src, dst, trace_type,
+                               trace_digest, msg.id, 0, 0});
+      }
+      continue;
+    }
     MessageInFlight in_flight{std::move(msg), extra_delay + sampled};
     const Disposition verdict = attacker_->attack(in_flight, *atk_ctx_);
     if (verdict == Disposition::kDrop) {
@@ -275,6 +317,11 @@ void Controller::network_broadcast(NodeId src, const PayloadPtr& payload,
                                in_flight.msg.id, 0, 0});
       }
       continue;
+    }
+    if (faults_ != nullptr && faults_->maybe_corrupt(now_)) {
+      in_flight.msg.payload = std::make_shared<const CorruptedPayload>(
+          std::move(in_flight.msg.payload));
+      metrics_.on_corrupt();
     }
     schedule_network_delivery(std::move(in_flight.msg),
                               std::max<Time>(in_flight.delay, 0));
@@ -322,6 +369,18 @@ void Controller::deliver_now(const Message& msg) {
     metrics_.on_drop();
     return;
   }
+  // A crashed node drops everything that arrives during its outage window
+  // (it will resync via the protocol's own catch-up paths after recovery).
+  if (faults_ != nullptr && faults_->is_crashed(msg.dst)) {
+    metrics_.on_drop();
+    if (cost_model_on_) cpu_charged_.erase(msg.id);
+    if (cfg_.record_trace && msg.payload != nullptr) {
+      trace_.add(TraceRecord{TraceKind::kDrop, now_, msg.src, msg.dst,
+                             std::string(msg.payload->type()),
+                             msg.payload->digest(), msg.id, 0, 0});
+    }
+    return;
+  }
   // Computation-cost model: verifying a network message occupies the
   // receiver's CPU, and a CPU still busy (verifying or signing) defers the
   // processing of new arrivals — messages queue behind each other, which
@@ -352,6 +411,10 @@ void Controller::deliver_now(const Message& msg) {
 
 TimerId Controller::set_timer(TimerOwner owner, NodeId node, Time delay,
                               std::uint64_t tag) {
+  // Clock skew/drift distorts the node's view of how long `delay` is.
+  if (faults_ != nullptr && owner == TimerOwner::kNode) {
+    delay = faults_->adjust_timer_delay(node, delay);
+  }
   const TimerId id = next_timer_id_++;
   queue_.push(now_ + std::max<Time>(delay, 0), TimerFire{owner, node, id, tag});
   return id;
@@ -431,6 +494,17 @@ void Controller::dispatch(Event& ev) {
   }
   auto& fire = std::get<TimerFire>(ev.body);
   if (queue_.consume_cancellation(fire.timer)) return;
+  // A crashed node's timers are suspended, not lost: the fire is deferred
+  // to the recovery instant (the kRecover fault timer carries an earlier
+  // sequence number, so at that tie the node is already back up). Dropping
+  // them instead could leave a recovered node with no pending timers — a
+  // guaranteed deadlock.
+  if (faults_ != nullptr && fire.owner == TimerOwner::kNode &&
+      faults_->is_crashed(fire.node)) {
+    queue_.push(faults_->recovery_time(fire.node),
+                TimerFire{fire.owner, fire.node, fire.timer, fire.tag});
+    return;
+  }
   metrics_.on_timer();
   const TimerEvent te{fire.timer, fire.tag, now_};
   switch (fire.owner) {
@@ -445,6 +519,9 @@ void Controller::dispatch(Event& ev) {
     case TimerOwner::kSystem:
       on_system_event(fire.tag);
       break;
+    case TimerOwner::kFault:
+      faults_->apply(fire.tag);
+      break;
   }
 }
 
@@ -458,27 +535,35 @@ RunResult Controller::run() {
   }
   check_termination();  // degenerate configs (decisions == 0 is rejected)
 
+  TerminationReason reason = TerminationReason::kQueueDrained;
   while (!stopped_ && !queue_.empty()) {
     Event ev = queue_.pop();
     if (ev.at > horizon_) {
       now_ = horizon_;
+      reason = TerminationReason::kHorizon;
       break;
     }
     now_ = ev.at;
     metrics_.on_event();
-    if (metrics_.events_processed() > cfg_.max_events) break;
+    if (metrics_.events_processed() > cfg_.max_events) {
+      reason = TerminationReason::kEventBudget;
+      break;
+    }
     dispatch(ev);
   }
+  if (stopped_) reason = TerminationReason::kDecided;
 
   RunResult result;
   result.terminated = stopped_;
   result.termination_time = termination_time_;
+  result.termination_reason = reason;
   result.decisions_target = cfg_.decisions;
   result.messages_sent = metrics_.messages_sent();
   result.bytes_sent = metrics_.bytes_sent();
   result.messages_delivered = metrics_.messages_delivered();
   result.messages_dropped = metrics_.messages_dropped();
   result.messages_injected = metrics_.messages_injected();
+  result.messages_corrupted = metrics_.messages_corrupted();
   result.events_processed = metrics_.events_processed();
   result.timers_fired = metrics_.timers_fired();
   result.decisions = metrics_.decisions();

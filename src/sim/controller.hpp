@@ -24,6 +24,8 @@
 
 namespace bftsim {
 
+class FaultInjector;
+
 /// Drives one simulation run. Construct with a validated SimConfig, call
 /// run() once. The packet-level baseline simulator subclasses this and
 /// overrides the network-delivery hook (see src/baseline/).
@@ -123,6 +125,9 @@ class Controller {
   std::vector<Rng> node_rngs_;
   std::unique_ptr<Attacker> attacker_;
   std::unique_ptr<AtkCtx> atk_ctx_;
+  /// Fault-injection state; nullptr unless cfg.faults is enabled, so the
+  /// fault hooks cost one null check on fault-free runs.
+  std::unique_ptr<FaultInjector> faults_;
 
   // Computation-cost model state: per-node CPU availability and the set of
   // deliveries whose verification cost has already been paid.

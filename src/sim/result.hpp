@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "core/metrics.hpp"
@@ -10,10 +11,32 @@
 
 namespace bftsim {
 
+/// Why the controller's event loop stopped. Anything other than kDecided
+/// means the run did not reach its decision target: the horizon or event
+/// budget acted as a watchdog, or the event queue simply drained (a
+/// deadlocked protocol with no pending timers).
+enum class TerminationReason : std::uint8_t {
+  kDecided,       ///< every live honest node reached the decision target
+  kHorizon,       ///< simulated-time horizon (max_time_ms) reached
+  kEventBudget,   ///< event-count budget (max_events) exhausted
+  kQueueDrained,  ///< no events left to process
+};
+
+[[nodiscard]] constexpr std::string_view to_string(TerminationReason r) noexcept {
+  switch (r) {
+    case TerminationReason::kDecided: return "decided";
+    case TerminationReason::kHorizon: return "horizon";
+    case TerminationReason::kEventBudget: return "event-budget";
+    case TerminationReason::kQueueDrained: return "queue-drained";
+  }
+  return "?";
+}
+
 /// Result of a single run, as produced by Simulation::run().
 struct RunResult {
   bool terminated = false;          ///< all live honest nodes reached the target
   Time termination_time = kNoTime;  ///< when the last of them did
+  TerminationReason termination_reason = TerminationReason::kQueueDrained;
   std::uint32_t decisions_target = 1;
 
   std::uint64_t messages_sent = 0;  ///< protocol messages transmitted
@@ -21,6 +44,7 @@ struct RunResult {
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;
   std::uint64_t messages_injected = 0;  ///< attacker-forged messages
+  std::uint64_t messages_corrupted = 0;  ///< fault-layer payload corruptions
   std::uint64_t events_processed = 0;
   std::uint64_t timers_fired = 0;
 

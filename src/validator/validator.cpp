@@ -111,6 +111,67 @@ std::string ValidationResult::to_string() const {
   return os.str();
 }
 
+SafetyReport check_run_safety(const RunResult& result) {
+  SafetyReport report;
+  report.agreement = true;
+  report.validity = true;
+  report.complete = true;
+
+  const std::set<NodeId> honest(result.honest.begin(), result.honest.end());
+  std::ostringstream os;
+
+  // Agreement: at every height, all honest deciders chose the same value.
+  std::map<std::uint64_t, std::pair<NodeId, Value>> chosen;
+  std::map<NodeId, std::uint64_t> counts;
+  for (const Decision& d : result.decisions) {
+    if (!honest.contains(d.node)) continue;
+    ++counts[d.node];
+    const auto [it, inserted] = chosen.emplace(d.height, std::pair{d.node, d.value});
+    if (!inserted && it->second.second != d.value && report.agreement) {
+      report.agreement = false;
+      os << "agreement violated at height " << d.height << ": node "
+         << it->second.first << " decided " << it->second.second << ", node "
+         << d.node << " decided " << d.value << "; ";
+    }
+  }
+
+  // Validity: each node's decision heights are exactly 0..count-1 (the
+  // height counter is assigned per node by the controller, so a gap or a
+  // duplicate means the decision log itself is corrupt).
+  std::map<NodeId, std::set<std::uint64_t>> heights;
+  for (const Decision& d : result.decisions) {
+    if (!honest.contains(d.node)) continue;
+    if (!heights[d.node].insert(d.height).second && report.validity) {
+      report.validity = false;
+      os << "node " << d.node << " decided height " << d.height << " twice; ";
+    }
+  }
+  for (const auto& [node, set] : heights) {
+    if (!report.validity) break;
+    if (*set.rbegin() != set.size() - 1) {
+      report.validity = false;
+      os << "node " << node << " has a gap in its decision heights; ";
+    }
+  }
+
+  // Completeness: a run reported as terminated must have every honest node
+  // at the decision target.
+  if (result.terminated) {
+    for (const NodeId node : result.honest) {
+      if (counts[node] < result.decisions_target) {
+        report.complete = false;
+        os << "terminated but node " << node << " only decided "
+           << counts[node] << "/" << result.decisions_target << "; ";
+        break;
+      }
+    }
+  }
+
+  report.ok = report.agreement && report.validity && report.complete;
+  report.diagnosis = os.str();
+  return report;
+}
+
 ValidationResult validate_against_trace(const SimConfig& cfg,
                                         const Trace& ground_truth) {
   SimConfig replay_cfg = cfg;

@@ -21,6 +21,7 @@
 
 #include "core/config.hpp"
 #include "core/trace.hpp"
+#include "sim/result.hpp"
 
 namespace bftsim {
 
@@ -43,5 +44,21 @@ struct ValidationResult {
 /// contain kSend/kDeliver/kDecide records) and cross-validates decisions.
 [[nodiscard]] ValidationResult validate_against_trace(const SimConfig& cfg,
                                                       const Trace& ground_truth);
+
+/// Safety verdict over one run's decision log, used by the fault-matrix
+/// harness: checks the classic properties directly on the RunResult
+/// instead of replaying a trace.
+struct SafetyReport {
+  bool agreement = false;  ///< no two honest nodes decided differently at a height
+  bool validity = false;   ///< per-node decision heights are contiguous from 0
+  bool complete = false;   ///< terminated implies every honest node hit the target
+  bool ok = false;         ///< all of the above
+  std::string diagnosis;   ///< first violation found, empty when ok
+};
+
+/// Checks agreement / validity / completeness over the honest nodes of
+/// `result` (crashed-and-recovered nodes are honest; attacker-corrupted
+/// and fail-stopped ones are excluded via result.honest).
+[[nodiscard]] SafetyReport check_run_safety(const RunResult& result);
 
 }  // namespace bftsim

@@ -128,6 +128,99 @@ TEST(SimConfigTest, FromJsonValidates) {
                std::invalid_argument);
 }
 
+// Strict parsing: malformed input produces a single-line error naming the
+// exact JSON path, so a typo in a sweep file is caught immediately instead
+// of being silently defaulted.
+
+std::string error_of(const std::string& text) {
+  try {
+    (void)SimConfig::from_json(json::parse(text));
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(StrictConfigTest, UnknownTopLevelKeyNamesPath) {
+  EXPECT_EQ(error_of(R"({"protocl": "pbft"})"),
+            "config error at $.protocl: unknown key");
+}
+
+TEST(StrictConfigTest, OutOfRangeValuesNamePath) {
+  EXPECT_NE(error_of(R"({"n": -4})").find("config error at $.n"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"lambda_ms": 0})").find("$.lambda_ms"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"decisions": 0})").find("$.decisions"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"seed": -1})").find("$.seed"), std::string::npos);
+  EXPECT_NE(error_of(R"({"max_events": 0})").find("$.max_events"),
+            std::string::npos);
+}
+
+TEST(StrictConfigTest, ErrorsAreSingleLine) {
+  const std::string msg = error_of(R"({"n": -4})");
+  ASSERT_FALSE(msg.empty());
+  EXPECT_EQ(msg.find('\n'), std::string::npos);
+}
+
+TEST(StrictConfigTest, DelaySpecRejectsUnknownAndOutOfRangeKeys) {
+  EXPECT_EQ(error_of(R"({"delay": {"kinb": "normal"}})"),
+            "config error at $.delay.kinb: unknown key");
+  EXPECT_NE(error_of(R"({"delay": {"kind": "weird"}})").find("$.delay.kind"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"delay": {"kind": "normal", "a": -1}})")
+                .find("$.delay.a"),
+            std::string::npos);
+}
+
+TEST(StrictConfigTest, CostAndTopologyNamePaths) {
+  EXPECT_EQ(error_of(R"({"cost": {"verify": 1}})"),
+            "config error at $.cost.verify: unknown key");
+  EXPECT_NE(error_of(R"({"cost": {"verify_ms": -1}})").find("$.cost.verify_ms"),
+            std::string::npos);
+  EXPECT_EQ(error_of(R"({"topology": {"region": 2}})"),
+            "config error at $.topology.region: unknown key");
+  EXPECT_NE(error_of(R"({"topology": {"regions": 0}})")
+                .find("$.topology.regions"),
+            std::string::npos);
+}
+
+TEST(StrictConfigTest, FaultSectionErrorsCarryFullPath) {
+  EXPECT_EQ(error_of(R"({"faults": {"crashs": []}})"),
+            "config error at $.faults.crashs: unknown key");
+  EXPECT_NE(error_of(R"({"faults": {"corruption": {"rate": 2}}})")
+                .find("$.faults.corruption.rate"),
+            std::string::npos);
+  EXPECT_NE(
+      error_of(
+          R"({"faults": {"clock": {"max_skew_ms": 1, "max_drift": 0.9}}})")
+          .find("$.faults.clock.max_drift"),
+      std::string::npos);
+}
+
+TEST(StrictConfigTest, FaultNodeRangeCheckedAgainstN) {
+  // Structural parse succeeds; validate() then catches the out-of-range
+  // node index against the run's n.
+  EXPECT_NE(
+      error_of(
+          R"({"n": 4, "faults": {"crashes":
+              [{"node": 9, "at_ms": 0, "duration_ms": 10}]}})")
+          .find("$.faults.crashes[0].node"),
+      std::string::npos);
+}
+
+TEST(SimConfigTest, FaultsRoundTripThroughConfigJson) {
+  SimConfig cfg;
+  cfg.faults.crashes.push_back({1, 100.0, 50.0});
+  cfg.faults.corruption = {0.1, 0.0, 500.0};
+  const SimConfig back = SimConfig::from_json(cfg.to_json());
+  ASSERT_EQ(back.faults.crashes.size(), 1u);
+  EXPECT_EQ(back.faults.crashes[0].node, 1u);
+  EXPECT_DOUBLE_EQ(back.faults.corruption.rate, 0.1);
+  EXPECT_TRUE(back.faults.enabled());
+}
+
 TEST(SimConfigTest, FromFile) {
   const std::string path = ::testing::TempDir() + "/bftsim_config_test.json";
   {

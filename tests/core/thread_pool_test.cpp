@@ -123,6 +123,53 @@ TEST(ThreadPoolTest, PoolIsReusableAcrossParallelForCalls) {
   EXPECT_EQ(std::accumulate(b.begin(), b.end(), 0), 20);
 }
 
+TEST(ThreadPoolTest, SubmittedTaskExceptionIsRethrownAtWaitIdle) {
+  // A throwing task must not terminate the worker (or the process); the
+  // exception surfaces at the aggregation point instead.
+  ThreadPool pool{2};
+  pool.submit([] { throw std::runtime_error("task blew up"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "expected wait_idle to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task blew up");
+  }
+}
+
+TEST(ThreadPoolTest, PoolSurvivesAThrowingTask) {
+  ThreadPool pool{2};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+
+  // The worker that ran the throwing task is still alive and the error
+  // state was cleared: later batches run and wait cleanly.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, OnlyFirstTaskErrorIsKept) {
+  ThreadPool pool{1};  // single worker: deterministic execution order
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::runtime_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "expected wait_idle to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  pool.wait_idle();  // error consumed; pool is idle and clean
+}
+
+TEST(ThreadPoolTest, DestructorSwallowsPendingTaskError) {
+  // A stored error with no wait_idle call must not escape the destructor.
+  ThreadPool pool{2};
+  pool.submit([] { throw std::runtime_error("never observed"); });
+}
+
 TEST(ThreadPoolTest, DefaultWorkersHonorsEnvOverride) {
   ASSERT_EQ(setenv("BFTSIM_JOBS", "3", /*overwrite=*/1), 0);
   EXPECT_EQ(ThreadPool::default_workers(), 3u);

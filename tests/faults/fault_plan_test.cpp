@@ -1,0 +1,158 @@
+// FaultPlan expansion: determinism in (config, seed), window merging, and
+// strict config parsing / validation with path-aware errors.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/json.hpp"
+#include "core/rng.hpp"
+#include "faults/fault_config.hpp"
+#include "faults/fault_plan.hpp"
+
+namespace bftsim {
+namespace {
+
+FaultConfig parse(const std::string& text) {
+  return FaultConfig::from_json(json::parse(text));
+}
+
+TEST(FaultPlan, ExplicitWindowsExpandToSortedTimeline) {
+  FaultConfig cfg;
+  cfg.crashes.push_back({2, 100.0, 50.0});
+  cfg.link_flaps.push_back({0, 1, 20.0, 10.0});
+
+  const FaultPlan plan = FaultPlan::build(cfg, 4, Rng{1});
+  ASSERT_EQ(plan.events().size(), 4u);
+
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kLinkDown);
+  EXPECT_EQ(plan.events()[0].at, from_ms(20.0));
+  EXPECT_EQ(plan.events()[1].kind, FaultKind::kLinkUp);
+  EXPECT_EQ(plan.events()[1].at, from_ms(30.0));
+  EXPECT_EQ(plan.events()[2].kind, FaultKind::kCrash);
+  EXPECT_EQ(plan.events()[2].a, 2u);
+  EXPECT_EQ(plan.events()[2].until, from_ms(150.0));
+  EXPECT_EQ(plan.events()[3].kind, FaultKind::kRecover);
+
+  for (std::size_t i = 1; i < plan.events().size(); ++i) {
+    EXPECT_LE(plan.events()[i - 1].at, plan.events()[i].at);
+  }
+}
+
+TEST(FaultPlan, OverlappingWindowsMerge) {
+  FaultConfig cfg;
+  cfg.crashes.push_back({0, 100.0, 50.0});   // [100, 150)
+  cfg.crashes.push_back({0, 120.0, 100.0});  // [120, 220) — overlaps
+  cfg.crashes.push_back({0, 150.0, 10.0});   // [150, 160) — inside merged
+
+  const FaultPlan plan = FaultPlan::build(cfg, 2, Rng{1});
+  ASSERT_EQ(plan.events().size(), 2u);
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(plan.events()[0].at, from_ms(100.0));
+  EXPECT_EQ(plan.events()[0].until, from_ms(220.0));
+  EXPECT_EQ(plan.events()[1].kind, FaultKind::kRecover);
+  EXPECT_EQ(plan.events()[1].at, from_ms(220.0));
+}
+
+TEST(FaultPlan, SameSeedSameTimeline) {
+  FaultConfig cfg;
+  cfg.random_crashes = {3, 0.0, 1000.0, 10.0, 100.0};
+  cfg.random_link_flaps = {5, 0.0, 1000.0, 5.0, 50.0};
+
+  const FaultPlan a = FaultPlan::build(cfg, 8, Rng{42});
+  const FaultPlan b = FaultPlan::build(cfg, 8, Rng{42});
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].at, b.events()[i].at);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].a, b.events()[i].a);
+    EXPECT_EQ(a.events()[i].b, b.events()[i].b);
+  }
+}
+
+TEST(FaultPlan, DifferentSeedDifferentTimeline) {
+  FaultConfig cfg;
+  cfg.random_crashes = {4, 0.0, 1000.0, 10.0, 100.0};
+  const FaultPlan a = FaultPlan::build(cfg, 8, Rng{1});
+  const FaultPlan b = FaultPlan::build(cfg, 8, Rng{2});
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(FaultPlan, RandomLinkFlapsNeverSelfLink) {
+  FaultConfig cfg;
+  cfg.random_link_flaps = {50, 0.0, 1000.0, 1.0, 10.0};
+  const FaultPlan plan = FaultPlan::build(cfg, 3, Rng{7});
+  for (const FaultEvent& ev : plan.events()) {
+    if (ev.kind == FaultKind::kLinkDown || ev.kind == FaultKind::kLinkUp) {
+      EXPECT_NE(ev.a, ev.b);
+      EXPECT_LT(ev.a, 3u);
+      EXPECT_LT(ev.b, 3u);
+    }
+  }
+}
+
+TEST(FaultConfigJson, RoundTrips) {
+  FaultConfig cfg;
+  cfg.crashes.push_back({1, 100.0, 50.0});
+  cfg.link_flaps.push_back({0, 2, 20.0, 10.0});
+  cfg.random_crashes = {2, 0.0, 500.0, 10.0, 20.0};
+  cfg.corruption = {0.25, 0.0, 300.0};
+  cfg.clock = {5.0, 0.01};
+
+  const FaultConfig back = FaultConfig::from_json(cfg.to_json());
+  EXPECT_EQ(back.to_json().dump(), cfg.to_json().dump());
+  EXPECT_TRUE(back.enabled());
+}
+
+TEST(FaultConfigJson, UnknownKeyNamesPath) {
+  try {
+    (void)parse(R"({"crashs": []})");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()), "config error at $.faults.crashs: unknown key");
+  }
+}
+
+TEST(FaultConfigJson, OutOfRangeCorruptionRateNamesPath) {
+  try {
+    (void)parse(R"({"corruption": {"rate": 1.5}})");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("$.faults.corruption.rate"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FaultConfigJson, BadWindowNamesEntryPath) {
+  try {
+    (void)parse(R"({"crashes": [{"node": 0, "at_ms": 10, "duration_ms": 0}]})");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("$.faults.crashes[0].duration_ms"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FaultConfigValidate, NodeOutOfRange) {
+  FaultConfig cfg;
+  cfg.crashes.push_back({9, 0.0, 10.0});
+  try {
+    cfg.validate(4);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("$.faults.crashes[0].node"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FaultConfigValidate, SelfLinkRejected) {
+  FaultConfig cfg;
+  cfg.link_flaps.push_back({1, 1, 0.0, 10.0});
+  EXPECT_THROW(cfg.validate(4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bftsim

@@ -140,6 +140,43 @@ std::vector<AggregatePoint> aggregate_points() {
     add("beyond/tendermint/N(1000,300)",
         experiment_config("tendermint", 16, 1000, DelaySpec::normal(1000, 300)));
   }
+  {  // fault layer: one point per fault kind plus a combined schedule and a
+     // watchdog budget. Small n, 2 repeats — these pin the fault RNG stream
+     // (fork order, window expansion, corruption coin) in addition to the
+     // engine hot path.
+    SimConfig cfg = experiment_config("pbft", 8, 1000, DelaySpec::normal(250, 50));
+    cfg.max_time_ms = 600'000;
+    cfg.faults.crashes.push_back({2, 300.0, 2000.0});
+    add("faults/pbft/crash-recover", cfg, 2);
+
+    cfg = experiment_config("hotstuff-ns", 8, 1000, DelaySpec::normal(250, 50));
+    cfg.max_time_ms = 600'000;
+    cfg.faults.link_flaps.push_back({0, 1, 200.0, 1500.0});
+    cfg.faults.link_flaps.push_back({2, 3, 900.0, 1200.0});
+    add("faults/hotstuff-ns/link-flap", cfg, 2);
+
+    cfg = experiment_config("tendermint", 8, 1000, DelaySpec::normal(250, 50));
+    cfg.max_time_ms = 600'000;
+    cfg.faults.corruption = {0.05, 0.0, 0.0};
+    add("faults/tendermint/corruption", cfg, 2);
+
+    cfg = experiment_config("librabft", 8, 1000, DelaySpec::normal(250, 50));
+    cfg.max_time_ms = 600'000;
+    cfg.faults.clock = {25.0, 0.02};
+    add("faults/librabft/clock-skew", cfg, 2);
+
+    cfg = experiment_config("algorand", 8, 1000, DelaySpec::normal(250, 50));
+    cfg.max_time_ms = 600'000;
+    cfg.faults.random_crashes = {1, 0.0, 5000.0, 500.0, 1500.0};
+    cfg.faults.random_link_flaps = {2, 0.0, 5000.0, 200.0, 1000.0};
+    cfg.faults.corruption = {0.02, 0.0, 0.0};
+    add("faults/algorand/combined", cfg, 2);
+
+    cfg = experiment_config("pbft", 8, 1000, DelaySpec::normal(250, 50));
+    cfg.max_events = 500;  // watchdog: run stops on the event budget
+    cfg.faults.crashes.push_back({1, 100.0, 1000.0});
+    add("faults/pbft/event-budget", cfg, 2);
+  }
   return points;
 }
 
