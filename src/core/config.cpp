@@ -100,6 +100,7 @@ void SimConfig::validate() const {
     throw std::invalid_argument("config: negative computation cost");
   }
   faults.validate(n);
+  obs.validate();
 }
 
 json::Value SimConfig::to_json() const {
@@ -121,6 +122,7 @@ json::Value SimConfig::to_json() const {
   if (faults.enabled()) o["faults"] = faults.to_json();
   o["record_trace"] = record_trace;
   o["record_views"] = record_views;
+  if (obs.enabled()) o["obs"] = obs.to_json();
   return json::Value{std::move(o)};
 }
 
@@ -129,7 +131,7 @@ SimConfig SimConfig::from_json(const json::Value& v) {
                {"protocol", "n", "honest", "lambda_ms", "delay", "seed",
                 "decisions", "max_time_ms", "max_events", "attack",
                 "attack_params", "protocol_params", "cost", "topology",
-                "faults", "record_trace", "record_views"});
+                "faults", "record_trace", "record_views", "obs"});
   SimConfig cfg;
   cfg.protocol = v.get_string("protocol", cfg.protocol);
   cfg.n = static_cast<std::uint32_t>(cfgcheck::int_in(v, "$", "n", cfg.n, 1, 1'000'000));
@@ -173,6 +175,9 @@ SimConfig SimConfig::from_json(const json::Value& v) {
   }
   cfg.record_trace = v.get_bool("record_trace", cfg.record_trace);
   cfg.record_views = v.get_bool("record_views", cfg.record_views);
+  if (const json::Value* o = v.as_object().find("obs")) {
+    cfg.obs = ObsConfig::from_json(*o, "$.obs");
+  }
   cfg.validate();
   return cfg;
 }

@@ -11,6 +11,7 @@
 #include "core/json.hpp"
 #include "core/types.hpp"
 #include "faults/fault_config.hpp"
+#include "obs/obs_config.hpp"
 
 namespace bftsim {
 
@@ -96,6 +97,10 @@ struct SimConfig {
 
   bool record_trace = false;  ///< record full message trace (validator input)
   bool record_views = true;   ///< record per-node view changes (Fig. 9)
+
+  /// Observability: trace sink selection (memory/jsonl/binary) and the
+  /// run-timeline sampler; all default-off. See docs/OBSERVABILITY.md.
+  ObsConfig obs;
 
   /// Number of live (non-fail-stopped) nodes.
   [[nodiscard]] std::uint32_t live_nodes() const noexcept {

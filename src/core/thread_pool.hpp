@@ -36,8 +36,17 @@ class ThreadPool {
 
   /// Blocks until every task submitted so far has finished (the queue is
   /// empty and no worker is mid-task). If any task threw since the last
-  /// call, rethrows the first captured exception (the rest are discarded).
+  /// call, rethrows the first captured exception; how many further task
+  /// exceptions were discarded alongside it is reported by
+  /// last_suppressed_failures() until the next wait_idle() call.
   void wait_idle();
+
+  /// Number of task exceptions discarded by the most recent wait_idle()
+  /// that rethrew (every captured failure beyond the first). Zero when the
+  /// last wait_idle() returned cleanly.
+  [[nodiscard]] std::size_t last_suppressed_failures() const noexcept {
+    return last_suppressed_;
+  }
 
   [[nodiscard]] std::size_t worker_count() const noexcept {
     return workers_.size();
@@ -59,6 +68,8 @@ class ThreadPool {
   std::size_t in_flight_ = 0;  ///< tasks popped but not yet finished
   bool stopping_ = false;
   std::exception_ptr first_error_;  ///< first escaped task exception
+  std::size_t suppressed_errors_ = 0;  ///< escaped exceptions after the first
+  std::size_t last_suppressed_ = 0;    ///< suppressed count of last rethrow
 };
 
 /// Runs `fn(i)` for every i in [0, count) on `pool` and blocks until all

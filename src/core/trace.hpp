@@ -51,6 +51,11 @@ struct TraceRecord {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// Initial value of the order-sensitive trace fingerprint. Shared with the
+/// streaming trace sinks (src/obs/), whose running fingerprint must equal
+/// Trace::fingerprint() over the same record sequence.
+inline constexpr std::uint64_t kTraceFingerprintSeed = 0x51ed270b74a4d9c3ULL;
+
 /// An in-memory trace. Recording granularity is controlled by the
 /// controller; by default only message + decision records are kept.
 class Trace {
@@ -65,7 +70,7 @@ class Trace {
 
   /// Order-sensitive fingerprint of the whole trace.
   [[nodiscard]] std::uint64_t fingerprint() const noexcept {
-    std::uint64_t h = 0x51ed270b74a4d9c3ULL;
+    std::uint64_t h = kTraceFingerprintSeed;
     for (const auto& r : records_) h = hash_combine(h, r.fingerprint());
     return h;
   }

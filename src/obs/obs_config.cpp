@@ -1,0 +1,69 @@
+#include "obs/obs_config.hpp"
+
+#include <stdexcept>
+
+#include "core/config_check.hpp"
+
+namespace bftsim {
+
+namespace {
+
+using cfgcheck::fail;
+using cfgcheck::number_in;
+using cfgcheck::require_keys;
+
+[[nodiscard]] TraceSinkKind sink_from_name(const std::string& name,
+                                           const std::string& path) {
+  if (name == "memory") return TraceSinkKind::kMemory;
+  if (name == "jsonl") return TraceSinkKind::kJsonl;
+  if (name == "binary") return TraceSinkKind::kBinary;
+  fail(path + ".sink", "unknown trace sink \"" + name + "\"");
+}
+
+}  // namespace
+
+std::string_view to_string(TraceSinkKind kind) noexcept {
+  switch (kind) {
+    case TraceSinkKind::kMemory: return "memory";
+    case TraceSinkKind::kJsonl: return "jsonl";
+    case TraceSinkKind::kBinary: return "binary";
+  }
+  return "?";
+}
+
+void ObsConfig::validate() const {
+  if (streaming() && trace_path.empty()) {
+    throw std::invalid_argument(
+        "config error at $.obs.trace_path: required for streaming sinks");
+  }
+  if (timeline_tick_ms < 0.0) {
+    throw std::invalid_argument(
+        "config error at $.obs.timeline_tick_ms: must be non-negative");
+  }
+}
+
+json::Value ObsConfig::to_json() const {
+  json::Object o;
+  o["sink"] = std::string(to_string(sink));
+  if (!trace_path.empty()) o["trace_path"] = trace_path;
+  o["timeline_tick_ms"] = timeline_tick_ms;
+  o["timeline_views"] = timeline_views;
+  return json::Value{std::move(o)};
+}
+
+ObsConfig ObsConfig::from_json(const json::Value& v, const std::string& path) {
+  require_keys(v, path,
+               {"sink", "trace_path", "timeline_tick_ms", "timeline_views"});
+  ObsConfig obs;
+  obs.sink = sink_from_name(v.get_string("sink", "memory"), path);
+  obs.trace_path = v.get_string("trace_path", obs.trace_path);
+  obs.timeline_tick_ms =
+      number_in(v, path, "timeline_tick_ms", obs.timeline_tick_ms, 0.0, 1e12);
+  obs.timeline_views = v.get_bool("timeline_views", obs.timeline_views);
+  if (obs.streaming() && obs.trace_path.empty()) {
+    fail(path + ".trace_path", "required for streaming sinks");
+  }
+  return obs;
+}
+
+}  // namespace bftsim

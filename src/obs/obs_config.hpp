@@ -1,0 +1,67 @@
+// Observability configuration: which trace sink a run writes through,
+// where streaming sinks put their output, and whether the run-timeline
+// collector samples engine state (queue depth, in-flight messages, timer
+// population, per-node views) at a fixed simulated-time tick.
+//
+// Everything here is off by default and costs nothing when off: with the
+// defaults a run behaves exactly like the pre-observability engine (the
+// in-memory Trace, gated on record_trace), which is what keeps the
+// recorded goldens replayable. See docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/json.hpp"
+
+namespace bftsim {
+
+/// Where trace records go when record_trace is set.
+enum class TraceSinkKind : std::uint8_t {
+  kMemory,  ///< accumulate in RunResult::trace (historical behavior)
+  kJsonl,   ///< stream one JSON object per record to obs.trace_path
+  kBinary,  ///< stream the compact binary format to obs.trace_path
+};
+
+/// Human-readable name of a sink kind ("memory", "jsonl", "binary").
+[[nodiscard]] std::string_view to_string(TraceSinkKind kind) noexcept;
+
+/// Observability knobs of one run. Carried inside SimConfig as `obs`.
+struct ObsConfig {
+  TraceSinkKind sink = TraceSinkKind::kMemory;
+  /// Output file for the streaming sinks; must be set when sink != memory.
+  std::string trace_path;
+
+  /// Timeline sampling period in simulated milliseconds; 0 disables the
+  /// collector. Sampling reads existing engine counters only — it never
+  /// schedules events or consumes randomness, so enabling it does not
+  /// change a run's trace or metrics.
+  double timeline_tick_ms = 0.0;
+  /// Include the per-node view vector in every timeline sample (cheap for
+  /// protocol-scale n; disable for very large fleets).
+  bool timeline_views = true;
+
+  [[nodiscard]] bool streaming() const noexcept {
+    return sink != TraceSinkKind::kMemory;
+  }
+  [[nodiscard]] bool timeline_enabled() const noexcept {
+    return timeline_tick_ms > 0.0;
+  }
+  /// True when any non-default observability feature is on.
+  [[nodiscard]] bool enabled() const noexcept {
+    return streaming() || timeline_enabled() || !timeline_views;
+  }
+
+  /// Throws std::invalid_argument when inconsistent (streaming sink with
+  /// no trace_path).
+  void validate() const;
+
+  [[nodiscard]] json::Value to_json() const;
+  /// Strict parse: unknown keys / bad values throw a single-line error
+  /// naming the JSON path (rooted at `path`).
+  [[nodiscard]] static ObsConfig from_json(const json::Value& v,
+                                           const std::string& path = "$.obs");
+};
+
+}  // namespace bftsim

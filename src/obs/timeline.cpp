@@ -1,0 +1,60 @@
+#include "obs/timeline.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace bftsim::obs {
+
+json::Value TimelineSample::to_json() const {
+  json::Object o;
+  o["at_us"] = static_cast<double>(at);
+  o["events_processed"] = static_cast<double>(events_processed);
+  o["queue_depth"] = static_cast<double>(queue_depth);
+  o["in_flight_messages"] = static_cast<double>(in_flight_messages);
+  o["timers_pending"] = static_cast<double>(timers_pending);
+  o["messages_sent"] = static_cast<double>(messages_sent);
+  o["messages_delivered"] = static_cast<double>(messages_delivered);
+  o["min_view"] = static_cast<double>(min_view);
+  o["max_view"] = static_cast<double>(max_view);
+  if (!node_views.empty()) {
+    json::Array views;
+    views.reserve(node_views.size());
+    for (const View v : node_views) views.push_back(static_cast<double>(v));
+    o["node_views"] = std::move(views);
+  }
+  return json::Value{std::move(o)};
+}
+
+Timeline::Timeline(Time tick, bool record_views)
+    : tick_(tick), next_at_(tick), record_views_(record_views) {
+  if (tick <= 0) throw std::invalid_argument("timeline tick must be positive");
+}
+
+void Timeline::add(TimelineSample sample) {
+  // Advance past the sample's instant so a burst of events at one time
+  // yields one sample, and quiet stretches are skipped in O(1).
+  next_at_ = (sample.at / tick_ + 1) * tick_;
+  samples_.push_back(std::move(sample));
+}
+
+void Timeline::add_final(TimelineSample sample) {
+  // A tick sample can land at the same instant the run ends; the final
+  // state supersedes it rather than duplicating the timestamp.
+  if (!samples_.empty() && samples_.back().at == sample.at) {
+    samples_.back() = std::move(sample);
+    return;
+  }
+  samples_.push_back(std::move(sample));
+}
+
+json::Value Timeline::to_json() const {
+  json::Object o;
+  o["tick_us"] = static_cast<double>(tick_);
+  json::Array rows;
+  rows.reserve(samples_.size());
+  for (const auto& s : samples_) rows.push_back(s.to_json());
+  o["samples"] = std::move(rows);
+  return json::Value{std::move(o)};
+}
+
+}  // namespace bftsim::obs

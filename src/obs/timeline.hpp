@@ -1,0 +1,71 @@
+// Run timeline: periodic samples of engine state over simulated time.
+//
+// The collector is driven inline from the controller's run loop: whenever
+// the virtual clock crosses the next tick boundary, the controller snapshots
+// counters the engine already maintains (queue depth, pending timers,
+// cumulative message counts, per-node views). Sampling therefore never
+// schedules events and never consumes randomness — a run with the timeline
+// on is bit-identical to the same run with it off.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/json.hpp"
+#include "core/types.hpp"
+
+namespace bftsim::obs {
+
+/// One snapshot of engine state at simulated time `at`.
+struct TimelineSample {
+  Time at = 0;
+  std::uint64_t events_processed = 0;
+  std::uint64_t queue_depth = 0;        ///< live entries in the event queue
+  std::uint64_t in_flight_messages = 0; ///< scheduled deliveries not yet popped
+  std::uint64_t timers_pending = 0;     ///< armed, uncancelled timers
+  std::uint64_t messages_sent = 0;      ///< cumulative
+  std::uint64_t messages_delivered = 0; ///< cumulative
+  View min_view = 0;                    ///< lowest per-node view
+  View max_view = 0;                    ///< highest per-node view
+  std::vector<View> node_views;         ///< per-node views (optional)
+
+  [[nodiscard]] json::Value to_json() const;
+};
+
+/// Collects TimelineSamples at a fixed simulated-time period.
+class Timeline {
+ public:
+  /// `tick` is the sampling period in simulated time units (> 0);
+  /// `record_views` controls whether samples keep the per-node view vector.
+  Timeline(Time tick, bool record_views);
+
+  /// Earliest time at which the next sample is due. The controller samples
+  /// when the clock reaches or passes this.
+  [[nodiscard]] Time next_sample_at() const noexcept { return next_at_; }
+
+  /// True when samples should carry the per-node view vector.
+  [[nodiscard]] bool record_views() const noexcept { return record_views_; }
+
+  /// Records a sample and advances the next due time past `sample.at`.
+  void add(TimelineSample sample);
+
+  /// Records the final state of a finished run (no tick advance); replaces
+  /// the last sample when one already landed at the same instant.
+  void add_final(TimelineSample sample);
+
+  [[nodiscard]] const std::vector<TimelineSample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] Time tick() const noexcept { return tick_; }
+
+  [[nodiscard]] json::Value to_json() const;
+
+ private:
+  Time tick_ = 0;
+  Time next_at_ = 0;
+  bool record_views_ = true;
+  std::vector<TimelineSample> samples_;
+};
+
+}  // namespace bftsim::obs

@@ -4,6 +4,7 @@
 // files diff cleanly across runs.
 #include "runner/export.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 
@@ -40,6 +41,10 @@ json::Value result_to_json(const RunResult& result, bool include_views) {
   o["rounds_used"] = static_cast<std::int64_t>(result.rounds_used());
   o["wall_seconds"] = result.wall_seconds;
   o["safety_consistent"] = result.decisions_consistent();
+  if (result.trace_records > 0) {
+    o["trace_records"] = static_cast<std::int64_t>(result.trace_records);
+    o["trace_fingerprint"] = fingerprint_to_hex(result.trace_fingerprint);
+  }
 
   json::Array decisions;
   for (const Decision& d : result.decisions) {
@@ -70,6 +75,28 @@ json::Value result_to_json(const RunResult& result, bool include_views) {
     }
     o["views"] = json::Value{std::move(views)};
   }
+  if (!result.timeline.empty()) {
+    o["timeline"] = timeline_to_json(result.timeline, result.timeline_tick);
+  }
+  if (!result.profile.empty()) o["profile"] = result.profile.to_json();
+  return json::Value{std::move(o)};
+}
+
+std::string fingerprint_to_hex(std::uint64_t fingerprint) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return std::string(buf);
+}
+
+json::Value timeline_to_json(const std::vector<obs::TimelineSample>& samples,
+                             Time tick) {
+  json::Object o;
+  o["tick_us"] = static_cast<std::int64_t>(tick);
+  json::Array rows;
+  rows.reserve(samples.size());
+  for (const obs::TimelineSample& s : samples) rows.push_back(s.to_json());
+  o["samples"] = json::Value{std::move(rows)};
   return json::Value{std::move(o)};
 }
 
@@ -92,6 +119,7 @@ json::Value run_failure_to_json(const RunFailure& failure) {
   o["repeat"] = static_cast<std::int64_t>(failure.repeat);
   o["seed"] = static_cast<std::int64_t>(failure.seed);
   o["error"] = failure.error;
+  o["suppressed_failures"] = static_cast<std::int64_t>(failure.suppressed);
   o["config"] = failure.config.to_json();
   return json::Value{std::move(o)};
 }

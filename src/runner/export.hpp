@@ -47,6 +47,14 @@ struct RunManifest {
 /// Serializes an aggregate (mean/stddev/min/max/percentiles per metric).
 [[nodiscard]] json::Value aggregate_to_json(const Aggregate& aggregate);
 
+/// Renders a trace fingerprint as the canonical 16-hex-digit string used
+/// across exports, trace files and tools/trace_inspect.
+[[nodiscard]] std::string fingerprint_to_hex(std::uint64_t fingerprint);
+
+/// Serializes a run timeline: `{"tick_us": ..., "samples": [...]}`.
+[[nodiscard]] json::Value timeline_to_json(
+    const std::vector<obs::TimelineSample>& samples, Time tick);
+
 /// Serializes a Summary.
 [[nodiscard]] json::Value summary_to_json(const Summary& summary);
 

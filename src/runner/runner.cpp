@@ -118,25 +118,41 @@ SweepOutcome run_sweep_guarded(const std::vector<SimConfig>& points,
   // throws escapes its slot: the sweep always completes and failures are
   // reported as data.
   ThreadPool pool(jobs == 0 ? ThreadPool::default_workers() : jobs);
-  parallel_for(pool, points.size() * repeats,
-               [&points, &slots, &watchdog, repeats](std::size_t flat) {
-                 const std::size_t p = flat / repeats;
-                 const std::size_t i = flat % repeats;
-                 Slot& slot = slots[p][i];
-                 try {
-                   SimConfig cfg = watchdog.apply(points[p]);
-                   cfg.seed = points[p].seed + i;
-                   slot.result = run_simulation(cfg);
-                 } catch (const std::exception& e) {
-                   slot.failed = true;
-                   slot.error = e.what();
-                 } catch (...) {
-                   slot.failed = true;
-                   slot.error = "unknown exception";
-                 }
-               });
+  for (std::size_t flat = 0; flat < points.size() * repeats; ++flat) {
+    pool.submit([&points, &slots, &watchdog, repeats, flat] {
+      const std::size_t p = flat / repeats;
+      const std::size_t i = flat % repeats;
+      Slot& slot = slots[p][i];
+      try {
+        SimConfig cfg = watchdog.apply(points[p]);
+        cfg.seed = points[p].seed + i;
+        slot.result = run_simulation(cfg);
+      } catch (const std::exception& e) {
+        slot.failed = true;
+        slot.error = e.what();
+      } catch (...) {
+        slot.failed = true;
+        slot.error = "unknown exception";
+      }
+    });
+  }
 
   SweepOutcome outcome;
+  // The per-slot try/catch above absorbs everything a run can throw, so an
+  // exception out of wait_idle means the sweep infrastructure itself failed
+  // (e.g. out-of-memory recording a slot error). Record it as a failure —
+  // including how many further exceptions wait_idle discarded with it —
+  // rather than losing the whole sweep.
+  try {
+    pool.wait_idle();
+  } catch (const std::exception& e) {
+    RunFailure failure;
+    failure.error = std::string("sweep infrastructure failure: ") + e.what();
+    failure.config = points.empty() ? SimConfig{} : watchdog.apply(points[0]);
+    failure.seed = failure.config.seed;
+    failure.suppressed = pool.last_suppressed_failures();
+    outcome.failures.push_back(std::move(failure));
+  }
   outcome.points.reserve(points.size());
   for (std::size_t p = 0; p < points.size(); ++p) {
     PointOutcome point;

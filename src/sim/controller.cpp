@@ -173,6 +173,20 @@ Controller::Controller(SimConfig cfg)
   attacker_ = make_attacker(cfg_);
   atk_ctx_ = std::make_unique<AtkCtx>(*this);
 
+  // Trace sink: selecting a streaming sink implies tracing (a jsonl/binary
+  // sink with nothing flowing through it would be a silent no-op). With the
+  // defaults (record_trace off, memory sink) there is no sink at all and
+  // every emission site is one null check.
+  if (cfg_.record_trace || cfg_.obs.streaming()) {
+    trace_sink_ = obs::make_trace_sink(cfg_.obs, trace_);
+  }
+  if (cfg_.obs.timeline_enabled()) {
+    timeline_ = std::make_unique<obs::Timeline>(
+        std::max<Time>(from_ms(cfg_.obs.timeline_tick_ms), 1),
+        cfg_.obs.timeline_views);
+    current_view_.assign(cfg_.n, 0);
+  }
+
   // Fault layer. The fault RNG is forked off run_rng_ last, and only when
   // faults are enabled, so every other stream (net, atk, crypto, fs, node)
   // is untouched and fault-free runs stay bit-identical to the goldens.
@@ -212,37 +226,42 @@ void Controller::network_send(NodeId src, NodeId dst, PayloadPtr payload,
   } else {
     metrics_.count_type(std::string(msg.payload->type()));
   }
-  if (cfg_.record_trace) {
-    trace_.add(TraceRecord{TraceKind::kSend, now_, src, dst,
-                           std::string(msg.payload->type()),
-                           msg.payload->digest(), msg.id, 0, 0});
+  if (trace_sink_) {
+    trace_sink_->on_record(TraceRecord{TraceKind::kSend, now_, src, dst,
+                                       std::string(msg.payload->type()),
+                                       msg.payload->digest(), msg.id, 0, 0});
   }
 
-  const Time sampled =
-      topology_.adjust(delay_sampler_.sample(net_rng_), src, dst);
+  const Time sampled = [&] {
+    BFTSIM_PROFILE_SCOPE(profile_, obs::ProfileComponent::kDelaySample);
+    return topology_.adjust(delay_sampler_.sample(net_rng_), src, dst);
+  }();
   // Link flaps sit below the attacker: the delay is sampled first (keeping
   // net_rng_ aligned with fault-free runs) and a down link drops the
   // message before the attacker ever sees it.
   if (faults_ != nullptr && faults_->any_link_down() &&
       faults_->link_down(src, dst)) {
     metrics_.on_drop();
-    if (cfg_.record_trace) {
-      trace_.add(TraceRecord{TraceKind::kDrop, now_, src, dst,
-                             std::string(msg.payload->type()),
-                             msg.payload->digest(), msg.id, 0, 0});
+    if (trace_sink_) {
+      trace_sink_->on_record(TraceRecord{TraceKind::kDrop, now_, src, dst,
+                                         std::string(msg.payload->type()),
+                                         msg.payload->digest(), msg.id, 0, 0});
     }
     return;
   }
   MessageInFlight in_flight{std::move(msg), extra_delay + sampled};
-  const Disposition verdict = attacker_->attack(in_flight, *atk_ctx_);
+  const Disposition verdict = [&] {
+    BFTSIM_PROFILE_SCOPE(profile_, obs::ProfileComponent::kAttackerHook);
+    return attacker_->attack(in_flight, *atk_ctx_);
+  }();
   if (verdict == Disposition::kDrop) {
     metrics_.on_drop();
-    if (cfg_.record_trace) {
-      trace_.add(TraceRecord{TraceKind::kDrop, now_, in_flight.msg.src,
-                             in_flight.msg.dst,
-                             std::string(in_flight.msg.payload->type()),
-                             in_flight.msg.payload->digest(), in_flight.msg.id,
-                             0, 0});
+    if (trace_sink_) {
+      trace_sink_->on_record(
+          TraceRecord{TraceKind::kDrop, now_, in_flight.msg.src,
+                      in_flight.msg.dst,
+                      std::string(in_flight.msg.payload->type()),
+                      in_flight.msg.payload->digest(), in_flight.msg.id, 0, 0});
     }
     return;
   }
@@ -268,7 +287,7 @@ void Controller::network_broadcast(NodeId src, const PayloadPtr& payload,
   const bool tagged = tid != PayloadType::kUnknown;
   std::string trace_type;
   std::uint64_t trace_digest = 0;
-  if (cfg_.record_trace) {
+  if (trace_sink_) {
     trace_type = std::string(payload->type());
     trace_digest = payload->digest();
   }
@@ -289,32 +308,40 @@ void Controller::network_broadcast(NodeId src, const PayloadPtr& payload,
     } else {
       metrics_.count_type(std::string(payload->type()));
     }
-    if (cfg_.record_trace) {
-      trace_.add(TraceRecord{TraceKind::kSend, now_, src, dst, trace_type,
-                             trace_digest, msg.id, 0, 0});
+    if (trace_sink_) {
+      trace_sink_->on_record(TraceRecord{TraceKind::kSend, now_, src, dst,
+                                         trace_type, trace_digest, msg.id, 0,
+                                         0});
     }
 
-    const Time sampled =
-        topology_.adjust(delay_sampler_.sample(net_rng_), src, dst);
+    const Time sampled = [&] {
+      BFTSIM_PROFILE_SCOPE(profile_, obs::ProfileComponent::kDelaySample);
+      return topology_.adjust(delay_sampler_.sample(net_rng_), src, dst);
+    }();
     if (faults_ != nullptr && faults_->any_link_down() &&
         faults_->link_down(src, dst)) {
       metrics_.on_drop();
-      if (cfg_.record_trace) {
-        trace_.add(TraceRecord{TraceKind::kDrop, now_, src, dst, trace_type,
-                               trace_digest, msg.id, 0, 0});
+      if (trace_sink_) {
+        trace_sink_->on_record(TraceRecord{TraceKind::kDrop, now_, src, dst,
+                                           trace_type, trace_digest, msg.id, 0,
+                                           0});
       }
       continue;
     }
     MessageInFlight in_flight{std::move(msg), extra_delay + sampled};
-    const Disposition verdict = attacker_->attack(in_flight, *atk_ctx_);
+    const Disposition verdict = [&] {
+      BFTSIM_PROFILE_SCOPE(profile_, obs::ProfileComponent::kAttackerHook);
+      return attacker_->attack(in_flight, *atk_ctx_);
+    }();
     if (verdict == Disposition::kDrop) {
       metrics_.on_drop();
-      if (cfg_.record_trace) {
-        trace_.add(TraceRecord{TraceKind::kDrop, now_, in_flight.msg.src,
-                               in_flight.msg.dst,
-                               std::string(in_flight.msg.payload->type()),
-                               in_flight.msg.payload->digest(),
-                               in_flight.msg.id, 0, 0});
+      if (trace_sink_) {
+        trace_sink_->on_record(
+            TraceRecord{TraceKind::kDrop, now_, in_flight.msg.src,
+                        in_flight.msg.dst,
+                        std::string(in_flight.msg.payload->type()),
+                        in_flight.msg.payload->digest(), in_flight.msg.id, 0,
+                        0});
       }
       continue;
     }
@@ -349,10 +376,10 @@ void Controller::inject_message(Message msg, Time delay) {
   msg.id = next_msg_id_++;
   msg.send_time = now_;
   metrics_.on_inject();
-  if (cfg_.record_trace && msg.payload != nullptr) {
-    trace_.add(TraceRecord{TraceKind::kSend, now_, msg.src, msg.dst,
-                           std::string(msg.payload->type()),
-                           msg.payload->digest(), msg.id, 0, 0});
+  if (trace_sink_ != nullptr && msg.payload != nullptr) {
+    trace_sink_->on_record(TraceRecord{TraceKind::kSend, now_, msg.src,
+                                       msg.dst, std::string(msg.payload->type()),
+                                       msg.payload->digest(), msg.id, 0, 0});
   }
   queue_.push(now_ + std::max<Time>(delay, 0), MessageDelivery{std::move(msg)});
 }
@@ -374,10 +401,11 @@ void Controller::deliver_now(const Message& msg) {
   if (faults_ != nullptr && faults_->is_crashed(msg.dst)) {
     metrics_.on_drop();
     if (cost_model_on_) cpu_charged_.erase(msg.id);
-    if (cfg_.record_trace && msg.payload != nullptr) {
-      trace_.add(TraceRecord{TraceKind::kDrop, now_, msg.src, msg.dst,
-                             std::string(msg.payload->type()),
-                             msg.payload->digest(), msg.id, 0, 0});
+    if (trace_sink_ != nullptr && msg.payload != nullptr) {
+      trace_sink_->on_record(TraceRecord{TraceKind::kDrop, now_, msg.src,
+                                         msg.dst,
+                                         std::string(msg.payload->type()),
+                                         msg.payload->digest(), msg.id, 0, 0});
     }
     return;
   }
@@ -396,12 +424,14 @@ void Controller::deliver_now(const Message& msg) {
   }
   cpu_charged_.erase(msg.id);
   if (msg.src != msg.dst) metrics_.on_deliver();  // self-delivery is free
-  if (cfg_.record_trace && msg.payload != nullptr) {
-    trace_.add(TraceRecord{TraceKind::kDeliver, now_, msg.src, msg.dst,
-                           std::string(msg.payload->type()),
-                           msg.payload->digest(), msg.id, 0, 0});
+  if (trace_sink_ != nullptr && msg.payload != nullptr) {
+    trace_sink_->on_record(TraceRecord{TraceKind::kDeliver, now_, msg.src,
+                                       msg.dst,
+                                       std::string(msg.payload->type()),
+                                       msg.payload->digest(), msg.id, 0, 0});
   }
   if (is_corrupt(msg.dst)) return;  // attacker swallows its nodes' input
+  BFTSIM_PROFILE_SCOPE(profile_, obs::ProfileComponent::kOnMessage);
   nodes_[msg.dst]->on_message(msg, *ctxs_[msg.dst]);
 }
 
@@ -434,9 +464,9 @@ void Controller::schedule_system_event(Time at, std::uint64_t tag) {
 void Controller::report_decision(NodeId node, Value value) {
   const std::uint64_t height = decided_count_[node]++;
   metrics_.on_decision(Decision{node, now_, height, value});
-  if (cfg_.record_trace) {
-    trace_.add(
-        TraceRecord{TraceKind::kDecide, now_, node, kNoNode, {}, 0, 0, height, value});
+  if (trace_sink_) {
+    trace_sink_->on_record(TraceRecord{TraceKind::kDecide, now_, node, kNoNode,
+                                       {}, 0, 0, height, value});
   }
   BFTSIM_LOG(kDebug, "node " << node << " decided height " << height
                              << " value " << value << " at " << to_ms(now_) << "ms");
@@ -445,9 +475,12 @@ void Controller::report_decision(NodeId node, Value value) {
 
 void Controller::record_view(NodeId node, View view) {
   if (cfg_.record_views) metrics_.on_view(ViewRecord{node, now_, view});
-  if (cfg_.record_trace) {
-    trace_.add(TraceRecord{TraceKind::kViewChange, now_, node, kNoNode, {}, 0, 0,
-                           view, 0});
+  if (trace_sink_) {
+    trace_sink_->on_record(TraceRecord{TraceKind::kViewChange, now_, node,
+                                       kNoNode, {}, 0, 0, view, 0});
+  }
+  if (!current_view_.empty() && node < current_view_.size()) {
+    current_view_[node] = view;
   }
 }
 
@@ -457,8 +490,9 @@ bool Controller::corrupt(NodeId node) {
   if (corrupted_order_.size() + failstopped_.size() >= f_) return false;
   corrupt_flags_[node] = 1;
   corrupted_order_.push_back(node);
-  if (cfg_.record_trace) {
-    trace_.add(TraceRecord{TraceKind::kCorrupt, now_, node, kNoNode, {}, 0, 0, 0, 0});
+  if (trace_sink_) {
+    trace_sink_->on_record(
+        TraceRecord{TraceKind::kCorrupt, now_, node, kNoNode, {}, 0, 0, 0, 0});
   }
   BFTSIM_LOG(kInfo, "attacker corrupted node " << node << " at " << to_ms(now_) << "ms");
   check_termination();
@@ -510,18 +544,23 @@ void Controller::dispatch(Event& ev) {
   switch (fire.owner) {
     case TimerOwner::kNode:
       if (is_live(fire.node) && !is_corrupt(fire.node)) {
+        BFTSIM_PROFILE_SCOPE(profile_, obs::ProfileComponent::kOnTimer);
         nodes_[fire.node]->on_timer(te, *ctxs_[fire.node]);
       }
       break;
-    case TimerOwner::kAttacker:
+    case TimerOwner::kAttacker: {
+      BFTSIM_PROFILE_SCOPE(profile_, obs::ProfileComponent::kAttackerHook);
       attacker_->on_timer(te, *atk_ctx_);
       break;
+    }
     case TimerOwner::kSystem:
       on_system_event(fire.tag);
       break;
-    case TimerOwner::kFault:
+    case TimerOwner::kFault: {
+      BFTSIM_PROFILE_SCOPE(profile_, obs::ProfileComponent::kFaultHook);
       faults_->apply(fire.tag);
       break;
+    }
   }
 }
 
@@ -537,13 +576,21 @@ RunResult Controller::run() {
 
   TerminationReason reason = TerminationReason::kQueueDrained;
   while (!stopped_ && !queue_.empty()) {
-    Event ev = queue_.pop();
+    Event ev = [&] {
+      BFTSIM_PROFILE_SCOPE(profile_, obs::ProfileComponent::kEventPop);
+      return queue_.pop();
+    }();
     if (ev.at > horizon_) {
       now_ = horizon_;
       reason = TerminationReason::kHorizon;
       break;
     }
     now_ = ev.at;
+    // Timeline sampling: reads engine counters only (no events, no RNG), so
+    // a sampled run stays bit-identical to an unsampled one.
+    if (timeline_ != nullptr && now_ >= timeline_->next_sample_at()) {
+      sample_timeline(/*final_sample=*/false);
+    }
     metrics_.on_event();
     if (metrics_.events_processed() > cfg_.max_events) {
       reason = TerminationReason::kEventBudget;
@@ -574,7 +621,43 @@ RunResult Controller::run() {
     if (is_honest(i)) result.honest.push_back(i);
   }
   result.trace = std::move(trace_);
+  if (trace_sink_ != nullptr) {
+    trace_sink_->flush();  // throws when a streaming sink's storage failed
+    result.trace_fingerprint = trace_sink_->fingerprint();
+    result.trace_records = trace_sink_->count();
+  }
+  if (timeline_ != nullptr) {
+    sample_timeline(/*final_sample=*/true);
+    result.timeline = timeline_->samples();
+    result.timeline_tick = timeline_->tick();
+  }
+  result.profile = profile_;
   return result;
+}
+
+void Controller::sample_timeline(bool final_sample) {
+  const std::size_t depth = queue_.size();
+  const std::size_t timers = queue_.pending_timer_count();
+  const std::size_t tombstones = queue_.tombstone_count();
+
+  obs::TimelineSample s;
+  s.at = now_;
+  s.events_processed = metrics_.events_processed();
+  s.queue_depth = depth;
+  s.in_flight_messages = depth - timers - tombstones;
+  s.timers_pending = timers;
+  s.messages_sent = metrics_.messages_sent();
+  s.messages_delivered = metrics_.messages_delivered();
+  if (!current_view_.empty()) {
+    s.min_view = *std::min_element(current_view_.begin(), current_view_.end());
+    s.max_view = *std::max_element(current_view_.begin(), current_view_.end());
+    if (timeline_->record_views()) s.node_views = current_view_;
+  }
+  if (final_sample) {
+    timeline_->add_final(std::move(s));
+  } else {
+    timeline_->add(std::move(s));
+  }
 }
 
 }  // namespace bftsim

@@ -19,6 +19,9 @@
 #include "crypto/vrf.hpp"
 #include "net/delay_model.hpp"
 #include "net/topology.hpp"
+#include "obs/profile.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace_sink.hpp"
 #include "protocols/node.hpp"
 #include "sim/result.hpp"
 
@@ -96,6 +99,8 @@ class Controller {
 
   // --- run loop ---------------------------------------------------------------
   void dispatch(Event& ev);
+  /// Snapshots engine state into the timeline (timeline_ must be set).
+  void sample_timeline(bool final_sample);
   [[nodiscard]] bool is_live(NodeId id) const noexcept;
   [[nodiscard]] bool is_honest(NodeId id) const noexcept;
   [[nodiscard]] bool is_corrupt(NodeId id) const noexcept {
@@ -144,6 +149,15 @@ class Controller {
 
   Metrics metrics_;
   Trace trace_;
+  /// Trace destination; nullptr unless tracing is on (record_trace or a
+  /// streaming obs sink), so every emission site costs one null check —
+  /// exactly what the `record_trace` flag used to cost.
+  std::unique_ptr<obs::TraceSink> trace_sink_;
+  /// Timeline collector; nullptr unless obs.timeline_tick_ms > 0. Sampled
+  /// inline from the run loop — never schedules events or consumes RNG.
+  std::unique_ptr<obs::Timeline> timeline_;
+  std::vector<View> current_view_;  ///< per-node view, timeline runs only
+  obs::ProfileBreakdown profile_;   ///< populated only under BFTSIM_PROFILING
   std::uint64_t next_msg_id_ = 1;
   std::uint64_t next_timer_id_ = 1;
   bool ran_ = false;

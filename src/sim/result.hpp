@@ -8,6 +8,8 @@
 #include "core/metrics.hpp"
 #include "core/trace.hpp"
 #include "core/types.hpp"
+#include "obs/profile.hpp"
+#include "obs/timeline.hpp"
 
 namespace bftsim {
 
@@ -54,7 +56,21 @@ struct RunResult {
   std::vector<NodeId> failstopped;  ///< nodes that never ran
   std::vector<NodeId> corrupted;    ///< nodes corrupted by the attacker
 
-  Trace trace;  ///< full message trace when record_trace was set
+  Trace trace;  ///< full message trace when record_trace was set (memory sink)
+
+  /// Order-sensitive fingerprint over every trace record emitted, from
+  /// whichever sink the run used. Equal to trace.fingerprint() for the
+  /// memory sink; the only in-RAM trace evidence for streaming sinks.
+  std::uint64_t trace_fingerprint = kTraceFingerprintSeed;
+  std::uint64_t trace_records = 0;  ///< records emitted through the sink
+
+  /// Periodic engine-state samples; empty unless obs.timeline_tick_ms > 0.
+  std::vector<obs::TimelineSample> timeline;
+  Time timeline_tick = 0;  ///< sampling period backing `timeline` (us)
+
+  /// Per-component hot-path time breakdown; all-zero unless the build was
+  /// configured with -DBFTSIM_PROFILING=ON.
+  obs::ProfileBreakdown profile;
 
   double wall_seconds = 0.0;  ///< host wall-clock cost of this run
 

@@ -1,0 +1,99 @@
+// ProfileBreakdown unit tests. Whether scopes actually record depends on
+// the BFTSIM_PROFILING compile option; the aggregation types behave the
+// same either way, and the default build must report an empty breakdown.
+#include "obs/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "sim/simulation.hpp"
+
+namespace bftsim {
+namespace {
+
+using obs::ProfileBreakdown;
+using obs::ProfileComponent;
+
+TEST(ProfileTest, StartsEmpty) {
+  const ProfileBreakdown breakdown;
+  EXPECT_TRUE(breakdown.empty());
+  for (const auto ns : breakdown.total_ns) EXPECT_EQ(ns, 0u);
+  for (const auto calls : breakdown.calls) EXPECT_EQ(calls, 0u);
+}
+
+TEST(ProfileTest, RecordAccumulates) {
+  ProfileBreakdown breakdown;
+  breakdown.record(ProfileComponent::kOnMessage, 100);
+  breakdown.record(ProfileComponent::kOnMessage, 50);
+  breakdown.record(ProfileComponent::kEventPop, 7);
+  EXPECT_FALSE(breakdown.empty());
+  const auto msg = static_cast<std::size_t>(ProfileComponent::kOnMessage);
+  const auto pop = static_cast<std::size_t>(ProfileComponent::kEventPop);
+  EXPECT_EQ(breakdown.total_ns[msg], 150u);
+  EXPECT_EQ(breakdown.calls[msg], 2u);
+  EXPECT_EQ(breakdown.total_ns[pop], 7u);
+  EXPECT_EQ(breakdown.calls[pop], 1u);
+}
+
+TEST(ProfileTest, ScopeRecordsOneCall) {
+  ProfileBreakdown breakdown;
+  {
+    const obs::ProfileScope scope(breakdown, ProfileComponent::kOnTimer);
+  }
+  const auto i = static_cast<std::size_t>(ProfileComponent::kOnTimer);
+  EXPECT_EQ(breakdown.calls[i], 1u);
+}
+
+TEST(ProfileTest, MergeAddsComponentwise) {
+  ProfileBreakdown a;
+  ProfileBreakdown b;
+  a.record(ProfileComponent::kDelaySample, 10);
+  b.record(ProfileComponent::kDelaySample, 5);
+  b.record(ProfileComponent::kFaultHook, 3);
+  a.merge(b);
+  const auto delay = static_cast<std::size_t>(ProfileComponent::kDelaySample);
+  const auto fault = static_cast<std::size_t>(ProfileComponent::kFaultHook);
+  EXPECT_EQ(a.total_ns[delay], 15u);
+  EXPECT_EQ(a.calls[delay], 2u);
+  EXPECT_EQ(a.total_ns[fault], 3u);
+  EXPECT_EQ(a.calls[fault], 1u);
+}
+
+TEST(ProfileTest, ComponentNames) {
+  EXPECT_EQ(to_string(ProfileComponent::kEventPop), "event_pop");
+  EXPECT_EQ(to_string(ProfileComponent::kDelaySample), "delay_sample");
+  EXPECT_EQ(to_string(ProfileComponent::kAttackerHook), "attacker_hook");
+  EXPECT_EQ(to_string(ProfileComponent::kOnMessage), "on_message");
+  EXPECT_EQ(to_string(ProfileComponent::kOnTimer), "on_timer");
+  EXPECT_EQ(to_string(ProfileComponent::kFaultHook), "fault_hook");
+}
+
+TEST(ProfileTest, ToJsonSkipsUnusedComponents) {
+  ProfileBreakdown breakdown;
+  breakdown.record(ProfileComponent::kOnMessage, 42);
+  const json::Value v = breakdown.to_json();
+  const json::Value* row = v.as_object().find("on_message");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->get_int("calls", -1), 1);
+  EXPECT_EQ(row->get_int("total_ns", -1), 42);
+  EXPECT_EQ(v.as_object().find("event_pop"), nullptr);
+}
+
+TEST(ProfileTest, RunResultProfileMatchesBuildMode) {
+  SimConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.n = 4;
+  cfg.seed = 3;
+  cfg.decisions = 1;
+  const RunResult result = run_simulation(cfg);
+#if defined(BFTSIM_PROFILING)
+  EXPECT_FALSE(result.profile.empty());
+  const auto pop = static_cast<std::size_t>(ProfileComponent::kEventPop);
+  EXPECT_GT(result.profile.calls[pop], 0u);
+#else
+  EXPECT_TRUE(result.profile.empty());
+#endif
+}
+
+}  // namespace
+}  // namespace bftsim

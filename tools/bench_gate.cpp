@@ -1,0 +1,160 @@
+// Bench regression gate for CI.
+//
+// Compares a fresh `micro_engine --json` report against the recorded
+// reference medians in BENCH_engine.json, workload by workload (matched on
+// protocol + n). The reference value is the median of the recorded
+// `new_samples` (falling back to `new_events_per_sec`); the gate fails
+// when any measured events/sec drops more than --tolerance (default 0.25,
+// i.e. 25%) below its reference. Faster-than-reference results always
+// pass — the gate only guards against regressions.
+//
+// Usage:
+//   bench_gate --current micro.json --reference BENCH_engine.json
+//              [--tolerance 0.25]
+//
+// Exit codes: 0 pass, 1 regression detected, 2 usage/input error.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "core/json.hpp"
+
+namespace {
+
+using bftsim::json::Value;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --current micro.json --reference BENCH_engine.json\n"
+               "          [--tolerance 0.25]\n",
+               argv0);
+  std::exit(2);
+}
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+struct Reference {
+  std::string protocol;
+  std::int64_t n = 0;
+  double events_per_sec = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string current_path;
+  std::string reference_path;
+  double tolerance = 0.25;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--current") {
+      current_path = next();
+    } else if (arg == "--reference") {
+      reference_path = next();
+    } else if (arg == "--tolerance") {
+      tolerance = std::strtod(next(), nullptr);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (current_path.empty() || reference_path.empty()) usage(argv[0]);
+  if (tolerance <= 0.0 || tolerance >= 1.0) {
+    std::fprintf(stderr, "tolerance must be in (0, 1)\n");
+    return 2;
+  }
+
+  try {
+    const Value reference_doc = bftsim::json::parse_file(reference_path);
+    const Value current_doc = bftsim::json::parse_file(current_path);
+
+    std::vector<Reference> references;
+    const Value* workloads = reference_doc.as_object().find("workloads");
+    if (workloads == nullptr) {
+      std::fprintf(stderr, "%s: no \"workloads\" array\n",
+                   reference_path.c_str());
+      return 2;
+    }
+    for (const Value& w : workloads->as_array()) {
+      Reference ref;
+      ref.protocol = w.get_string("protocol", "");
+      ref.n = w.get_int("n", 0);
+      std::vector<double> samples;
+      if (const Value* s = w.as_object().find("new_samples")) {
+        for (const Value& x : s->as_array()) samples.push_back(x.as_number());
+      }
+      ref.events_per_sec = samples.empty()
+                               ? w.get_number("new_events_per_sec", 0.0)
+                               : median(std::move(samples));
+      if (!ref.protocol.empty() && ref.events_per_sec > 0.0) {
+        references.push_back(std::move(ref));
+      }
+    }
+
+    const Value* rows = current_doc.as_object().find("engine_throughput");
+    if (rows == nullptr) {
+      std::fprintf(stderr, "%s: no \"engine_throughput\" array\n",
+                   current_path.c_str());
+      return 2;
+    }
+
+    int regressions = 0;
+    int compared = 0;
+    for (const Value& row : rows->as_array()) {
+      const std::string protocol = row.get_string("protocol", "");
+      const std::int64_t n = row.get_int("n", 0);
+      const double measured = row.get_number("events_per_sec", 0.0);
+      const auto ref = std::find_if(
+          references.begin(), references.end(), [&](const Reference& r) {
+            return r.protocol == protocol && r.n == n;
+          });
+      if (ref == references.end()) {
+        std::printf("SKIP  %-12s n=%-4lld %12.0f ev/s (no reference)\n",
+                    protocol.c_str(), static_cast<long long>(n), measured);
+        continue;
+      }
+      ++compared;
+      const double floor = (1.0 - tolerance) * ref->events_per_sec;
+      const double ratio = measured / ref->events_per_sec;
+      if (measured < floor) {
+        ++regressions;
+        std::printf("FAIL  %-12s n=%-4lld %12.0f ev/s vs ref %.0f (%.0f%%)\n",
+                    protocol.c_str(), static_cast<long long>(n), measured,
+                    ref->events_per_sec, 100.0 * ratio);
+      } else {
+        std::printf("OK    %-12s n=%-4lld %12.0f ev/s vs ref %.0f (%.0f%%)\n",
+                    protocol.c_str(), static_cast<long long>(n), measured,
+                    ref->events_per_sec, 100.0 * ratio);
+      }
+    }
+
+    if (compared == 0) {
+      std::fprintf(stderr, "no workloads matched between %s and %s\n",
+                   current_path.c_str(), reference_path.c_str());
+      return 2;
+    }
+    if (regressions > 0) {
+      std::fprintf(stderr, "%d of %d workloads regressed >%.0f%%\n",
+                   regressions, compared, 100.0 * tolerance);
+      return 1;
+    }
+    std::printf("all %d workloads within %.0f%% of reference\n", compared,
+                100.0 * tolerance);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_gate: %s\n", e.what());
+    return 2;
+  }
+}
