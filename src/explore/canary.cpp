@@ -1,0 +1,21 @@
+#include "explore/canary.hpp"
+
+#include <memory>
+
+#include "protocols/pbft/pbft.hpp"
+#include "protocols/registry.hpp"
+
+namespace bftsim::explore {
+
+void register_fuzz_canary() {
+  ProtocolRegistry& registry = ProtocolRegistry::instance();
+  if (registry.contains(kCanaryProtocol)) return;
+  registry.add(ProtocolInfo{
+      kCanaryProtocol, NetModel::kPartialSync, byzantine_third, 1,
+      [](NodeId id, const SimConfig& cfg) -> std::unique_ptr<Node> {
+        // Quorum slack 1: every 2f+1 certificate becomes 2f.
+        return std::make_unique<pbft::PbftNode>(id, cfg, /*quorum_slack=*/1);
+      }});
+}
+
+}  // namespace bftsim::explore

@@ -1,0 +1,107 @@
+#include "explore/reproducer.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "core/config_check.hpp"
+#include "explore/canary.hpp"
+#include "runner/export.hpp"
+#include "sim/simulation.hpp"
+
+namespace bftsim::explore {
+
+namespace {
+
+[[nodiscard]] std::uint64_t parse_hex64(const std::string& s,
+                                        const std::string& path) {
+  if (s.empty() || s.size() > 16) {
+    cfgcheck::fail(path, "expected a hex string of 1..16 digits");
+  }
+  std::uint64_t value = 0;
+  for (const char c : s) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') value |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') value |= static_cast<std::uint64_t>(c - 'A' + 10);
+    else cfgcheck::fail(path, "bad hex digit in \"" + s + "\"");
+  }
+  return value;
+}
+
+}  // namespace
+
+json::Value Reproducer::to_json() const {
+  json::Object o;
+  o["schema"] = kReproducerSchema;
+  o["scenario"] = scenario_id;
+  o["campaign_seed"] = campaign_seed;
+  o["index"] = index;
+  o["oracle"] = std::string(explore::to_string(oracle));
+  o["diagnosis"] = diagnosis;
+  o["trace_fingerprint"] = fingerprint_to_hex(trace_fingerprint);
+  o["trace_records"] = trace_records;
+  o["shrink_steps"] = static_cast<std::uint64_t>(shrink_steps);
+  o["shrink_runs"] = static_cast<std::uint64_t>(shrink_runs);
+  o["config"] = config.to_json();
+  return json::Value{std::move(o)};
+}
+
+Reproducer Reproducer::from_json(const json::Value& v, const std::string& path) {
+  cfgcheck::require_keys(v, path,
+                         {"schema", "scenario", "campaign_seed", "index",
+                          "oracle", "diagnosis", "trace_fingerprint",
+                          "trace_records", "shrink_steps", "shrink_runs",
+                          "config"});
+  const std::string schema = v.get_string("schema", "");
+  if (schema != kReproducerSchema) {
+    cfgcheck::fail(path + ".schema",
+                   "expected \"" + std::string(kReproducerSchema) + "\", got \"" +
+                       schema + "\"");
+  }
+  Reproducer repro;
+  repro.scenario_id = v.get_string("scenario", "");
+  repro.campaign_seed =
+      static_cast<std::uint64_t>(v.get_int("campaign_seed", 0));
+  repro.index = static_cast<std::uint64_t>(v.get_int("index", 0));
+  repro.oracle = oracle_from_string(v.get_string("oracle", ""));
+  repro.diagnosis = v.get_string("diagnosis", "");
+  repro.trace_fingerprint = parse_hex64(v.get_string("trace_fingerprint", "0"),
+                                        path + ".trace_fingerprint");
+  repro.trace_records =
+      static_cast<std::uint64_t>(v.get_int("trace_records", 0));
+  repro.shrink_steps = static_cast<std::size_t>(v.get_int("shrink_steps", 0));
+  repro.shrink_runs = static_cast<std::size_t>(v.get_int("shrink_runs", 0));
+  const json::Value* cfg = v.as_object().find("config");
+  if (cfg == nullptr) cfgcheck::fail(path + ".config", "missing");
+  repro.config = SimConfig::from_json(*cfg);
+  return repro;
+}
+
+Reproducer Reproducer::from_file(const std::string& file) {
+  return from_json(json::parse_file(file));
+}
+
+void Reproducer::save(const std::string& file) const {
+  std::ofstream out(file);
+  if (!out) throw std::runtime_error("cannot write reproducer: " + file);
+  out << to_json().dump(2) << '\n';
+}
+
+ReplayOutcome replay_reproducer(const Reproducer& repro) {
+  if (repro.config.protocol == kCanaryProtocol) register_fuzz_canary();
+
+  const RunResult result = run_simulation(repro.config);
+
+  ReplayOutcome outcome;
+  outcome.report = check_oracles(repro.config, result);
+  outcome.trace_fingerprint = result.trace_fingerprint;
+  outcome.trace_records = result.trace_records;
+  outcome.verdict_matches =
+      !outcome.report.ok && outcome.report.violated == repro.oracle;
+  outcome.fingerprint_matches =
+      result.trace_fingerprint == repro.trace_fingerprint &&
+      result.trace_records == repro.trace_records;
+  return outcome;
+}
+
+}  // namespace bftsim::explore

@@ -1,0 +1,65 @@
+// Replayable counterexamples.
+//
+// When a campaign finds an oracle violation and shrinks it, the result is
+// written as one self-contained JSON document: the full (already
+// watchdog-capped) SimConfig, the oracle that fired, the diagnosis, and
+// the trace fingerprint of the shrunk run. Replaying the file re-executes
+// that exact simulation and checks both the verdict (same oracle fires
+// with the same diagnosis) and the fingerprint (the run is bit-identical),
+// so a reproducer doubles as a regression test — the fuzz corpus under
+// tests/data/fuzz_corpus/ is exactly these files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/json.hpp"
+#include "explore/oracles.hpp"
+
+namespace bftsim::explore {
+
+/// Schema tag every reproducer document carries.
+inline constexpr const char* kReproducerSchema = "bftsim-fuzz-reproducer-v1";
+
+/// One shrunk, replayable counterexample.
+struct Reproducer {
+  std::string scenario_id;         ///< "campaign-<seed>/scenario-<index>"
+  std::uint64_t campaign_seed = 0;
+  std::uint64_t index = 0;         ///< scenario index within the campaign
+  Oracle oracle = Oracle::kAgreement;  ///< the invariant that fired
+  std::string diagnosis;           ///< oracle diagnosis of the shrunk run
+  SimConfig config;                ///< shrunk config; replays standalone
+  std::uint64_t trace_fingerprint = 0;  ///< fingerprint of the shrunk run
+  std::uint64_t trace_records = 0;      ///< record count of the shrunk run
+  std::size_t shrink_steps = 0;    ///< accepted shrinking transformations
+  std::size_t shrink_runs = 0;     ///< simulations the shrinker executed
+
+  [[nodiscard]] json::Value to_json() const;
+  /// Strict parse; throws std::invalid_argument / json::Error naming the
+  /// offending path. `path` roots error messages (default "$").
+  [[nodiscard]] static Reproducer from_json(const json::Value& v,
+                                            const std::string& path = "$");
+  [[nodiscard]] static Reproducer from_file(const std::string& file);
+  void save(const std::string& file) const;
+};
+
+/// Outcome of replaying a reproducer.
+struct ReplayOutcome {
+  OracleReport report;           ///< verdict of the replayed run
+  std::uint64_t trace_fingerprint = 0;
+  std::uint64_t trace_records = 0;
+  bool verdict_matches = false;      ///< same oracle fired
+  bool fingerprint_matches = false;  ///< bit-identical trace
+
+  [[nodiscard]] bool ok() const noexcept {
+    return verdict_matches && fingerprint_matches;
+  }
+};
+
+/// Re-executes the reproducer's config (needs "pbft-canary" registered
+/// when the reproducer targets it — call register_fuzz_canary() first)
+/// and compares verdict + fingerprint against the recorded ones.
+[[nodiscard]] ReplayOutcome replay_reproducer(const Reproducer& repro);
+
+}  // namespace bftsim::explore

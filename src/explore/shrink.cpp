@@ -1,0 +1,180 @@
+#include "explore/shrink.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "explore/canary.hpp"
+#include "explore/scenario.hpp"
+#include "sim/simulation.hpp"
+
+namespace bftsim::explore {
+
+namespace {
+
+/// Removes fault windows that reference nodes outside [0, cfg.n).
+void prune_faults_for_n(SimConfig& cfg) {
+  const std::uint32_t n = cfg.n;
+  auto& crashes = cfg.faults.crashes;
+  crashes.erase(std::remove_if(crashes.begin(), crashes.end(),
+                               [n](const CrashWindow& w) { return w.node >= n; }),
+                crashes.end());
+  auto& flaps = cfg.faults.link_flaps;
+  flaps.erase(std::remove_if(flaps.begin(), flaps.end(),
+                             [n](const LinkFlapWindow& w) {
+                               return w.a >= n || w.b >= n;
+                             }),
+              flaps.end());
+}
+
+/// The fixed-order candidate list for one shrinking round. Ordered from
+/// most to least simplifying, so the restart-after-acceptance loop removes
+/// big pieces (the whole attack, whole fault windows, excess nodes) before
+/// polishing numbers.
+[[nodiscard]] std::vector<SimConfig> candidates(const SimConfig& cfg,
+                                                Oracle expected) {
+  std::vector<SimConfig> out;
+
+  if (!cfg.attack.empty()) {
+    SimConfig c = cfg;
+    c.attack.clear();
+    c.attack_params = json::Value{};
+    out.push_back(std::move(c));
+  }
+  for (std::size_t i = 0; i < cfg.faults.crashes.size(); ++i) {
+    SimConfig c = cfg;
+    c.faults.crashes.erase(c.faults.crashes.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+    out.push_back(std::move(c));
+  }
+  for (std::size_t i = 0; i < cfg.faults.link_flaps.size(); ++i) {
+    SimConfig c = cfg;
+    c.faults.link_flaps.erase(c.faults.link_flaps.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+    out.push_back(std::move(c));
+  }
+  if (cfg.faults.corruption.enabled()) {
+    SimConfig c = cfg;
+    c.faults.corruption = CorruptionSpec{};
+    out.push_back(std::move(c));
+  }
+  if (cfg.faults.clock.enabled()) {
+    SimConfig c = cfg;
+    c.faults.clock = ClockSpec{};
+    out.push_back(std::move(c));
+  }
+  for (const std::uint32_t m : {4U, 7U, 10U}) {  // the generator's ladder
+    if (m >= cfg.n) continue;
+    SimConfig c = cfg;
+    c.n = m;
+    prune_faults_for_n(c);
+    out.push_back(std::move(c));
+  }
+  if (cfg.decisions > 1) {
+    SimConfig c = cfg;
+    c.decisions = 1;
+    out.push_back(std::move(c));
+  }
+  if (cfg.delay.kind != DelaySpec::Kind::kConstant) {
+    SimConfig c = cfg;
+    // Representative constant: the distribution's central value.
+    const double center = cfg.delay.kind == DelaySpec::Kind::kUniform
+                              ? (cfg.delay.a + cfg.delay.b) / 2.0
+                              : cfg.delay.a;  // normal mu / exponential mean
+    c.delay = DelaySpec::constant(quantize_eighth_ms(std::max(center, 1.0)));
+    out.push_back(std::move(c));
+  }
+  if (cfg.attack == "partition" && cfg.attack_params.is_object()) {
+    const double resolve = cfg.attack_params.get_number("resolve_ms", 0.0);
+    if (resolve > 2'000.0) {
+      SimConfig c = cfg;
+      // json::Value copies share their underlying object, so mutating the
+      // candidate through as_object() would rewrite `cfg` (and every
+      // sibling candidate) too. Rebuild the params object instead.
+      json::Object params;
+      for (const auto& [key, value] : cfg.attack_params.as_object()) {
+        params[key] = value;
+      }
+      params["resolve_ms"] = quantize_eighth_ms(resolve / 2.0);
+      c.attack_params = json::Value{std::move(params)};
+      out.push_back(std::move(c));
+    }
+  }
+  // Halving the horizon is degenerate for liveness violations ("still
+  // times out with less time" is always true); see the header comment.
+  if (expected != Oracle::kLiveness && cfg.max_time_ms > 2'000.0) {
+    SimConfig c = cfg;
+    c.max_time_ms = quantize_eighth_ms(cfg.max_time_ms / 2.0);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+struct Probe {
+  bool violates = false;
+  OracleReport report;
+  std::uint64_t trace_fingerprint = 0;
+  std::uint64_t trace_records = 0;
+};
+
+[[nodiscard]] Probe probe(const SimConfig& cfg, Oracle expected) {
+  Probe p;
+  const RunResult result = run_simulation(cfg);
+  p.report = check_oracles(cfg, result);
+  p.violates = !p.report.ok && p.report.violated == expected;
+  p.trace_fingerprint = result.trace_fingerprint;
+  p.trace_records = result.trace_records;
+  return p;
+}
+
+}  // namespace
+
+ShrinkResult shrink_scenario(const SimConfig& failing, Oracle expected,
+                             const ShrinkOptions& options) {
+  if (failing.protocol == kCanaryProtocol) register_fuzz_canary();
+
+  ShrinkResult best;
+  best.config = failing;
+  const Probe reference = probe(failing, expected);
+  best.runs = 1;
+  if (!reference.violates) {
+    throw std::invalid_argument(
+        "shrink_scenario: input run does not violate the " +
+        std::string(to_string(expected)) + " oracle (got: " +
+        reference.report.to_string() + ")");
+  }
+  best.report = reference.report;
+  best.trace_fingerprint = reference.trace_fingerprint;
+  best.trace_records = reference.trace_records;
+
+  bool improved = true;
+  while (improved && best.runs < options.max_runs) {
+    improved = false;
+    for (SimConfig& candidate : candidates(best.config, expected)) {
+      if (best.runs >= options.max_runs) break;
+      try {
+        candidate.validate();
+      } catch (const std::exception&) {
+        continue;  // transformation produced an inconsistent config
+      }
+      Probe p;
+      ++best.runs;
+      try {
+        p = probe(candidate, expected);
+      } catch (const std::exception&) {
+        continue;  // a crashing candidate is a different bug; keep shrinking
+      }
+      if (!p.violates) continue;
+      best.config = std::move(candidate);
+      best.report = std::move(p.report);
+      best.trace_fingerprint = p.trace_fingerprint;
+      best.trace_records = p.trace_records;
+      ++best.steps;
+      improved = true;
+      break;  // restart from the most simplifying transformation
+    }
+  }
+  return best;
+}
+
+}  // namespace bftsim::explore

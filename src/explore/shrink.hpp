@@ -1,0 +1,53 @@
+// Counterexample shrinking (delta debugging over SimConfig).
+//
+// Given a config whose run violates an oracle, the shrinker repeatedly
+// tries simpler variants — drop a fault window, shrink n, flatten the
+// delay distribution to a constant, reduce the decision target, shorten
+// the attack, halve the horizon — re-running each candidate
+// deterministically and keeping it only when the SAME oracle still fires.
+// Candidates are generated in a fixed order and the loop restarts from the
+// first transformation after every acceptance (classic ddmin structure),
+// so the result is a deterministic function of the input config alone.
+//
+// The horizon-halving transformation is skipped when shrinking liveness
+// violations: "still times out with half the time" is trivially true and
+// would shrink every liveness counterexample into an uninteresting
+// microscopic horizon.
+#pragma once
+
+#include <cstddef>
+
+#include "core/config.hpp"
+#include "explore/oracles.hpp"
+#include "sim/result.hpp"
+
+namespace bftsim::explore {
+
+struct ShrinkOptions {
+  /// Cap on simulations the shrinker may execute (the acceptance test is
+  /// one run per candidate). The loop stops at the cap and reports the
+  /// best config found so far.
+  std::size_t max_runs = 200;
+};
+
+/// Outcome of shrinking one failing config.
+struct ShrinkResult {
+  SimConfig config;      ///< smallest violating config found
+  OracleReport report;   ///< verdict of `config`'s run (same oracle kind)
+  std::uint64_t trace_fingerprint = 0;  ///< fingerprint of `config`'s run
+  std::uint64_t trace_records = 0;
+  std::size_t steps = 0;  ///< accepted transformations
+  std::size_t runs = 0;   ///< simulations executed
+};
+
+/// Shrinks `failing` (whose run must violate `expected`) and returns the
+/// smallest config the budget allowed that still violates `expected`.
+/// Deterministic: same input -> same transformation sequence -> same
+/// result. The input config is re-run once up front to record the
+/// reference verdict; if it does not violate `expected`, throws
+/// std::invalid_argument.
+[[nodiscard]] ShrinkResult shrink_scenario(const SimConfig& failing,
+                                           Oracle expected,
+                                           const ShrinkOptions& options = {});
+
+}  // namespace bftsim::explore

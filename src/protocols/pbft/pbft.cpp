@@ -15,7 +15,8 @@ constexpr std::uint64_t kViewTimerTag = 1;
 }
 }  // namespace
 
-PbftNode::PbftNode(NodeId id, const SimConfig& cfg) : id_(id) {
+PbftNode::PbftNode(NodeId id, const SimConfig& cfg, std::uint32_t quorum_slack)
+    : id_(id), quorum_slack_(quorum_slack) {
   base_timeout_ = from_ms(cfg.lambda_ms) * kTimeoutFactor;
   timeout_ = base_timeout_;
   fault_catch_up_ = cfg.faults.enabled();

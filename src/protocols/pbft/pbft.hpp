@@ -123,7 +123,12 @@ struct NewView final : Payload {
 
 class PbftNode final : public Node {
  public:
-  PbftNode(NodeId id, const SimConfig& cfg);
+  /// `quorum_slack` is subtracted from every 2f+1 quorum (prepare, commit,
+  /// view change). It exists solely so the fuzzer's canary variant
+  /// ("pbft-canary", quorum 2f — see src/explore/canary.hpp) can exercise
+  /// the safety oracles against a known-unsound protocol; production
+  /// configurations always run with slack 0.
+  PbftNode(NodeId id, const SimConfig& cfg, std::uint32_t quorum_slack = 0);
 
   void on_start(Context& ctx) override;
   void on_message(const Message& msg, Context& ctx) override;
@@ -152,7 +157,7 @@ class PbftNode final : public Node {
     return static_cast<NodeId>(v % ctx.n());
   }
   [[nodiscard]] std::uint32_t quorum(Context& ctx) const noexcept {
-    return 2 * ctx.f() + 1;
+    return 2 * ctx.f() + 1 - quorum_slack_;
   }
   [[nodiscard]] Instance& instance(View view, std::uint64_t seq) {
     return instances_[{view, seq}];
@@ -175,6 +180,7 @@ class PbftNode final : public Node {
   void send_catch_up(NodeId dst, std::uint64_t from_seq, Context& ctx);
 
   NodeId id_;
+  std::uint32_t quorum_slack_ = 0;  ///< nonzero only in the fuzzer canary
   View view_ = 0;
   bool in_view_change_ = false;
   View target_view_ = 0;

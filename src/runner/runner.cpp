@@ -105,7 +105,16 @@ SimConfig Watchdog::apply(SimConfig cfg) const {
 
 SweepOutcome run_sweep_guarded(const std::vector<SimConfig>& points,
                                std::size_t repeats, std::size_t jobs,
-                               const Watchdog& watchdog) {
+                               const Watchdog& watchdog,
+                               const std::vector<std::string>& labels) {
+  if (!labels.empty() && labels.size() != points.size()) {
+    throw std::invalid_argument(
+        "run_sweep_guarded: " + std::to_string(labels.size()) +
+        " labels for " + std::to_string(points.size()) + " points");
+  }
+  const auto point_label = [&labels](std::size_t p) {
+    return labels.empty() ? "point-" + std::to_string(p) : labels[p];
+  };
   struct Slot {
     RunResult result;
     std::string error;
@@ -147,6 +156,7 @@ SweepOutcome run_sweep_guarded(const std::vector<SimConfig>& points,
     pool.wait_idle();
   } catch (const std::exception& e) {
     RunFailure failure;
+    failure.label = "sweep";
     failure.error = std::string("sweep infrastructure failure: ") + e.what();
     failure.config = points.empty() ? SimConfig{} : watchdog.apply(points[0]);
     failure.seed = failure.config.seed;
@@ -166,6 +176,7 @@ SweepOutcome run_sweep_guarded(const std::vector<SimConfig>& points,
         failure.point = p;
         failure.repeat = i;
         failure.seed = points[p].seed + i;
+        failure.label = point_label(p) + "/repeat-" + std::to_string(i);
         failure.error = slot.error;
         failure.config = watchdog.apply(points[p]);
         failure.config.seed = failure.seed;

@@ -88,6 +88,12 @@ struct RunFailure {
   std::size_t point = 0;   ///< index into the sweep's `points`
   std::size_t repeat = 0;  ///< repeat index within the point
   std::uint64_t seed = 0;  ///< derived seed of the failing run
+  /// Human-readable identifier of the failing run: the caller-provided
+  /// point label (e.g. a fuzz campaign's "campaign-7/scenario-42") plus
+  /// the repeat suffix; "point-<p>/repeat-<i>" when no labels were given.
+  /// Present so a failure surfaced from a big sweep names its scenario
+  /// instead of only its flat index.
+  std::string label;
   std::string error;       ///< exception message
   SimConfig config;        ///< full failing config (seed already applied)
   /// Further failures discarded alongside this one. Only nonzero on
@@ -128,9 +134,15 @@ struct SweepOutcome {
 /// applied to every run. With no failures, each point's Aggregate is
 /// `equivalent()` to the corresponding run_sweep entry (given the same
 /// effective budgets).
+///
+/// `labels`, when non-empty, must have one entry per point; each failure's
+/// `label` is then "<labels[point]>/repeat-<i>". An empty vector falls
+/// back to "point-<p>/repeat-<i>". A size mismatch throws
+/// std::invalid_argument before anything runs.
 [[nodiscard]] SweepOutcome run_sweep_guarded(const std::vector<SimConfig>& points,
                                              std::size_t repeats, std::size_t jobs,
-                                             const Watchdog& watchdog = {});
+                                             const Watchdog& watchdog = {},
+                                             const std::vector<std::string>& labels = {});
 
 /// Convenience: configure `protocol` with the registry's measurement
 /// count (10 decisions for pipelined protocols, else 1), per §IV.

@@ -215,6 +215,157 @@ TEST(TraceReaderTest, MalformedJsonlReportsRecordIndex) {
   }
 }
 
+// --- Malformed-input battery -----------------------------------------------
+// Hand-assembled binary files exercise each corruption the reader guards
+// against; every error must name the file and the index of the record at
+// which decoding stopped, so a corrupt multi-gigabyte trace is diagnosable.
+
+constexpr char kMagic[8] = {'B', 'F', 'T', 'R', 'A', 'C', 'E', '\x01'};
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+/// A string-interning frame: tag 0x02, id, length, bytes.
+void put_string_frame(std::string& out, std::uint32_t id,
+                      const std::string& s) {
+  out.push_back('\x02');
+  put_u32(out, id);
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out += s;
+}
+
+/// A record frame: tag 0x01, kind, at, a, b, type_id, digest, msg, view, value.
+void put_record_frame(std::string& out, std::uint8_t kind,
+                      std::uint32_t type_id) {
+  out.push_back('\x01');
+  out.push_back(static_cast<char>(kind));
+  put_u64(out, 100);     // at
+  put_u32(out, 0);       // a
+  put_u32(out, 1);       // b
+  put_u32(out, type_id);
+  put_u64(out, 0);       // digest
+  put_u64(out, 7);       // msg
+  put_u64(out, 0);       // view
+  put_u64(out, 0);       // value
+}
+
+std::string write_binary(const std::string& name, const std::string& body) {
+  const std::string path = temp_path(name);
+  std::ofstream out(path, std::ios::binary);
+  out.write(kMagic, sizeof kMagic);
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  return path;
+}
+
+/// Reads records until the reader throws; returns the message, failing the
+/// test when no error surfaces.
+std::string read_until_error(const std::string& path) {
+  obs::TraceReader reader(path);
+  TraceRecord rec;
+  try {
+    while (reader.next(rec)) {
+    }
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << path << ": expected a decode error";
+  return {};
+}
+
+TEST(TraceReaderTest, TruncatedStringFrameReportsRecordIndex) {
+  std::string body;
+  put_string_frame(body, 0, "pbft/prepare");
+  put_record_frame(body, 0, 0);
+  body += '\x02';      // a second string frame...
+  put_u32(body, 1);    // ...with its length header cut off
+  const std::string msg =
+      read_until_error(write_binary("trunc_string.trace", body));
+  EXPECT_NE(msg.find("record 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("truncated string frame"), std::string::npos) << msg;
+}
+
+TEST(TraceReaderTest, OutOfOrderStringTableReportsCorruption) {
+  std::string body;
+  put_string_frame(body, 3, "skipped-ids");  // ids must be dense from 0
+  const std::string msg =
+      read_until_error(write_binary("bad_table.trace", body));
+  EXPECT_NE(msg.find("record 0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("corrupt string table"), std::string::npos) << msg;
+}
+
+TEST(TraceReaderTest, DanglingStringIdReportsRecordIndex) {
+  std::string body;
+  put_string_frame(body, 0, "pbft/prepare");
+  put_record_frame(body, 0, 0);
+  put_record_frame(body, 0, 9);  // references a string never interned
+  const std::string msg =
+      read_until_error(write_binary("dangling_id.trace", body));
+  EXPECT_NE(msg.find("record 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("dangling string id"), std::string::npos) << msg;
+}
+
+TEST(TraceReaderTest, BadRecordKindReportsRecordIndex) {
+  std::string body;
+  put_string_frame(body, 0, "x");
+  put_record_frame(body, 0xee, 0);
+  const std::string msg =
+      read_until_error(write_binary("bad_kind.trace", body));
+  EXPECT_NE(msg.find("record 0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("bad record kind"), std::string::npos) << msg;
+}
+
+TEST(TraceReaderTest, UnknownFrameTagReportsRecordIndex) {
+  std::string body;
+  put_string_frame(body, 0, "x");
+  put_record_frame(body, 0, 0);
+  body += '\x7f';  // neither a record nor a string frame
+  const std::string msg =
+      read_until_error(write_binary("bad_tag.trace", body));
+  EXPECT_NE(msg.find("record 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("unknown frame tag"), std::string::npos) << msg;
+}
+
+TEST(TraceReaderTest, JsonlNonObjectLineReportsRecordIndex) {
+  const std::string path = temp_path("non_object.jsonl");
+  {
+    std::ofstream out(path);
+    out << R"({"kind":"send","at":1,"a":0,"b":1,"type":"x","digest":"0","msg":1,"view":0,"value":"0"})"
+        << "\n[1,2,3]\n";
+  }
+  const std::string msg = read_until_error(path);
+  EXPECT_NE(msg.find("record 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("not an object"), std::string::npos) << msg;
+}
+
+TEST(TraceReaderTest, JsonlUnknownKindReportsRecordIndex) {
+  const std::string path = temp_path("bad_kind.jsonl");
+  {
+    std::ofstream out(path);
+    out << R"({"kind":"teleport","at":1,"a":0,"b":1,"type":"x","digest":"0","msg":1,"view":0,"value":"0"})"
+        << "\n";
+  }
+  const std::string msg = read_until_error(path);
+  EXPECT_NE(msg.find("record 0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("unknown trace kind"), std::string::npos) << msg;
+}
+
+TEST(TraceReaderTest, JsonlBadHexFieldReportsRecordIndex) {
+  const std::string path = temp_path("bad_hex.jsonl");
+  {
+    std::ofstream out(path);
+    out << R"({"kind":"send","at":1,"a":0,"b":1,"type":"x","digest":"xyzzy","msg":1,"view":0,"value":"0"})"
+        << "\n";
+  }
+  const std::string msg = read_until_error(path);
+  EXPECT_NE(msg.find("record 0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("bad hex field"), std::string::npos) << msg;
+}
+
 TEST(TraceReaderTest, TruncatedBinaryThrows) {
   const std::string src = temp_path("trunc_src.trace");
   {

@@ -104,6 +104,44 @@ TEST(GuardedSweep, CleanSweepMatchesRunSweep) {
   }
 }
 
+TEST(GuardedSweep, FailuresCarryDefaultPointRepeatLabels) {
+  std::vector<SimConfig> points;
+  points.push_back(small_config("pbft", 1));
+  points.push_back(small_config("no-such-protocol", 7));
+
+  const SweepOutcome outcome = run_sweep_guarded(points, 2, 1);
+  ASSERT_EQ(outcome.failures.size(), 2u);
+  EXPECT_EQ(outcome.failures[0].label, "point-1/repeat-0");
+  EXPECT_EQ(outcome.failures[1].label, "point-1/repeat-1");
+}
+
+TEST(GuardedSweep, CallerLabelsNameTheFailingScenario) {
+  std::vector<SimConfig> points;
+  points.push_back(small_config("pbft", 1));
+  points.push_back(small_config("no-such-protocol", 7));
+  const std::vector<std::string> labels{"campaign-7/scenario-0",
+                                       "campaign-7/scenario-1"};
+
+  const SweepOutcome outcome = run_sweep_guarded(points, 2, 1, {}, labels);
+  ASSERT_EQ(outcome.failures.size(), 2u);
+  EXPECT_EQ(outcome.failures[0].label, "campaign-7/scenario-1/repeat-0");
+  EXPECT_EQ(outcome.failures[1].label, "campaign-7/scenario-1/repeat-1");
+
+  // The label survives export, so sweep reports name scenarios too.
+  const json::Value v = sweep_outcome_to_json(outcome);
+  const auto& failure = v.as_object().at("failures").as_array()[0].as_object();
+  EXPECT_EQ(failure.at("label").as_string(), "campaign-7/scenario-1/repeat-0");
+}
+
+TEST(GuardedSweep, MismatchedLabelCountThrowsBeforeRunning) {
+  std::vector<SimConfig> points;
+  points.push_back(small_config("pbft", 1));
+  points.push_back(small_config("pbft", 2));
+  EXPECT_THROW(
+      (void)run_sweep_guarded(points, 1, 1, {}, {"only-one-label"}),
+      std::invalid_argument);
+}
+
 TEST(GuardedSweep, OutcomeSerializesWithFailuresAndTallies) {
   std::vector<SimConfig> points;
   points.push_back(small_config("pbft", 1));

@@ -116,8 +116,7 @@ int main(int argc, char** argv) {
                  po.tally.failed);
   }
   for (const RunFailure& failure : outcome.failures) {
-    std::fprintf(stderr, "FAILURE point %zu repeat %zu seed %llu: %s\n",
-                 failure.point, failure.repeat,
+    std::fprintf(stderr, "FAILURE %s (seed %llu): %s\n", failure.label.c_str(),
                  static_cast<unsigned long long>(failure.seed),
                  failure.error.c_str());
   }
