@@ -1,9 +1,11 @@
 // Micro-benchmarks of the simulation engine (google-benchmark): event
 // queue throughput, RNG sampling, and end-to-end runs per engine — the raw
 // numbers behind the simulator's Fig. 2 speed — plus a serial-vs-parallel
-// experiment-runner comparison whose speedup and determinism check are
-// written to a JSON file (default micro_engine.json; --json PATH to move,
-// --jobs N to size the pool, --skip-micro to run only the comparison).
+// experiment-runner comparison and an n-scaling curve (events/sec and
+// resident bytes/node at n up to 4096; see docs/SCALING.md), all written
+// to a JSON file (default micro_engine.json; --json PATH to move, --jobs N
+// to size the pool, --skip-micro to run only the measurements,
+// --skip-scaling to omit the curve, --only-scaling to record just it).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -16,6 +18,7 @@
 #include "baseline/baseline.hpp"
 #include "bench_common.hpp"
 #include "core/event_queue.hpp"
+#include "core/memstats.hpp"
 #include "core/rng.hpp"
 #include "core/thread_pool.hpp"
 #include "net/delay_model.hpp"
@@ -177,13 +180,91 @@ json::Value measure_engine_throughput() {
   return json::Value{std::move(rows)};
 }
 
+/// Measures the n-scaling curve: one single run per (protocol, n) point,
+/// recording engine throughput (events/sec) and the per-node resident
+/// memory cost. Memory attribution: trim the heap and take an RSS
+/// baseline, reset the kernel's peak-RSS watermark, run, and charge the
+/// peak-minus-baseline delta to the run (bytes_per_node = delta / n).
+/// Decision counts shrink with n so every point costs bounded wall time —
+/// PBFT's message complexity is quadratic, so one decision at n=4096 is
+/// already ~28M events. Points run in increasing-footprint order so a big
+/// point's freed-but-cached pages cannot pollute a smaller point's
+/// baseline.
+json::Value measure_scaling_curve() {
+  struct Point {
+    const char* protocol;
+    std::uint32_t n;
+    std::uint32_t decisions;
+  };
+  const Point points[] = {
+      {"hotstuff-ns", 64, 100}, {"hotstuff-ns", 256, 50},
+      {"hotstuff-ns", 1024, 20}, {"hotstuff-ns", 4096, 10},
+      {"pbft", 64, 10},          {"pbft", 256, 4},
+      {"pbft", 1024, 1},         {"pbft", 4096, 1},
+  };
+
+  std::printf("\n--- n-scaling curve (single run per point) ---\n");
+  json::Array rows;
+  for (const Point& p : points) {
+    SimConfig cfg;
+    cfg.protocol = p.protocol;
+    cfg.n = p.n;
+    cfg.lambda_ms = 1000;
+    cfg.delay = DelaySpec::normal(250, 50);
+    cfg.decisions = p.decisions;
+    cfg.seed = 1;
+
+    trim_heap();
+    const std::size_t baseline_rss = current_rss_bytes();
+    // When the watermark cannot be reset (locked-down /proc), fall back to
+    // the post-run RSS: slightly below the true peak, but still a usable
+    // per-point figure rather than a whole-process high-water mark.
+    const bool peak_reset = reset_peak_rss();
+
+    const auto start = std::chrono::steady_clock::now();
+    const RunResult result = run_simulation(cfg);
+    const double seconds = seconds_since(start);
+
+    const std::size_t after_rss =
+        peak_reset ? peak_rss_bytes() : current_rss_bytes();
+    const std::size_t rss_delta =
+        after_rss > baseline_rss ? after_rss - baseline_rss : 0;
+    const double bytes_per_node =
+        static_cast<double>(rss_delta) / static_cast<double>(p.n);
+    const double events =
+        static_cast<double>(result.events_processed);
+    const double events_per_sec = seconds > 0.0 ? events / seconds : 0.0;
+
+    std::printf("%-12s n=%-5u %10.0f events in %7.3f s -> %10.0f events/s, "
+                "%8.0f bytes/node%s\n",
+                p.protocol, p.n, events, seconds, events_per_sec,
+                bytes_per_node, result.terminated ? "" : "  [DID NOT DECIDE]");
+
+    json::Object row;
+    row["protocol"] = p.protocol;
+    row["n"] = static_cast<std::int64_t>(p.n);
+    row["decisions"] = static_cast<std::int64_t>(p.decisions);
+    row["terminated"] = result.terminated;
+    row["events_processed"] = events;
+    row["wall_seconds"] = seconds;
+    row["events_per_sec"] = events_per_sec;
+    row["baseline_rss_bytes"] = static_cast<std::int64_t>(baseline_rss);
+    row["peak_rss_bytes"] = static_cast<std::int64_t>(after_rss);
+    row["peak_reset_supported"] = peak_reset;
+    row["rss_delta_bytes"] = static_cast<std::int64_t>(rss_delta);
+    row["bytes_per_node"] = bytes_per_node;
+    rows.push_back(json::Value{std::move(row)});
+  }
+  return json::Value{std::move(rows)};
+}
+
 /// Times run_repeated vs run_repeated_parallel on the same workload,
 /// checks the aggregates are equivalent, prints the comparison, and
 /// writes it to `json_path`. Speedup tracks the machine: ~min(jobs,
 /// cores)× on idle multi-core hosts, ~1× on a single core.
 void measure_parallel_speedup(const std::string& json_path, std::size_t jobs,
-                              std::size_t repeats,
-                              json::Value engine_throughput) {
+                              std::size_t repeats, json::Value engine_throughput,
+                              json::Value scaling) {
   SimConfig cfg;
   cfg.protocol = "pbft";
   cfg.n = 32;
@@ -230,6 +311,7 @@ void measure_parallel_speedup(const std::string& json_path, std::size_t jobs,
   o["serial_aggregate"] = aggregate_to_json(serial);
   o["parallel_aggregate"] = aggregate_to_json(parallel);
   o["engine_throughput"] = std::move(engine_throughput);
+  if (scaling.is_array()) o["scaling"] = std::move(scaling);
   write_json_file(json_path, json::Value{std::move(o)});
   std::printf("[speedup record written to %s]\n", json_path.c_str());
 }
@@ -241,6 +323,8 @@ int main(int argc, char** argv) {
   std::size_t jobs = 4;
   std::size_t repeats = 64;
   bool run_micro = true;
+  bool run_scaling = true;
+  bool only_scaling = false;
   if (const char* env = std::getenv("BFTSIM_JOBS")) {
     const long value = std::strtol(env, nullptr, 10);
     if (value > 0) jobs = static_cast<std::size_t>(value);
@@ -257,6 +341,10 @@ int main(int argc, char** argv) {
       repeats = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--skip-micro") == 0) {
       run_micro = false;
+    } else if (std::strcmp(argv[i], "--skip-scaling") == 0) {
+      run_scaling = false;
+    } else if (std::strcmp(argv[i], "--only-scaling") == 0) {
+      only_scaling = true;
     } else {
       argv[kept++] = argv[i];
     }
@@ -265,11 +353,21 @@ int main(int argc, char** argv) {
   if (jobs == 0) jobs = bftsim::ThreadPool::default_workers();
   bench::require_writable(json_path);
 
+  if (only_scaling) {
+    json::Object o;
+    o["bench"] = "micro_engine";
+    o["scaling"] = measure_scaling_curve();
+    write_json_file(json_path, json::Value{std::move(o)});
+    std::printf("[scaling curve written to %s]\n", json_path.c_str());
+    return 0;
+  }
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   if (run_micro) benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  measure_parallel_speedup(json_path, jobs, repeats, measure_engine_throughput());
+  measure_parallel_speedup(json_path, jobs, repeats, measure_engine_throughput(),
+                           run_scaling ? measure_scaling_curve() : json::Value{});
   return 0;
 }

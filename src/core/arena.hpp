@@ -1,0 +1,168 @@
+// A chunked bump (arena / slab) allocator for run-scoped allocations.
+//
+// One simulation run allocates hundreds of thousands of small, immutable
+// objects — message payloads above all — whose lifetimes all end together
+// when the run's controller is destroyed. A general-purpose heap pays
+// per-object malloc/free and scatters those objects across memory; the
+// arena instead hands out pointers by bumping a cursor through large
+// chunks, so allocation is a compare and an add, objects allocated
+// together sit together (the broadcast fan-out reads them together), and
+// the whole population is released wholesale by destroying (or
+// reset()-ing) the arena.
+//
+// The arena does not run destructors: it is a memory allocator, not an
+// object pool. Users that need destruction (e.g. std::allocate_shared
+// control blocks) still get it — the shared_ptr machinery invokes the
+// destructor as usual and the subsequent deallocate() is a no-op.
+//
+// Not thread-safe by design: an arena belongs to exactly one run, and a
+// run executes on one thread (cross-run parallelism gives each run its
+// own controller and therefore its own arena).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace bftsim {
+
+class Arena {
+ public:
+  /// Default size of the first chunk. Subsequent chunks double (capped),
+  /// so a run that outgrows the default pays O(log n) chunk allocations.
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+  /// Chunk growth stops doubling here; larger demands get exact-fit chunks.
+  static constexpr std::size_t kMaxChunkBytes = 8 * 1024 * 1024;
+
+  explicit Arena(std::size_t first_chunk_bytes = kDefaultChunkBytes)
+      : first_chunk_bytes_(first_chunk_bytes == 0 ? kDefaultChunkBytes
+                                                  : first_chunk_bytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` bytes aligned to `align` (a power of two). Never
+  /// returns nullptr: growth allocates a new chunk, a request larger than
+  /// the chunk cap gets its own exact-fit chunk, and allocation failure
+  /// throws std::bad_alloc like operator new.
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    std::uintptr_t p = align_up(cursor_, align);
+    if (p + bytes > limit_) {
+      grow(bytes, align);
+      p = align_up(cursor_, align);
+    }
+    cursor_ = p + bytes;
+    bytes_allocated_ += bytes;
+    if (bytes_allocated_ > high_water_) high_water_ = bytes_allocated_;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Rewinds the arena to empty, keeping every chunk it already owns for
+  /// reuse: a reset arena replays an identical allocation sequence at
+  /// identical addresses, which keeps run-over-run behavior deterministic
+  /// and allocation-free after the first run. Does not run destructors —
+  /// callers must not reset while arena-backed objects are still alive.
+  void reset() noexcept {
+    bytes_allocated_ = 0;
+    next_chunk_ = 0;
+    if (chunks_.empty()) {
+      cursor_ = limit_ = 0;
+    } else {
+      cursor_ = reinterpret_cast<std::uintptr_t>(chunks_[0].data.get());
+      limit_ = cursor_ + chunks_[0].size;
+      next_chunk_ = 1;
+    }
+  }
+
+  /// Live bytes handed out since construction / the last reset()
+  /// (excludes alignment padding).
+  [[nodiscard]] std::size_t bytes_allocated() const noexcept {
+    return bytes_allocated_;
+  }
+  /// Total bytes of chunk capacity owned by the arena.
+  [[nodiscard]] std::size_t bytes_reserved() const noexcept {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+  /// Largest bytes_allocated() ever observed (survives reset()).
+  [[nodiscard]] std::size_t high_water() const noexcept { return high_water_; }
+  [[nodiscard]] std::size_t chunk_count() const noexcept { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  [[nodiscard]] static std::uintptr_t align_up(std::uintptr_t p,
+                                               std::size_t align) noexcept {
+    return (p + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+  }
+
+  /// Makes the cursor point into a chunk with room for `bytes` @ `align`.
+  /// After reset() this walks the retained chunk list before allocating,
+  /// which is what makes reset-reuse deterministic and allocation-free.
+  void grow(std::size_t bytes, std::size_t align) {
+    const std::size_t need = bytes + align;
+    while (next_chunk_ < chunks_.size()) {
+      const Chunk& c = chunks_[next_chunk_++];
+      if (c.size >= need) {
+        cursor_ = reinterpret_cast<std::uintptr_t>(c.data.get());
+        limit_ = cursor_ + c.size;
+        return;
+      }
+    }
+    std::size_t size = chunks_.empty() ? first_chunk_bytes_
+                                       : std::min(chunks_.back().size * 2,
+                                                  kMaxChunkBytes);
+    if (size < need) size = need;
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size});
+    next_chunk_ = chunks_.size();
+    cursor_ = reinterpret_cast<std::uintptr_t>(chunks_.back().data.get());
+    limit_ = cursor_ + size;
+  }
+
+  std::size_t first_chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t next_chunk_ = 0;  ///< next retained chunk grow() may reuse
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;
+  std::size_t bytes_allocated_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+/// STL allocator adapter over an Arena, usable with std::allocate_shared
+/// (payloads + their control blocks in one bump allocation each) and
+/// standard containers. deallocate() is a no-op: memory returns to the
+/// system when the arena does.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) noexcept {}
+
+  [[nodiscard]] Arena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  [[nodiscard]] bool operator==(const ArenaAllocator<U>& o) const noexcept {
+    return arena_ == o.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace bftsim

@@ -1,0 +1,62 @@
+#include "core/memstats.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__linux__)
+#include <malloc.h>
+#endif
+
+namespace bftsim {
+
+namespace {
+
+/// Reads a "<key>:   <value> kB" line from /proc/self/status; 0 on any
+/// failure (non-Linux, locked-down /proc, renamed field).
+std::size_t read_status_kb(const char* key) {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const std::size_t key_len = std::strlen(key);
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) != 0 || line[key_len] != ':') continue;
+    unsigned long long value = 0;
+    if (std::sscanf(line + key_len + 1, "%llu", &value) == 1) {
+      kb = static_cast<std::size_t>(value);
+    }
+    break;
+  }
+  std::fclose(f);
+  return kb;
+#else
+  (void)key;
+  return 0;
+#endif
+}
+
+}  // namespace
+
+std::size_t current_rss_bytes() { return read_status_kb("VmRSS") * 1024; }
+
+std::size_t peak_rss_bytes() { return read_status_kb("VmHWM") * 1024; }
+
+bool reset_peak_rss() noexcept {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+#else
+  return false;
+#endif
+}
+
+void trim_heap() noexcept {
+#if defined(__linux__) && defined(__GLIBC__)
+  malloc_trim(0);
+#endif
+}
+
+}  // namespace bftsim

@@ -1,0 +1,29 @@
+// Process-memory introspection for the scaling bench and the large-n
+// smoke tests: resident-set readings from /proc/self/status on Linux,
+// zeros elsewhere (callers must treat 0 as "unavailable", never as a
+// measurement).
+#pragma once
+
+#include <cstddef>
+
+namespace bftsim {
+
+/// Current resident set size (VmRSS) in bytes; 0 when unavailable.
+[[nodiscard]] std::size_t current_rss_bytes();
+
+/// Peak resident set size (VmHWM) in bytes; 0 when unavailable.
+[[nodiscard]] std::size_t peak_rss_bytes();
+
+/// Resets the kernel's peak-RSS watermark (VmHWM) to the current RSS by
+/// writing "5" to /proc/self/clear_refs, so per-phase peaks can be
+/// attributed (measure: reset, run the phase, read peak_rss_bytes()).
+/// Returns false when unsupported; peak readings then cover the whole
+/// process lifetime instead of the phase.
+bool reset_peak_rss() noexcept;
+
+/// Asks the allocator to return freed heap pages to the OS (malloc_trim
+/// on glibc, no-op elsewhere), so a current_rss_bytes() baseline taken
+/// between phases reflects live data rather than allocator caches.
+void trim_heap() noexcept;
+
+}  // namespace bftsim

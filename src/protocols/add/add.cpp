@@ -44,7 +44,7 @@ void AddNode::step(std::uint64_t iter, std::uint64_t round, Context& ctx) {
       // 3 iteration end.
       if (round == 0) {
         if (ctx.id() == iter % ctx.n()) {
-          ctx.broadcast(make_payload<AddPropose>(iter, own_proposal(iter, ctx)));
+          ctx.broadcast(ctx.make_payload<AddPropose>(iter, own_proposal(iter, ctx)));
         }
       } else if (round == 1) {
         do_vote(iter, ctx);
@@ -57,11 +57,11 @@ void AddNode::step(std::uint64_t iter, std::uint64_t round, Context& ctx) {
       // rounds: 0 elect, 1 propose (winner), 2 vote, 3 commit on quorum,
       // 4 iteration end.
       if (round == 0) {
-        ctx.broadcast(make_payload<AddElect>(iter, ctx.vrf().evaluate(id_, iter)));
+        ctx.broadcast(ctx.make_payload<AddElect>(iter, ctx.vrf().evaluate(id_, iter)));
       } else if (round == 1) {
         const auto it = min_elect_.find(iter);
         if (it != min_elect_.end() && it->second.second == id_) {
-          ctx.broadcast(make_payload<AddPropose>(iter, own_proposal(iter, ctx)));
+          ctx.broadcast(ctx.make_payload<AddPropose>(iter, own_proposal(iter, ctx)));
         }
       } else if (round == 2) {
         do_vote(iter, ctx);
@@ -74,7 +74,7 @@ void AddNode::step(std::uint64_t iter, std::uint64_t round, Context& ctx) {
       // rounds: 0 propose (everyone, credential attached), 1 prepare the
       // minimum-credential value, 2 commit on quorum, 3 iteration end.
       if (round == 0) {
-        ctx.broadcast(make_payload<AddPropose>(iter, own_proposal(iter, ctx),
+        ctx.broadcast(ctx.make_payload<AddPropose>(iter, own_proposal(iter, ctx),
                                                ctx.vrf().evaluate(id_, iter)));
       } else if (round == 1) {
         do_vote(iter, ctx);
@@ -117,8 +117,8 @@ void AddNode::do_vote(std::uint64_t iter, Context& ctx) {
   if (value == kBottom) return;  // silent / corrupted leader: skip iteration
   if (lock_ != kBottom && lock_ != value) return;  // never vote against a lock
   const auto payload = variant_ == Variant::kV3
-                           ? PayloadPtr(make_payload<AddPrepare>(iter, value))
-                           : PayloadPtr(make_payload<AddVote>(iter, value));
+                           ? PayloadPtr(ctx.make_payload<AddPrepare>(iter, value))
+                           : PayloadPtr(ctx.make_payload<AddVote>(iter, value));
   ctx.broadcast(payload);
 }
 
@@ -126,7 +126,7 @@ void AddNode::try_commit_phase(std::uint64_t iter, Value value, Context& ctx) {
   if (!votes_.reached({iter, value}, quorum(ctx))) return;
   if (!commit_sent_.mark(iter)) return;
   lock_ = value;
-  ctx.broadcast(make_payload<AddCommit>(iter, value));
+  ctx.broadcast(ctx.make_payload<AddCommit>(iter, value));
 }
 
 void AddNode::on_message(const Message& msg, Context& ctx) {

@@ -17,7 +17,7 @@ void AlgorandNode::broadcast_proposal(Context& ctx) {
   const Value value = starting_ != kBottom
                           ? starting_
                           : hash_words({0x414cULL, period_, id_});
-  ctx.broadcast(make_payload<AlgoProposal>(period_, value,
+  ctx.broadcast(ctx.make_payload<AlgoProposal>(period_, value,
                                            ctx.vrf().evaluate(id_, period_)));
 }
 
@@ -43,7 +43,7 @@ void AlgorandNode::do_soft_vote(Context& ctx) {
   }
   soft_voted_.mark(period_);
   soft_value_[period_] = value;
-  ctx.broadcast(make_payload<AlgoSoftVote>(period_, value));
+  ctx.broadcast(ctx.make_payload<AlgoSoftVote>(period_, value));
 }
 
 void AlgorandNode::do_next_vote(Context& ctx) {
@@ -55,7 +55,7 @@ void AlgorandNode::do_next_vote(Context& ctx) {
     value = starting_;
   }
   next_value_[period_] = value;
-  ctx.broadcast(make_payload<AlgoNextVote>(period_, value));
+  ctx.broadcast(ctx.make_payload<AlgoNextVote>(period_, value));
   // Keep retransmitting until the system leaves this period (liveness
   // through partitions and message loss).
   ctx.set_timer(2 * ctx.lambda(), tag_of(period_, Step::kRepeat));
@@ -65,10 +65,10 @@ void AlgorandNode::retransmit(Context& ctx) {
   broadcast_proposal(ctx);
   do_soft_vote(ctx);  // catch up if the 2λ mark passed before any proposal
   if (const auto it = soft_value_.find(period_); it != soft_value_.end()) {
-    ctx.broadcast(make_payload<AlgoSoftVote>(period_, it->second));
+    ctx.broadcast(ctx.make_payload<AlgoSoftVote>(period_, it->second));
   }
   if (const auto it = next_value_.find(period_); it != next_value_.end()) {
-    ctx.broadcast(make_payload<AlgoNextVote>(period_, it->second));
+    ctx.broadcast(ctx.make_payload<AlgoNextVote>(period_, it->second));
   }
   ctx.set_timer(2 * ctx.lambda(), tag_of(period_, Step::kRepeat));
 }
@@ -99,7 +99,7 @@ void AlgorandNode::on_message(const Message& msg, Context& ctx) {
       if (soft_votes_.add_reaches({soft->period, soft->value}, msg.src, quorum(ctx)) &&
           soft->period == period_ && cert_voted_.mark(soft->period)) {
         cert_value_[soft->period] = soft->value;
-        ctx.broadcast(make_payload<AlgoCertVote>(soft->period, soft->value));
+        ctx.broadcast(ctx.make_payload<AlgoCertVote>(soft->period, soft->value));
       }
       break;
     }

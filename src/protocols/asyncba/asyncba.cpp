@@ -31,7 +31,7 @@ void AsyncBaNode::on_start(Context& ctx) {
 }
 
 void AsyncBaNode::rbc_broadcast(Context& ctx) {
-  ctx.broadcast(make_payload<BrachaInit>(round_, step_, value_));
+  ctx.broadcast(ctx.make_payload<BrachaInit>(round_, step_, value_));
 }
 
 void AsyncBaNode::on_message(const Message& msg, Context& ctx) {
@@ -44,7 +44,7 @@ void AsyncBaNode::on_message(const Message& msg, Context& ctx) {
       if (echo_sent_.mark(key)) {
         echoed_[key] = init->value;
         ctx.broadcast(
-            make_payload<BrachaEcho>(init->round, init->step, msg.src, init->value));
+            ctx.make_payload<BrachaEcho>(init->round, init->step, msg.src, init->value));
       }
       break;
     }
@@ -55,7 +55,7 @@ void AsyncBaNode::on_message(const Message& msg, Context& ctx) {
           ready_sent_.mark(key)) {
         readied_[key] = echo->value;
         ctx.broadcast(
-            make_payload<BrachaReady>(echo->round, echo->step, echo->origin, echo->value));
+            ctx.make_payload<BrachaReady>(echo->round, echo->step, echo->origin, echo->value));
       }
       break;
     }
@@ -67,7 +67,7 @@ void AsyncBaNode::on_message(const Message& msg, Context& ctx) {
       if (readies_.count({key, ready->value}) >= ctx.f() + 1 && ready_sent_.mark(key)) {
         readied_[key] = ready->value;
         ctx.broadcast(
-            make_payload<BrachaReady>(ready->round, ready->step, ready->origin, ready->value));
+            ctx.make_payload<BrachaReady>(ready->round, ready->step, ready->origin, ready->value));
       }
       if (readies_.count({key, ready->value}) >= 2 * ctx.f() + 1) {
         try_accept(key, ready->value, ctx);
@@ -155,15 +155,15 @@ void AsyncBaNode::process_step(const std::map<NodeId, Value>& accepted, Context&
 void AsyncBaNode::retransmit(Context& ctx) {
   // Re-broadcast everything we have said about the step we are stuck on;
   // duplicate receptions are idempotent (vote trackers are per-sender).
-  ctx.broadcast(make_payload<BrachaInit>(round_, step_, value_));
+  ctx.broadcast(ctx.make_payload<BrachaInit>(round_, step_, value_));
   for (const auto& [key, value] : echoed_) {
     if (std::get<0>(key) == round_ && std::get<1>(key) == step_) {
-      ctx.broadcast(make_payload<BrachaEcho>(round_, step_, std::get<2>(key), value));
+      ctx.broadcast(ctx.make_payload<BrachaEcho>(round_, step_, std::get<2>(key), value));
     }
   }
   for (const auto& [key, value] : readied_) {
     if (std::get<0>(key) == round_ && std::get<1>(key) == step_) {
-      ctx.broadcast(make_payload<BrachaReady>(round_, step_, std::get<2>(key), value));
+      ctx.broadcast(ctx.make_payload<BrachaReady>(round_, step_, std::get<2>(key), value));
     }
   }
 }

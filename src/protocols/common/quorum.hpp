@@ -1,8 +1,9 @@
 // Vote-counting utilities shared by the protocol implementations.
 #pragma once
 
-#include <algorithm>
+#include <bit>
 #include <cstdint>
+#include <iterator>
 #include <map>
 #include <set>
 #include <vector>
@@ -11,31 +12,98 @@
 
 namespace bftsim {
 
-/// Sorted, duplicate-free voter list. Vote sets are quorum-sized (tens of
-/// entries), so a flat vector with ordered insertion beats a node-based
-/// std::set on every operation; iteration stays ascending, which is what
-/// keeps certificate signer lists — and therefore digests and message
-/// contents — identical to the std::set it replaced.
+/// Duplicate-free voter set over dense node ids, stored as a word-array
+/// bit set. Insertion and membership are O(1) — the sorted flat vector it
+/// replaces paid an O(size) shift per insert, which at n=4096 made
+/// filling one quorum set O(n²) and a full PBFT round O(n³). Iteration
+/// walks the words in order and yields voters strictly ascending, exactly
+/// the order the sorted vector produced, so certificate signer lists —
+/// and therefore digests and message contents — are unchanged. Memory is
+/// n/8 bytes once grown (grown lazily to the highest voter seen), an
+/// order of magnitude below the 4-byte-per-entry vector at scale.
 class VoterSet {
  public:
+  /// Forward iterator over the set bits, ascending. Dereferences to the
+  /// voter's NodeId.
+  class const_iterator {
+   public:
+    using value_type = NodeId;
+    using difference_type = std::ptrdiff_t;
+    using reference = NodeId;
+    using pointer = const NodeId*;
+    using iterator_category = std::forward_iterator_tag;
+
+    const_iterator() = default;
+    const_iterator(const std::vector<std::uint64_t>* words, std::size_t word)
+        : words_(words), word_(word) {
+      if (words_ != nullptr && word_ < words_->size()) {
+        bits_ = (*words_)[word_];
+        advance_to_nonzero();
+      }
+    }
+
+    [[nodiscard]] NodeId operator*() const noexcept {
+      return static_cast<NodeId>(word_ * 64 +
+                                 static_cast<unsigned>(std::countr_zero(bits_)));
+    }
+    const_iterator& operator++() noexcept {
+      bits_ &= bits_ - 1;  // clear lowest set bit
+      advance_to_nonzero();
+      return *this;
+    }
+    const_iterator operator++(int) noexcept {
+      const_iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    [[nodiscard]] bool operator==(const const_iterator& o) const noexcept {
+      return word_ == o.word_ && bits_ == o.bits_;
+    }
+
+   private:
+    void advance_to_nonzero() noexcept {
+      while (bits_ == 0) {
+        if (++word_ >= words_->size()) {
+          word_ = words_->size();
+          return;
+        }
+        bits_ = (*words_)[word_];
+      }
+    }
+
+    const std::vector<std::uint64_t>* words_ = nullptr;
+    std::size_t word_ = 0;
+    std::uint64_t bits_ = 0;
+  };
+
   /// Inserts `voter`; returns false on duplicates.
   bool insert(NodeId voter) {
-    const auto it = std::lower_bound(ids_.begin(), ids_.end(), voter);
-    if (it != ids_.end() && *it == voter) return false;
-    ids_.insert(it, voter);
+    const std::size_t word = voter >> 6;
+    if (word >= words_.size()) words_.resize(word + 1, 0);
+    const std::uint64_t mask = std::uint64_t{1} << (voter & 63);
+    if ((words_[word] & mask) != 0) return false;
+    words_[word] |= mask;
+    ++count_;
     return true;
   }
 
-  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return ids_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
   [[nodiscard]] bool contains(NodeId voter) const noexcept {
-    return std::binary_search(ids_.begin(), ids_.end(), voter);
+    const std::size_t word = voter >> 6;
+    return word < words_.size() &&
+           (words_[word] & (std::uint64_t{1} << (voter & 63))) != 0;
   }
-  [[nodiscard]] auto begin() const noexcept { return ids_.begin(); }
-  [[nodiscard]] auto end() const noexcept { return ids_.end(); }
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return const_iterator{&words_, 0};
+  }
+  [[nodiscard]] const_iterator end() const noexcept {
+    return const_iterator{&words_, words_.size()};
+  }
 
  private:
-  std::vector<NodeId> ids_;
+  std::vector<std::uint64_t> words_;
+  std::size_t count_ = 0;
 };
 
 /// Counts distinct voters per key (e.g. per (view, value) pair) and reports

@@ -130,7 +130,7 @@ std::optional<QuorumCert> Core::add_vote(View view, Value block_id, NodeId voter
 
 void Core::request_block(Value block_id, NodeId from, Context& ctx) {
   if (from == id_ || !requested_.mark(block_id)) return;
-  ctx.send(from, make_payload<BlockRequest>(block_id));
+  ctx.send(from, ctx.make_payload<BlockRequest>(block_id));
 }
 
 bool Core::handle_catchup(const Message& msg, Context& ctx) {
@@ -142,7 +142,7 @@ bool Core::handle_catchup(const Message& msg, Context& ctx) {
       out.push_back(*cur);
       cur = find(cur->parent);
     }
-    if (!out.empty()) ctx.send(msg.src, make_payload<BlockResponse>(std::move(out)));
+    if (!out.empty()) ctx.send(msg.src, ctx.make_payload<BlockResponse>(std::move(out)));
     return true;
   }
   if (const auto* resp = msg.as<BlockResponse>()) {

@@ -29,7 +29,7 @@ void HotStuffNsNode::propose(Context& ctx) {
   Block b = core_.make_block(cur_view_, ctx);
   core_.store(b);
   const Signature sig = ctx.signer().sign(id_, b.digest());
-  ctx.broadcast(make_payload<Proposal>(b, sig));
+  ctx.broadcast(ctx.make_payload<Proposal>(b, sig));
 }
 
 void HotStuffNsNode::on_message(const Message& msg, Context& ctx) {
@@ -48,7 +48,7 @@ void HotStuffNsNode::try_vote(const Block& block, Context& ctx) {
   const Signature vote_sig =
       ctx.signer().sign(id_, hash_words({0x564fULL, block.view, block.id}));
   ctx.send(leader_of(block.view + 1, ctx),
-           make_payload<Vote>(block.view, block.id, vote_sig));
+           ctx.make_payload<Vote>(block.view, block.id, vote_sig));
 }
 
 void HotStuffNsNode::handle_proposal(const Message& msg, Context& ctx) {

@@ -52,13 +52,13 @@ void LibraBftNode::try_vote(const Block& block, Context& ctx) {
   const Signature vote_sig =
       ctx.signer().sign(id_, hash_words({0x564fULL, block.view, block.id}));
   ctx.send(leader_of(block.view + 1, ctx),
-           make_payload<Vote>(block.view, block.id, vote_sig));
+           ctx.make_payload<Vote>(block.view, block.id, vote_sig));
 }
 
 void LibraBftNode::propose(Context& ctx) {
   Block b = core_.make_block(cur_view_, ctx);
   core_.store(b);
-  ctx.broadcast(make_payload<Proposal>(b, ctx.signer().sign(id_, b.digest())));
+  ctx.broadcast(ctx.make_payload<Proposal>(b, ctx.signer().sign(id_, b.digest())));
 }
 
 void LibraBftNode::on_message(const Message& msg, Context& ctx) {
@@ -121,7 +121,7 @@ void LibraBftNode::handle_timeout(const Message& msg, Context& ctx) {
   const auto& voters = timeout_votes_.voters(m.view);
   tc.signers.assign(voters.begin(), voters.end());
   // Rebroadcast the certificate so laggards jump with us.
-  ctx.broadcast(make_payload<TcMsg>(tc), /*include_self=*/false);
+  ctx.broadcast(ctx.make_payload<TcMsg>(tc), /*include_self=*/false);
   handle_tc(tc, ctx);
 }
 
@@ -137,7 +137,7 @@ void LibraBftNode::on_timer(const TimerEvent& ev, Context& ctx) {
   restart_timer(ctx);
   const Signature sig =
       ctx.signer().sign(id_, hash_words({0x544fULL, cur_view_}));
-  ctx.broadcast(make_payload<TimeoutMsg>(cur_view_, sig));
+  ctx.broadcast(ctx.make_payload<TimeoutMsg>(cur_view_, sig));
 }
 
 std::unique_ptr<Node> make_librabft_node(NodeId id, const SimConfig& cfg) {

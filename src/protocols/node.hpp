@@ -13,7 +13,9 @@
 #pragma once
 
 #include <memory>
+#include <utility>
 
+#include "core/arena.hpp"
 #include "core/event.hpp"
 #include "core/rng.hpp"
 #include "core/types.hpp"
@@ -64,6 +66,20 @@ class Context {
   [[nodiscard]] virtual Rng& rng() noexcept = 0;
   [[nodiscard]] virtual const Vrf& vrf() const noexcept = 0;
   [[nodiscard]] virtual const Signer& signer() const noexcept = 0;
+  /// Run-scoped arena: everything allocated from it lives until the run's
+  /// controller is destroyed. Protocol code normally reaches it through
+  /// make_payload() below rather than directly.
+  [[nodiscard]] virtual Arena& arena() noexcept = 0;
+
+  /// Constructs a payload of type T in the run arena. One bump allocation
+  /// covers the payload and its shared_ptr control block; broadcast fan-out
+  /// then shares that single allocation across all n-1 recipients. Prefer
+  /// this over the free make_payload() wherever a Context is in reach.
+  template <typename T, typename... Args>
+  [[nodiscard]] PayloadPtr make_payload(Args&&... args) {
+    return std::allocate_shared<T>(ArenaAllocator<T>(&arena()),
+                                   std::forward<Args>(args)...);
+  }
 };
 
 /// Base class for protocol node implementations.

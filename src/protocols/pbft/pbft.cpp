@@ -40,7 +40,7 @@ void PbftNode::propose(Context& ctx) {
   if (const auto it = prepared_at_.find(working_seq_); it != prepared_at_.end()) {
     value = it->second.second;
   }
-  const auto payload = std::make_shared<const PrePrepare>(
+  const auto payload = ctx.make_payload<PrePrepare>(
       view_, working_seq_, value,
       ctx.signer().sign(id_, hash_words({0x5050ULL, view_, working_seq_, value})));
   ctx.broadcast(payload);
@@ -82,7 +82,7 @@ void PbftNode::send_prepare(View view, std::uint64_t seq, Value value, Context& 
   Instance& inst = instance(view, seq);
   if (inst.sent_prepare) return;
   inst.sent_prepare = true;
-  const auto prepare = std::make_shared<const Prepare>(
+  const auto prepare = ctx.make_payload<Prepare>(
       view, seq, value,
       ctx.signer().sign(id_, hash_words({0x5052ULL, view, seq, value})));
   ctx.broadcast(prepare);
@@ -109,7 +109,7 @@ void PbftNode::maybe_prepare(View view, std::uint64_t seq, Context& ctx) {
 
   if (!inst.sent_commit) {
     inst.sent_commit = true;
-    const auto commit = std::make_shared<const Commit>(
+    const auto commit = ctx.make_payload<Commit>(
         view, seq, value,
         ctx.signer().sign(id_, hash_words({0x434dULL, view, seq, value})));
     ctx.broadcast(commit);
@@ -173,7 +173,7 @@ void PbftNode::initiate_view_change(View target, Context& ctx) {
     info.prepared_view = it->second.first;
     info.prepared_value = it->second.second;
   }
-  const auto vc = std::make_shared<const ViewChange>(
+  const auto vc = ctx.make_payload<ViewChange>(
       target, info.seq, info.has_prepared, info.prepared_view, info.prepared_value,
       ctx.signer().sign(id_, hash_words({0x5643ULL, target, info.seq,
                                          static_cast<std::uint64_t>(info.has_prepared),
@@ -218,7 +218,7 @@ void PbftNode::send_catch_up(NodeId dst, std::uint64_t from_seq, Context& ctx) {
     if (seq < from_seq || seq >= working_seq_) continue;
     if (!inst.committed.has_value()) continue;
     const Value value = *inst.committed;
-    ctx.send(dst, std::make_shared<const Commit>(
+    ctx.send(dst, ctx.make_payload<Commit>(
                       view, seq, value,
                       ctx.signer().sign(
                           id_, hash_words({0x434dULL, view, seq, value}))));
@@ -246,7 +246,7 @@ void PbftNode::maybe_complete_view_change(View target, Context& ctx) {
       best_value = info.prepared_value;
     }
   }
-  const auto nv = std::make_shared<const NewView>(
+  const auto nv = ctx.make_payload<NewView>(
       target, seq, has_prepared, best_value,
       ctx.signer().sign(id_, hash_words({0x4e56ULL, target, seq,
                                          static_cast<std::uint64_t>(has_prepared),

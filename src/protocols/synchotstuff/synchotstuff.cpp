@@ -44,7 +44,7 @@ void SyncHotStuffNode::propose(Context& ctx) {
   const Value value = hash_words({0x534850ULL, view_, height, id_});
   const Signature sig =
       ctx.signer().sign(id_, hash_words({0x5348ULL, height, view_, value}));
-  ctx.broadcast(make_payload<ShsProposal>(height, view_, value, sig));
+  ctx.broadcast(ctx.make_payload<ShsProposal>(height, view_, value, sig));
 }
 
 void SyncHotStuffNode::on_message(const Message& msg, Context& ctx) {
@@ -73,7 +73,7 @@ void SyncHotStuffNode::handle_proposal(const Message& msg, Context& ctx) {
     commit_timers_.clear();
     if (blamed_.mark(view_)) {
       const Signature sig = ctx.signer().sign(id_, hash_words({0x5342ULL, view_}));
-      ctx.broadcast(make_payload<ShsBlame>(view_, sig));
+      ctx.broadcast(ctx.make_payload<ShsBlame>(view_, sig));
     }
     return;
   }
@@ -90,7 +90,7 @@ void SyncHotStuffNode::handle_proposal(const Message& msg, Context& ctx) {
 
   const Signature vote_sig =
       ctx.signer().sign(id_, hash_words({0x5356ULL, m.height, m.view, m.value}));
-  ctx.broadcast(make_payload<ShsVote>(m.height, m.view, m.value, vote_sig));
+  ctx.broadcast(ctx.make_payload<ShsVote>(m.height, m.view, m.value, vote_sig));
 
   // The 2Δ commit rule: commit unless equivocation surfaces in time.
   commit_timers_[m.height] = ctx.set_timer(
@@ -138,7 +138,7 @@ void SyncHotStuffNode::on_timer(const TimerEvent& ev, Context& ctx) {
   if (ev.id != blame_timer_ || index != view_) return;
   blamed_.mark(view_);
   const Signature sig = ctx.signer().sign(id_, hash_words({0x5342ULL, view_}));
-  ctx.broadcast(make_payload<ShsBlame>(view_, sig));
+  ctx.broadcast(ctx.make_payload<ShsBlame>(view_, sig));
   restart_blame_timer(ctx);  // re-blame if the view refuses to die
 }
 

@@ -22,7 +22,7 @@ void TendermintNode::start_round(std::uint64_t round, Context& ctx) {
         id_, hash_words({0x5450ULL, height_, round_, value,
                          static_cast<std::uint64_t>(valid_round_)}));
     ctx.broadcast(
-        make_payload<TmProposal>(height_, round_, value, valid_round_, sig));
+        ctx.make_payload<TmProposal>(height_, round_, value, valid_round_, sig));
   }
   // timeout_propose: prevote nil if the proposer stays silent.
   ctx.set_timer(timeout_of(round_, ctx), tag_of(round_, Step::kPropose));
@@ -33,7 +33,7 @@ void TendermintNode::broadcast_prevote(Value value, Context& ctx) {
   step_ = Step::kPrevote;
   const Signature sig =
       ctx.signer().sign(id_, hash_words({0x5456ULL, height_, round_, value}));
-  ctx.broadcast(make_payload<TmPrevote>(height_, round_, value, sig));
+  ctx.broadcast(ctx.make_payload<TmPrevote>(height_, round_, value, sig));
   // timeout_prevote: precommit nil if no quorum materializes.
   ctx.set_timer(timeout_of(round_, ctx), tag_of(round_, Step::kPrevote));
 }
@@ -47,7 +47,7 @@ void TendermintNode::broadcast_precommit(Value value, Context& ctx) {
   }
   const Signature sig =
       ctx.signer().sign(id_, hash_words({0x5443ULL, height_, round_, value}));
-  ctx.broadcast(make_payload<TmPrecommit>(height_, round_, value, sig));
+  ctx.broadcast(ctx.make_payload<TmPrecommit>(height_, round_, value, sig));
   // timeout_precommit: advance to the next round if the height stalls.
   ctx.set_timer(timeout_of(round_, ctx), tag_of(round_, Step::kPrecommit));
 }

@@ -1,6 +1,7 @@
 // Implementation of the repeated-trial experiment driver. The serial and
 // parallel paths share one batch executor and one aggregation routine:
-// seeds are derived up front, per-run results land in a slot indexed by
+// each run's seed is a pure function of its repeat index (base.seed + i,
+// computed inside the task), per-run results land in a slot indexed by
 // repeat number, and summaries are computed from that vector in order —
 // which is what makes run_repeated_parallel() bit-identical to
 // run_repeated() regardless of worker count or scheduling.

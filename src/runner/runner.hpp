@@ -55,9 +55,11 @@ struct Aggregate {
 
 /// Parallel run_repeated: fans the `repeats` independent (config, seed)
 /// runs across `jobs` worker threads (0 = ThreadPool::default_workers()).
-/// Seeds are derived up front and results aggregated in submission order,
-/// and every run owns its own Simulation/RNG/Metrics, so the returned
-/// Aggregate is `equivalent()` to the serial one for any job count.
+/// Each run's seed is a pure function of its repeat index (base.seed + i,
+/// computed inside the task — scheduling cannot perturb it), results are
+/// aggregated in repeat order, and every run owns its own
+/// Simulation/RNG/Metrics, so the returned Aggregate is `equivalent()` to
+/// the serial one for any job count.
 [[nodiscard]] Aggregate run_repeated_parallel(const SimConfig& base,
                                               std::size_t repeats,
                                               std::size_t jobs);

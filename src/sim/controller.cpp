@@ -57,6 +57,7 @@ class Controller::NodeCtx final : public Context {
   Rng& rng() noexcept override { return c_.node_rngs_[id_]; }
   const Vrf& vrf() const noexcept override { return c_.vrf_; }
   const Signer& signer() const noexcept override { return c_.signer_; }
+  Arena& arena() noexcept override { return c_.arena_; }
 
  private:
   Controller& c_;
@@ -145,12 +146,12 @@ Controller::Controller(SimConfig cfg)
   std::sort(failstopped_.begin(), failstopped_.end());
 
   nodes_.resize(cfg_.n);
-  ctxs_.resize(cfg_.n);
+  ctxs_.reserve(cfg_.n);
   node_rngs_.reserve(cfg_.n);
   Rng node_seed = run_rng_.fork(0x6e6f6465);  // "node"
   for (NodeId i = 0; i < cfg_.n; ++i) {
     node_rngs_.push_back(node_seed.fork(i));
-    ctxs_[i] = std::make_unique<NodeCtx>(*this, i);
+    ctxs_.emplace_back(*this, i);
     if (!dead.contains(i)) nodes_[i] = info.create(i, cfg_);
   }
   decided_count_.assign(cfg_.n, 0);
@@ -166,8 +167,14 @@ Controller::Controller(SimConfig cfg)
 
   // Size the event queue for the steady-state backlog: every node can have
   // a broadcast in flight (n-1 deliveries each) plus timers; the heap's
-  // backing vector then recycles its slots for the rest of the run.
-  queue_.reserve(static_cast<std::size_t>(cfg_.n) * cfg_.n + 256);
+  // backing vector then recycles its slots for the rest of the run. The n²
+  // estimate is capped — at n=4096 it would pin ~1 GB of heap before the
+  // first event; beyond the cap the vector grows geometrically on demand,
+  // which changes nothing observable (heap order is capacity-independent).
+  constexpr std::size_t kMaxQueueReserve = std::size_t{1} << 18;
+  queue_.reserve(
+      std::min(static_cast<std::size_t>(cfg_.n) * cfg_.n, kMaxQueueReserve) +
+      256);
   if (cost_model_on_) cpu_charged_.reserve(256);
 
   attacker_ = make_attacker(cfg_);
@@ -266,8 +273,9 @@ void Controller::network_send(NodeId src, NodeId dst, PayloadPtr payload,
     return;
   }
   if (faults_ != nullptr && faults_->maybe_corrupt(now_)) {
-    in_flight.msg.payload =
-        std::make_shared<const CorruptedPayload>(std::move(in_flight.msg.payload));
+    in_flight.msg.payload = std::allocate_shared<CorruptedPayload>(
+        ArenaAllocator<CorruptedPayload>(&arena_),
+        std::move(in_flight.msg.payload));
     metrics_.on_corrupt();
   }
   schedule_network_delivery(std::move(in_flight.msg),
@@ -346,7 +354,8 @@ void Controller::network_broadcast(NodeId src, const PayloadPtr& payload,
       continue;
     }
     if (faults_ != nullptr && faults_->maybe_corrupt(now_)) {
-      in_flight.msg.payload = std::make_shared<const CorruptedPayload>(
+      in_flight.msg.payload = std::allocate_shared<CorruptedPayload>(
+          ArenaAllocator<CorruptedPayload>(&arena_),
           std::move(in_flight.msg.payload));
       metrics_.on_corrupt();
     }
@@ -432,7 +441,7 @@ void Controller::deliver_now(const Message& msg) {
   }
   if (is_corrupt(msg.dst)) return;  // attacker swallows its nodes' input
   BFTSIM_PROFILE_SCOPE(profile_, obs::ProfileComponent::kOnMessage);
-  nodes_[msg.dst]->on_message(msg, *ctxs_[msg.dst]);
+  nodes_[msg.dst]->on_message(msg, ctxs_[msg.dst]);
 }
 
 // ---------------------------------------------------------------------------
@@ -545,7 +554,7 @@ void Controller::dispatch(Event& ev) {
     case TimerOwner::kNode:
       if (is_live(fire.node) && !is_corrupt(fire.node)) {
         BFTSIM_PROFILE_SCOPE(profile_, obs::ProfileComponent::kOnTimer);
-        nodes_[fire.node]->on_timer(te, *ctxs_[fire.node]);
+        nodes_[fire.node]->on_timer(te, ctxs_[fire.node]);
       }
       break;
     case TimerOwner::kAttacker: {
@@ -570,7 +579,7 @@ RunResult Controller::run() {
 
   attacker_->on_start(*atk_ctx_);
   for (NodeId i = 0; i < cfg_.n; ++i) {
-    if (is_live(i)) nodes_[i]->on_start(*ctxs_[i]);
+    if (is_live(i)) nodes_[i]->on_start(ctxs_[i]);
   }
   check_termination();  // degenerate configs (decisions == 0 is rejected)
 

@@ -25,6 +25,13 @@ class MockContext final : public Context {
     std::uint64_t tag = 0;
   };
 
+ private:
+  // First data member on purpose: members destroy in reverse declaration
+  // order, and the arena must outlive `sent` (whose PayloadPtrs may point
+  // into it).
+  Arena arena_;
+
+ public:
   MockContext(NodeId id, std::uint32_t n, std::uint32_t f, Time lambda)
       : id_(id), n_(n), f_(f), lambda_(lambda), rng_(id + 1), vrf_(7), signer_(7) {}
 
@@ -55,6 +62,7 @@ class MockContext final : public Context {
   Rng& rng() noexcept override { return rng_; }
   const Vrf& vrf() const noexcept override { return vrf_; }
   const Signer& signer() const noexcept override { return signer_; }
+  Arena& arena() noexcept override { return arena_; }
 
   // --- test driving helpers -----------------------------------------------------
   void advance_to(Time t) noexcept { now_ = t; }

@@ -3,9 +3,65 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 namespace bftsim {
 namespace {
+
+TEST(VoterSetTest, InsertContainsAndDuplicates) {
+  VoterSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.insert(5));
+  EXPECT_FALSE(set.insert(5));
+  EXPECT_TRUE(set.insert(0));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_FALSE(set.empty());
+  EXPECT_TRUE(set.contains(0));
+  EXPECT_TRUE(set.contains(5));
+  EXPECT_FALSE(set.contains(1));
+  EXPECT_FALSE(set.contains(10'000));  // beyond any allocated word
+}
+
+TEST(VoterSetTest, WordBoundaryIds) {
+  // 63/64/65 straddle the first word boundary of the bitmap; 4095 is the
+  // last id of a full n=4096 membership.
+  VoterSet set;
+  for (const NodeId id : {63u, 64u, 65u, 127u, 128u, 4095u}) {
+    EXPECT_TRUE(set.insert(id)) << id;
+    EXPECT_FALSE(set.insert(id)) << id;
+    EXPECT_TRUE(set.contains(id)) << id;
+  }
+  EXPECT_EQ(set.size(), 6u);
+  EXPECT_FALSE(set.contains(62));
+  EXPECT_FALSE(set.contains(66));
+  EXPECT_FALSE(set.contains(4094));
+}
+
+TEST(VoterSetTest, IteratesAscendingRegardlessOfInsertOrder) {
+  // Certificate signer lists are built via assign(begin, end) and must be
+  // ascending whatever order the votes arrived in.
+  VoterSet set;
+  for (const NodeId id : {300u, 7u, 64u, 0u, 4095u, 63u, 128u}) set.insert(id);
+  std::vector<NodeId> out(set.begin(), set.end());
+  const std::vector<NodeId> expected{0, 7, 63, 64, 128, 300, 4095};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(VoterSetTest, EmptyIteration) {
+  VoterSet set;
+  EXPECT_EQ(set.begin(), set.end());
+  std::vector<NodeId> out(set.begin(), set.end());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(VoterSetTest, DenseMembership) {
+  VoterSet set;
+  for (NodeId id = 0; id < 1000; ++id) EXPECT_TRUE(set.insert(id));
+  EXPECT_EQ(set.size(), 1000u);
+  NodeId expected = 0;
+  for (const NodeId id : set) EXPECT_EQ(id, expected++);
+  EXPECT_EQ(expected, 1000u);
+}
 
 TEST(QuorumTrackerTest, CountsDistinctVoters) {
   QuorumTracker<int> tracker;

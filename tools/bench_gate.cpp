@@ -8,9 +8,23 @@
 // i.e. 25%) below its reference. Faster-than-reference results always
 // pass — the gate only guards against regressions.
 //
+// When both files carry a "scaling" array (the n-scaling curve, see
+// docs/SCALING.md), each matched point is gated twice: events/sec must
+// stay above the --tolerance floor, and bytes_per_node must stay below
+// the --mem-tolerance ceiling (default 0.35). Memory points whose
+// reference is under 4 KiB/node are skipped — at that size the reading is
+// page-granularity noise, not a budget. The events/sec floor is likewise
+// skipped for points whose reference run lasted under 0.1 s: a
+// tens-of-milliseconds run flaps well past any sane tolerance on a busy
+// machine, and small-n speed is already gated by the engine_throughput
+// workloads (whose runs are repeated, not one-shot). Memory stays gated
+// at every size — the allocation sequence is deterministic, so bytes/node
+// is stable even when the wall clock is not. Files without a scaling
+// section gate workloads only, so the two checks roll out independently.
+//
 // Usage:
 //   bench_gate --current micro.json --reference BENCH_engine.json
-//              [--tolerance 0.25]
+//              [--tolerance 0.25] [--mem-tolerance 0.35]
 //
 // Exit codes: 0 pass, 1 regression detected, 2 usage/input error.
 #include <algorithm>
@@ -30,7 +44,7 @@ using bftsim::json::Value;
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --current micro.json --reference BENCH_engine.json\n"
-               "          [--tolerance 0.25]\n",
+               "          [--tolerance 0.25] [--mem-tolerance 0.35]\n",
                argv0);
   std::exit(2);
 }
@@ -47,12 +61,45 @@ struct Reference {
   double events_per_sec = 0.0;
 };
 
+/// One point of the n-scaling curve (reference or measured).
+struct ScalePoint {
+  std::string protocol;
+  std::int64_t n = 0;
+  double events_per_sec = 0.0;
+  double bytes_per_node = 0.0;
+  double wall_seconds = 0.0;
+};
+
+/// Memory references below this are page-granularity noise, not budgets.
+constexpr double kMinGatedBytesPerNode = 4096.0;
+
+/// Speed references from runs shorter than this are scheduling noise;
+/// only their memory side is gated.
+constexpr double kMinGatedWallSeconds = 0.1;
+
+std::vector<ScalePoint> parse_scaling(const Value& doc) {
+  std::vector<ScalePoint> points;
+  const Value* rows = doc.as_object().find("scaling");
+  if (rows == nullptr || !rows->is_array()) return points;
+  for (const Value& row : rows->as_array()) {
+    ScalePoint p;
+    p.protocol = row.get_string("protocol", "");
+    p.n = row.get_int("n", 0);
+    p.events_per_sec = row.get_number("events_per_sec", 0.0);
+    p.bytes_per_node = row.get_number("bytes_per_node", 0.0);
+    p.wall_seconds = row.get_number("wall_seconds", 0.0);
+    if (!p.protocol.empty() && p.n > 0) points.push_back(std::move(p));
+  }
+  return points;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string current_path;
   std::string reference_path;
   double tolerance = 0.25;
+  double mem_tolerance = 0.35;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -66,6 +113,8 @@ int main(int argc, char** argv) {
       reference_path = next();
     } else if (arg == "--tolerance") {
       tolerance = std::strtod(next(), nullptr);
+    } else if (arg == "--mem-tolerance") {
+      mem_tolerance = std::strtod(next(), nullptr);
     } else {
       usage(argv[0]);
     }
@@ -73,6 +122,10 @@ int main(int argc, char** argv) {
   if (current_path.empty() || reference_path.empty()) usage(argv[0]);
   if (tolerance <= 0.0 || tolerance >= 1.0) {
     std::fprintf(stderr, "tolerance must be in (0, 1)\n");
+    return 2;
+  }
+  if (mem_tolerance <= 0.0) {
+    std::fprintf(stderr, "mem-tolerance must be positive\n");
     return 2;
   }
 
@@ -103,16 +156,17 @@ int main(int argc, char** argv) {
       }
     }
 
+    // A current file may carry engine_throughput rows, a scaling curve, or
+    // both (micro_engine --only-scaling records just the curve); gate
+    // whatever is present and fail only when there is nothing to compare.
     const Value* rows = current_doc.as_object().find("engine_throughput");
-    if (rows == nullptr) {
-      std::fprintf(stderr, "%s: no \"engine_throughput\" array\n",
-                   current_path.c_str());
-      return 2;
-    }
+    const bftsim::json::Array empty_rows;
+    const bftsim::json::Array& throughput_rows =
+        rows != nullptr ? rows->as_array() : empty_rows;
 
     int regressions = 0;
     int compared = 0;
-    for (const Value& row : rows->as_array()) {
+    for (const Value& row : throughput_rows) {
       const std::string protocol = row.get_string("protocol", "");
       const std::int64_t n = row.get_int("n", 0);
       const double measured = row.get_number("events_per_sec", 0.0);
@@ -140,18 +194,70 @@ int main(int argc, char** argv) {
       }
     }
 
-    if (compared == 0) {
-      std::fprintf(stderr, "no workloads matched between %s and %s\n",
+    // --- n-scaling curve: throughput floor + bytes/node ceiling ----------
+    const std::vector<ScalePoint> scale_refs = parse_scaling(reference_doc);
+    const std::vector<ScalePoint> scale_cur = parse_scaling(current_doc);
+    int scale_compared = 0;
+    if (!scale_refs.empty() && !scale_cur.empty()) {
+      for (const ScalePoint& cur : scale_cur) {
+        const auto ref = std::find_if(
+            scale_refs.begin(), scale_refs.end(), [&](const ScalePoint& r) {
+              return r.protocol == cur.protocol && r.n == cur.n;
+            });
+        if (ref == scale_refs.end()) {
+          std::printf("SKIP  scale %-12s n=%-5lld (no reference)\n",
+                      cur.protocol.c_str(), static_cast<long long>(cur.n));
+          continue;
+        }
+        ++scale_compared;
+        bool ok = true;
+        const bool speed_gated = ref->events_per_sec > 0.0 &&
+                                 ref->wall_seconds >= kMinGatedWallSeconds;
+        if (speed_gated &&
+            cur.events_per_sec < (1.0 - tolerance) * ref->events_per_sec) {
+          ok = false;
+          ++regressions;
+          std::printf("FAIL  scale %-12s n=%-5lld %10.0f ev/s vs ref %.0f "
+                      "(%.0f%%)\n",
+                      cur.protocol.c_str(), static_cast<long long>(cur.n),
+                      cur.events_per_sec, ref->events_per_sec,
+                      100.0 * cur.events_per_sec / ref->events_per_sec);
+        }
+        if (ref->bytes_per_node >= kMinGatedBytesPerNode &&
+            cur.bytes_per_node > (1.0 + mem_tolerance) * ref->bytes_per_node) {
+          ok = false;
+          ++regressions;
+          std::printf("FAIL  scale %-12s n=%-5lld %10.0f bytes/node vs ref "
+                      "%.0f (%.0f%%)\n",
+                      cur.protocol.c_str(), static_cast<long long>(cur.n),
+                      cur.bytes_per_node, ref->bytes_per_node,
+                      100.0 * cur.bytes_per_node / ref->bytes_per_node);
+        }
+        if (ok) {
+          std::printf("OK    scale %-12s n=%-5lld %10.0f ev/s%s, %8.0f "
+                      "bytes/node\n",
+                      cur.protocol.c_str(), static_cast<long long>(cur.n),
+                      cur.events_per_sec,
+                      speed_gated ? "" : " (ungated: ref run < 0.1 s)",
+                      cur.bytes_per_node);
+        }
+      }
+    }
+
+    if (compared == 0 && scale_compared == 0) {
+      std::fprintf(stderr, "nothing matched between %s and %s\n",
                    current_path.c_str(), reference_path.c_str());
       return 2;
     }
     if (regressions > 0) {
-      std::fprintf(stderr, "%d of %d workloads regressed >%.0f%%\n",
-                   regressions, compared, 100.0 * tolerance);
+      std::fprintf(stderr, "%d of %d comparisons regressed (>%.0f%% slower "
+                   "or >%.0f%% more memory)\n",
+                   regressions, compared + scale_compared, 100.0 * tolerance,
+                   100.0 * mem_tolerance);
       return 1;
     }
-    std::printf("all %d workloads within %.0f%% of reference\n", compared,
-                100.0 * tolerance);
+    std::printf("all %d workloads and %d scaling points within tolerance\n",
+                compared, scale_compared);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_gate: %s\n", e.what());
