@@ -4,8 +4,12 @@
 // experiment-runner comparison and an n-scaling curve (events/sec and
 // resident bytes/node at n up to 4096; see docs/SCALING.md), all written
 // to a JSON file (default micro_engine.json; --json PATH to move, --jobs N
-// to size the pool, --skip-micro to run only the measurements,
-// --skip-scaling to omit the curve, --only-scaling to record just it).
+// to size the pool, --intra-jobs N to size the windowed-parallel driver,
+// --skip-micro to run only the measurements, --skip-scaling to omit the
+// curve, --skip-intra to omit the windowed intra-run speedup,
+// --only-scaling to record just the curve). Every record carries the
+// actual hardware thread count so bench_gate can refuse cross-machine
+// comparisons.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -258,13 +262,85 @@ json::Value measure_scaling_curve() {
   return json::Value{std::move(rows)};
 }
 
+/// Times the windowed-parallel driver against its own serial baseline
+/// (engine.rng = "per_node", intra_jobs = 1) on large single runs — the
+/// intra-run counterpart of the run_repeated comparison below. Both modes
+/// execute the identical per-node-RNG semantics, so the results must be
+/// bit-identical; speedup tracks the machine (~1x on one core). See
+/// docs/PARALLELISM.md.
+json::Value measure_intra_speedup(std::uint32_t intra_jobs) {
+  struct Workload {
+    const char* protocol;
+    std::uint32_t n;
+    std::uint32_t decisions;
+  };
+  const Workload workloads[] = {
+      {"pbft", 4096, 1},
+      {"hotstuff-ns", 4096, 10},
+  };
+
+  std::printf("\n--- windowed intra-run speedup (single run, intra_jobs=%u) ---\n",
+              intra_jobs);
+  json::Array rows;
+  for (const Workload& w : workloads) {
+    SimConfig cfg;
+    cfg.protocol = w.protocol;
+    cfg.n = w.n;
+    cfg.lambda_ms = 1000;
+    cfg.delay = DelaySpec::normal(250, 50);
+    cfg.decisions = w.decisions;
+    cfg.seed = 1;
+    cfg.engine.rng = EngineConfig::RngMode::kPerNode;
+
+    cfg.engine.intra_jobs = 1;
+    const auto serial_start = std::chrono::steady_clock::now();
+    const RunResult serial = run_simulation(cfg);
+    const double serial_seconds = seconds_since(serial_start);
+
+    cfg.engine.intra_jobs = intra_jobs;
+    const auto parallel_start = std::chrono::steady_clock::now();
+    const RunResult parallel = run_simulation(cfg);
+    const double parallel_seconds = seconds_since(parallel_start);
+
+    const bool identical =
+        serial.events_processed == parallel.events_processed &&
+        serial.messages_sent == parallel.messages_sent &&
+        serial.messages_delivered == parallel.messages_delivered &&
+        serial.termination_time == parallel.termination_time &&
+        serial.decisions.size() == parallel.decisions.size();
+    const double speedup =
+        parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+    std::printf("%-12s n=%-5u serial %7.3f s, intra_jobs=%u %7.3f s -> "
+                "%.2fx%s\n",
+                w.protocol, w.n, serial_seconds, intra_jobs, parallel_seconds,
+                speedup, identical ? "" : "  [RESULTS DIVERGE — bug]");
+
+    json::Object row;
+    row["protocol"] = w.protocol;
+    row["n"] = static_cast<std::int64_t>(w.n);
+    row["decisions"] = static_cast<std::int64_t>(w.decisions);
+    row["events_processed"] =
+        static_cast<double>(serial.events_processed);
+    row["serial_seconds"] = serial_seconds;
+    row["parallel_seconds"] = parallel_seconds;
+    row["speedup"] = speedup;
+    row["identical"] = identical;
+    rows.push_back(json::Value{std::move(row)});
+  }
+  json::Object o;
+  o["intra_jobs"] = static_cast<std::int64_t>(intra_jobs);
+  o["workloads"] = json::Value{std::move(rows)};
+  return json::Value{std::move(o)};
+}
+
 /// Times run_repeated vs run_repeated_parallel on the same workload,
 /// checks the aggregates are equivalent, prints the comparison, and
 /// writes it to `json_path`. Speedup tracks the machine: ~min(jobs,
 /// cores)× on idle multi-core hosts, ~1× on a single core.
 void measure_parallel_speedup(const std::string& json_path, std::size_t jobs,
                               std::size_t repeats, json::Value engine_throughput,
-                              json::Value scaling) {
+                              json::Value scaling, json::Value intra_speedup,
+                              std::uint32_t intra_jobs) {
   SimConfig cfg;
   cfg.protocol = "pbft";
   cfg.n = 32;
@@ -304,6 +380,7 @@ void measure_parallel_speedup(const std::string& json_path, std::size_t jobs,
   o["jobs"] = static_cast<std::int64_t>(jobs);
   o["hardware_threads"] =
       static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  o["intra_jobs"] = static_cast<std::int64_t>(intra_jobs);
   o["serial_seconds"] = serial_seconds;
   o["parallel_seconds"] = parallel_seconds;
   o["speedup"] = speedup;
@@ -312,6 +389,7 @@ void measure_parallel_speedup(const std::string& json_path, std::size_t jobs,
   o["parallel_aggregate"] = aggregate_to_json(parallel);
   o["engine_throughput"] = std::move(engine_throughput);
   if (scaling.is_array()) o["scaling"] = std::move(scaling);
+  if (intra_speedup.is_object()) o["intra_speedup"] = std::move(intra_speedup);
   write_json_file(json_path, json::Value{std::move(o)});
   std::printf("[speedup record written to %s]\n", json_path.c_str());
 }
@@ -321,9 +399,11 @@ void measure_parallel_speedup(const std::string& json_path, std::size_t jobs,
 int main(int argc, char** argv) {
   std::string json_path = "micro_engine.json";
   std::size_t jobs = 4;
+  std::uint32_t intra_jobs = 8;
   std::size_t repeats = 64;
   bool run_micro = true;
   bool run_scaling = true;
+  bool run_intra = true;
   bool only_scaling = false;
   if (const char* env = std::getenv("BFTSIM_JOBS")) {
     const long value = std::strtol(env, nullptr, 10);
@@ -337,6 +417,11 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--intra-jobs") == 0 && i + 1 < argc) {
+      intra_jobs =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--skip-intra") == 0) {
+      run_intra = false;
     } else if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
       repeats = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--skip-micro") == 0) {
@@ -351,11 +436,17 @@ int main(int argc, char** argv) {
   }
   argc = kept;
   if (jobs == 0) jobs = bftsim::ThreadPool::default_workers();
+  if (intra_jobs == 0) {
+    intra_jobs =
+        static_cast<std::uint32_t>(bftsim::ThreadPool::default_workers());
+  }
   bench::require_writable(json_path);
 
   if (only_scaling) {
     json::Object o;
     o["bench"] = "micro_engine";
+    o["hardware_threads"] =
+        static_cast<std::int64_t>(std::thread::hardware_concurrency());
     o["scaling"] = measure_scaling_curve();
     write_json_file(json_path, json::Value{std::move(o)});
     std::printf("[scaling curve written to %s]\n", json_path.c_str());
@@ -367,7 +458,10 @@ int main(int argc, char** argv) {
   if (run_micro) benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  measure_parallel_speedup(json_path, jobs, repeats, measure_engine_throughput(),
-                           run_scaling ? measure_scaling_curve() : json::Value{});
+  measure_parallel_speedup(
+      json_path, jobs, repeats, measure_engine_throughput(),
+      run_scaling ? measure_scaling_curve() : json::Value{},
+      run_intra ? measure_intra_speedup(intra_jobs) : json::Value{},
+      intra_jobs);
   return 0;
 }

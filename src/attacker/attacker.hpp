@@ -87,6 +87,13 @@ class Attacker {
 
   /// Called when an attacker-registered time event fires.
   virtual void on_timer(const TimerEvent& /*ev*/, AttackerContext& /*ctx*/) {}
+
+  /// True when attack() is a guaranteed no-op (delivers every message
+  /// unmodified and never touches the context). Lets the controller skip
+  /// materializing a Message per transmission on attack-free runs, and
+  /// gates the windowed-parallel driver (which cannot order a global
+  /// attacker's observations deterministically across lanes).
+  [[nodiscard]] virtual bool is_passive() const noexcept { return false; }
 };
 
 /// The no-op attacker used when no attack scenario is configured.
@@ -95,6 +102,7 @@ class NullAttacker final : public Attacker {
   Disposition attack(MessageInFlight&, AttackerContext&) override {
     return Disposition::kDeliver;
   }
+  bool is_passive() const noexcept override { return true; }
 };
 
 }  // namespace bftsim

@@ -10,6 +10,7 @@ namespace bftsim::baseline {
 
 PacketLevelController::PacketLevelController(SimConfig cfg, LinkModel link)
     : Controller(std::move(cfg)), link_(link) {
+  custom_delivery_hook_ = true;
   per_packet_serialize_ = serialization_time(link_.mtu_bytes);
   switch_latency_ = from_ms(link_.switch_latency_ms);
   crypto_verify_ = from_ms(link_.crypto_verify_ms);

@@ -82,6 +82,36 @@ CostModel CostModel::from_json(const json::Value& v, const std::string& path) {
   return cost;
 }
 
+json::Value EngineConfig::to_json() const {
+  json::Object o;
+  o["intra_jobs"] = static_cast<std::int64_t>(intra_jobs);
+  switch (rng) {
+    case RngMode::kAuto: o["rng"] = std::string("auto"); break;
+    case RngMode::kStream: o["rng"] = std::string("stream"); break;
+    case RngMode::kPerNode: o["rng"] = std::string("per_node"); break;
+  }
+  return json::Value{std::move(o)};
+}
+
+EngineConfig EngineConfig::from_json(const json::Value& v,
+                                     const std::string& path) {
+  require_keys(v, path, {"intra_jobs", "rng"});
+  EngineConfig engine;
+  engine.intra_jobs = static_cast<std::uint32_t>(cfgcheck::int_in(
+      v, path, "intra_jobs", engine.intra_jobs, 1, kMaxIntraJobs));
+  const std::string mode = v.get_string("rng", "auto");
+  if (mode == "auto") {
+    engine.rng = RngMode::kAuto;
+  } else if (mode == "stream") {
+    engine.rng = RngMode::kStream;
+  } else if (mode == "per_node") {
+    engine.rng = RngMode::kPerNode;
+  } else {
+    fail(path + ".rng", "unknown rng mode \"" + mode + "\"");
+  }
+  return engine;
+}
+
 void SimConfig::validate() const {
   if (n == 0) throw std::invalid_argument("config: n must be positive");
   if (honest > n) throw std::invalid_argument("config: honest > n");
@@ -98,6 +128,25 @@ void SimConfig::validate() const {
   }
   if (cost.verify_ms < 0 || cost.sign_ms < 0) {
     throw std::invalid_argument("config: negative computation cost");
+  }
+  if (engine.intra_jobs < 1 || engine.intra_jobs > EngineConfig::kMaxIntraJobs) {
+    throw std::invalid_argument("config: engine.intra_jobs out of [1, 128]");
+  }
+  if (engine.rng == EngineConfig::RngMode::kStream && engine.intra_jobs > 1) {
+    throw std::invalid_argument(
+        "config: engine.rng \"stream\" is serial-only; use \"auto\" or "
+        "\"per_node\" with engine.intra_jobs > 1");
+  }
+  if (engine.per_node_rng() && !attack.empty()) {
+    throw std::invalid_argument(
+        "config: windowed-parallel execution (engine.intra_jobs > 1 or "
+        "engine.rng \"per_node\") requires an attack-free run — a global "
+        "attacker's observation order is not lane-independent");
+  }
+  if (engine.per_node_rng() && obs.timeline_enabled()) {
+    throw std::invalid_argument(
+        "config: the run timeline sampler is serial-only; disable "
+        "obs.timeline_tick_ms or engine parallelism");
   }
   faults.validate(n);
   obs.validate();
@@ -123,6 +172,7 @@ json::Value SimConfig::to_json() const {
   o["record_trace"] = record_trace;
   o["record_views"] = record_views;
   if (obs.enabled()) o["obs"] = obs.to_json();
+  if (engine.active()) o["engine"] = engine.to_json();
   return json::Value{std::move(o)};
 }
 
@@ -131,7 +181,7 @@ SimConfig SimConfig::from_json(const json::Value& v) {
                {"protocol", "n", "honest", "lambda_ms", "delay", "seed",
                 "decisions", "max_time_ms", "max_events", "attack",
                 "attack_params", "protocol_params", "cost", "topology",
-                "faults", "record_trace", "record_views", "obs"});
+                "faults", "record_trace", "record_views", "obs", "engine"});
   SimConfig cfg;
   cfg.protocol = v.get_string("protocol", cfg.protocol);
   cfg.n = static_cast<std::uint32_t>(cfgcheck::int_in(v, "$", "n", cfg.n, 1, 1'000'000));
@@ -177,6 +227,9 @@ SimConfig SimConfig::from_json(const json::Value& v) {
   cfg.record_views = v.get_bool("record_views", cfg.record_views);
   if (const json::Value* o = v.as_object().find("obs")) {
     cfg.obs = ObsConfig::from_json(*o, "$.obs");
+  }
+  if (const json::Value* e = v.as_object().find("engine")) {
+    cfg.engine = EngineConfig::from_json(*e, "$.engine");
   }
   cfg.validate();
   return cfg;

@@ -65,6 +65,42 @@ struct CostModel {
                                            const std::string& path = "$.cost");
 };
 
+/// Execution-engine knobs: how a run executes, never what it computes.
+/// intra_jobs > 1 selects the windowed-parallel driver (sim/windowed.cpp),
+/// which partitions nodes across lanes and executes bounded-lookahead time
+/// windows concurrently. Results are bit-identical for every intra_jobs
+/// value >= 1 under the per-node RNG mode; they differ from the legacy
+/// single-stream mode only in which RNG stream each delay draw comes from
+/// (see docs/PARALLELISM.md).
+struct EngineConfig {
+  /// Where network-delay / corruption draws come from.
+  ///  - kAuto:    stream when intra_jobs == 1, per-node otherwise (default);
+  ///  - kStream:  the legacy single shared stream (serial only);
+  ///  - kPerNode: one forked stream per sending node — the windowed
+  ///    algorithm even at intra_jobs == 1, giving a serial baseline that is
+  ///    bit-identical to every parallel lane count.
+  enum class RngMode : std::uint8_t { kAuto, kStream, kPerNode };
+  static constexpr std::uint32_t kMaxIntraJobs = 128;
+
+  std::uint32_t intra_jobs = 1;  ///< worker lanes for one run; 1 = serial
+  RngMode rng = RngMode::kAuto;
+
+  /// True when the run uses per-node RNG streams (and thus the windowed
+  /// driver), either explicitly or via kAuto + intra_jobs > 1.
+  [[nodiscard]] bool per_node_rng() const noexcept {
+    return rng == RngMode::kPerNode ||
+           (rng == RngMode::kAuto && intra_jobs > 1);
+  }
+  /// True when any knob differs from the defaults (gates JSON emission).
+  [[nodiscard]] bool active() const noexcept {
+    return intra_jobs != 1 || rng != RngMode::kAuto;
+  }
+
+  [[nodiscard]] json::Value to_json() const;
+  [[nodiscard]] static EngineConfig from_json(const json::Value& v,
+                                              const std::string& path = "$.engine");
+};
+
 /// Full configuration of one simulation run.
 struct SimConfig {
   /// Registered protocol name: "addv1", "addv2", "addv3", "algorand",
@@ -101,6 +137,10 @@ struct SimConfig {
   /// Observability: trace sink selection (memory/jsonl/binary) and the
   /// run-timeline sampler; all default-off. See docs/OBSERVABILITY.md.
   ObsConfig obs;
+
+  /// Execution engine: intra-run parallelism and RNG layout. Changing these
+  /// never changes which protocol states are reachable — see EngineConfig.
+  EngineConfig engine;
 
   /// Number of live (non-fail-stopped) nodes.
   [[nodiscard]] std::uint32_t live_nodes() const noexcept {

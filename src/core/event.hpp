@@ -20,9 +20,16 @@ namespace bftsim {
 /// fault injector's crash/recover and link up/down transitions.
 enum class TimerOwner : std::uint8_t { kNode, kAttacker, kSystem, kFault };
 
-/// A message event: `msg` is delivered to `msg.dst`.
+/// A message event: the envelope at store index `env` materializes into a
+/// Message and is delivered to `dst`. The 8-byte handle replaces the full
+/// Message the event used to carry — the payload, source, send time and id
+/// live once per transmission in the controller's EnvelopeStore (a
+/// broadcast's n-1 deliveries share one envelope; see net/envelope.hpp).
+/// Windowed-parallel runs pack the owning lane into the handle's high bits
+/// (see sim/windowed.cpp).
 struct MessageDelivery {
-  Message msg;
+  std::uint32_t env = 0;
+  NodeId dst = kNoNode;
 };
 
 /// A time event: timer `timer` with user `tag` fires for its owner.

@@ -57,6 +57,32 @@ class Metrics {
   void on_decision(Decision d) { decisions_.push_back(d); }
   void on_view(ViewRecord v) { views_.push_back(v); }
 
+  /// Adds another Metrics' counters and per-type counts into this one. The
+  /// windowed-parallel driver accumulates per-lane deltas and folds them in
+  /// at each window barrier (sums commute, so the result is lane-count
+  /// independent). Ordered records (decisions_/views_) are deliberately NOT
+  /// merged — they need deterministic ordering, which the driver provides
+  /// by sorting its own product buffers before calling on_decision/on_view.
+  void absorb(const Metrics& delta) {
+    messages_sent_ += delta.messages_sent_;
+    bytes_sent_ += delta.bytes_sent_;
+    messages_delivered_ += delta.messages_delivered_;
+    messages_dropped_ += delta.messages_dropped_;
+    messages_injected_ += delta.messages_injected_;
+    messages_corrupted_ += delta.messages_corrupted_;
+    timers_fired_ += delta.timers_fired_;
+    events_processed_ += delta.events_processed_;
+    if (typed_counts_.size() < delta.typed_counts_.size()) {
+      typed_counts_.resize(delta.typed_counts_.size(), 0);
+    }
+    for (std::size_t i = 0; i < delta.typed_counts_.size(); ++i) {
+      typed_counts_[i] += delta.typed_counts_[i];
+    }
+    for (const auto& [type, count] : delta.untyped_counts_) {
+      untyped_counts_[type] += count;
+    }
+  }
+
   [[nodiscard]] std::uint64_t messages_sent() const noexcept { return messages_sent_; }
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
   [[nodiscard]] std::uint64_t messages_delivered() const noexcept { return messages_delivered_; }

@@ -19,6 +19,7 @@ ThreadPool::~ThreadPool() {
     const std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
   }
+  stop_flag_.store(true, std::memory_order_release);
   work_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
 }
@@ -28,7 +29,20 @@ void ThreadPool::submit(std::function<void()> task) {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
   }
+  ready_.fetch_add(1, std::memory_order_release);
   work_cv_.notify_one();
+}
+
+void ThreadPool::submit_batch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::function<void()>& task : tasks) {
+      queue_.push_back(std::move(task));
+    }
+  }
+  ready_.fetch_add(tasks.size(), std::memory_order_release);
+  work_cv_.notify_all();
 }
 
 void ThreadPool::wait_idle() {
@@ -49,6 +63,20 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
+    // Spin-then-park: watch the lock-free mirrors briefly before taking the
+    // mutex, so a barrier-cadenced producer (the windowed engine) re-wakes
+    // workers without a futex round trip per window.
+    for (int spin = 0; spin < kSpinIters; ++spin) {
+      if (ready_.load(std::memory_order_acquire) > 0 ||
+          stop_flag_.load(std::memory_order_acquire)) {
+        break;
+      }
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#elif defined(__aarch64__)
+      asm volatile("yield");
+#endif
+    }
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
@@ -56,6 +84,7 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      ready_.fetch_sub(1, std::memory_order_relaxed);
       ++in_flight_;
     }
     std::exception_ptr error;
@@ -100,8 +129,10 @@ void parallel_for(ThreadPool& pool, std::size_t count,
   } shared;
   shared.errors.resize(count);
 
+  std::vector<std::function<void()>> batch;
+  batch.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    pool.submit([&shared, &fn, i, count] {
+    batch.push_back([&shared, &fn, i, count] {
       try {
         fn(i);
       } catch (...) {
@@ -111,6 +142,7 @@ void parallel_for(ThreadPool& pool, std::size_t count,
       if (++shared.done == count) shared.done_cv.notify_all();
     });
   }
+  pool.submit_batch(std::move(batch));
 
   std::unique_lock<std::mutex> lock(shared.mutex);
   shared.done_cv.wait(lock, [&shared, count] { return shared.done == count; });

@@ -6,6 +6,7 @@
 // and joins every worker.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -34,6 +35,12 @@ class ThreadPool {
   /// deterministic per-index propagation for batch work.
   void submit(std::function<void()> task);
 
+  /// Enqueues every task in `tasks` under ONE queue lock and one
+  /// notify_all. The windowed-parallel engine submits a lane batch at
+  /// every window barrier; per-task submit() would take the lock (and wake
+  /// the workers) once per lane per window.
+  void submit_batch(std::vector<std::function<void()>> tasks);
+
   /// Blocks until every task submitted so far has finished (the queue is
   /// empty and no worker is mid-task). If any task threw since the last
   /// call, rethrows the first captured exception; how many further task
@@ -60,6 +67,13 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  /// Bounded spin iterations an idle worker burns watching ready_ before
+  /// parking on the condition variable. Windowed-parallel barriers resubmit
+  /// work within microseconds; a short spin turns the park/unpark round
+  /// trip (two syscalls per lane per window) into a pair of atomic loads.
+  /// Small enough that a genuinely idle pool parks almost immediately.
+  static constexpr int kSpinIters = 4096;
+
   std::mutex mutex_;
   std::condition_variable work_cv_;  ///< signals workers: task or shutdown
   std::condition_variable idle_cv_;  ///< signals wait_idle(): drained
@@ -67,6 +81,9 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::size_t in_flight_ = 0;  ///< tasks popped but not yet finished
   bool stopping_ = false;
+  /// Lock-free mirrors of queue_.size() / stopping_ for the spin phase.
+  std::atomic<std::size_t> ready_{0};
+  std::atomic<bool> stop_flag_{false};
   std::exception_ptr first_error_;  ///< first escaped task exception
   std::size_t suppressed_errors_ = 0;  ///< escaped exceptions after the first
   std::size_t last_suppressed_ = 0;    ///< suppressed count of last rethrow

@@ -71,6 +71,23 @@ bool FaultInjector::maybe_corrupt(Time now) {
   return corrupt_rng_.next_double() < corruption_.rate;
 }
 
+void FaultInjector::fork_corruption_streams(std::uint32_t n) {
+  if (!corruption_.enabled()) return;
+  corrupt_streams_.clear();
+  corrupt_streams_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    corrupt_streams_.push_back(corrupt_rng_.fork(i));
+  }
+}
+
+bool FaultInjector::maybe_corrupt_from(Time now, NodeId src) {
+  if (!corruption_.enabled()) return false;
+  if (now < corrupt_start_) return false;
+  if (corrupt_end_ != kNoTime && now >= corrupt_end_) return false;
+  assert(src < corrupt_streams_.size());
+  return corrupt_streams_[src].next_double() < corruption_.rate;
+}
+
 Time FaultInjector::adjust_timer_delay(NodeId node, Time delay) const noexcept {
   if (!clock_enabled_) return delay;
   const double drifted = static_cast<double>(delay) * clock_drift_[node];

@@ -97,6 +97,19 @@ class FaultInjector {
   /// to corruption-free ones.
   [[nodiscard]] bool maybe_corrupt(Time now);
 
+  /// Splits the corruption stream into one sub-stream per sending node
+  /// (windowed-parallel execution: the shared stream's draw order would
+  /// depend on lane interleaving). Call once, before the run starts; a
+  /// no-op when corruption is disabled. Stream i is corrupt_rng_.fork(i),
+  /// forked in node order, so the layout depends only on the seed.
+  void fork_corruption_streams(std::uint32_t n);
+
+  /// Per-sender flavor of maybe_corrupt for windowed-parallel runs; draws
+  /// from `src`'s sub-stream (requires fork_corruption_streams first).
+  /// Thread-safe across lanes because each lane only sends for its own
+  /// nodes and therefore only touches its own sub-streams.
+  [[nodiscard]] bool maybe_corrupt_from(Time now, NodeId src);
+
   /// Applies node-local clock skew/drift to a timer delay. Identity when
   /// the clock section is disabled.
   [[nodiscard]] Time adjust_timer_delay(NodeId node, Time delay) const noexcept;
@@ -111,6 +124,7 @@ class FaultInjector {
   Time corrupt_start_ = 0;
   Time corrupt_end_ = kNoTime;  ///< kNoTime = open-ended
   Rng corrupt_rng_;
+  std::vector<Rng> corrupt_streams_;  ///< per sender; windowed runs only
 
   bool clock_enabled_ = false;
   std::vector<Time> clock_skew_;      ///< per-node additive skew (µs)

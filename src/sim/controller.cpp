@@ -12,6 +12,7 @@
 #include "core/log.hpp"
 #include "faults/fault_injector.hpp"
 #include "protocols/registry.hpp"
+#include "sim/windowed.hpp"
 
 namespace bftsim {
 
@@ -27,9 +28,17 @@ class Controller::NodeCtx final : public Context {
   std::uint32_t n() const noexcept override { return c_.cfg_.n; }
   std::uint32_t f() const noexcept override { return c_.f_; }
   Time lambda() const noexcept override { return c_.lambda_; }
-  Time now() const noexcept override { return c_.now_; }
+  Time now() const noexcept override {
+    // Windowed-parallel runs keep one clock per lane; the serial clock is
+    // otherwise authoritative. One predictable branch on the hot path.
+    return c_.win_ != nullptr ? c_.win_->ctx_now(id_) : c_.now_;
+  }
 
   void send(NodeId dst, PayloadPtr payload) override {
+    if (c_.win_ != nullptr) {
+      c_.win_->ctx_send(id_, dst, std::move(payload));
+      return;
+    }
     // One signature per send call: the message leaves once the CPU is done.
     const Time wire_at = c_.charge_cpu(id_, c_.sign_cost_);
     if (dst == id_) {
@@ -40,6 +49,10 @@ class Controller::NodeCtx final : public Context {
   }
 
   void broadcast(PayloadPtr payload, bool include_self) override {
+    if (c_.win_ != nullptr) {
+      c_.win_->ctx_broadcast(id_, std::move(payload), include_self);
+      return;
+    }
     // One signature covers the whole fan-out.
     const Time wire_at = c_.charge_cpu(id_, c_.sign_cost_);
     c_.network_broadcast(id_, payload, wire_at - c_.now_);
@@ -47,17 +60,38 @@ class Controller::NodeCtx final : public Context {
   }
 
   TimerId set_timer(Time delay, std::uint64_t tag) override {
+    if (c_.win_ != nullptr) return c_.win_->ctx_set_timer(id_, delay, tag);
     return c_.set_timer(TimerOwner::kNode, id_, delay, tag);
   }
-  void cancel_timer(TimerId id) override { c_.cancel_timer(id); }
+  void cancel_timer(TimerId id) override {
+    if (c_.win_ != nullptr) {
+      c_.win_->ctx_cancel_timer(id_, id);
+      return;
+    }
+    c_.cancel_timer(id);
+  }
 
-  void report_decision(Value value) override { c_.report_decision(id_, value); }
-  void record_view(View view) override { c_.record_view(id_, view); }
+  void report_decision(Value value) override {
+    if (c_.win_ != nullptr) {
+      c_.win_->ctx_report_decision(id_, value);
+      return;
+    }
+    c_.report_decision(id_, value);
+  }
+  void record_view(View view) override {
+    if (c_.win_ != nullptr) {
+      c_.win_->ctx_record_view(id_, view);
+      return;
+    }
+    c_.record_view(id_, view);
+  }
 
   Rng& rng() noexcept override { return c_.node_rngs_[id_]; }
   const Vrf& vrf() const noexcept override { return c_.vrf_; }
   const Signer& signer() const noexcept override { return c_.signer_; }
-  Arena& arena() noexcept override { return c_.arena_; }
+  Arena& arena() noexcept override {
+    return c_.win_ != nullptr ? c_.win_->ctx_arena(id_) : c_.arena_;
+  }
 
  private:
   Controller& c_;
@@ -178,6 +212,7 @@ Controller::Controller(SimConfig cfg)
   if (cost_model_on_) cpu_charged_.reserve(256);
 
   attacker_ = make_attacker(cfg_);
+  attacker_passive_ = attacker_->is_passive();
   atk_ctx_ = std::make_unique<AtkCtx>(*this);
 
   // Trace sink: selecting a streaming sink implies tracing (a jsonl/binary
@@ -218,25 +253,20 @@ Controller::~Controller() = default;
 void Controller::network_send(NodeId src, NodeId dst, PayloadPtr payload,
                               Time extra_delay) {
   assert(payload != nullptr);
-  Message msg;
-  msg.src = src;
-  msg.dst = dst;
-  msg.send_time = now_;
-  msg.id = next_msg_id_++;
-  msg.payload = std::move(payload);
+  const std::uint64_t id = next_msg_id_++;
 
   metrics_.on_send();
-  metrics_.on_bytes(msg.payload->wire_size());
-  const PayloadType tid = msg.payload->type_id();
+  metrics_.on_bytes(payload->wire_size());
+  const PayloadType tid = payload->type_id();
   if (tid != PayloadType::kUnknown) {
     metrics_.count_type(tid);
   } else {
-    metrics_.count_type(std::string(msg.payload->type()));
+    metrics_.count_type(std::string(payload->type()));
   }
   if (trace_sink_) {
     trace_sink_->on_record(TraceRecord{TraceKind::kSend, now_, src, dst,
-                                       std::string(msg.payload->type()),
-                                       msg.payload->digest(), msg.id, 0, 0});
+                                       std::string(payload->type()),
+                                       payload->digest(), id, 0, 0});
   }
 
   const Time sampled = [&] {
@@ -251,11 +281,35 @@ void Controller::network_send(NodeId src, NodeId dst, PayloadPtr payload,
     metrics_.on_drop();
     if (trace_sink_) {
       trace_sink_->on_record(TraceRecord{TraceKind::kDrop, now_, src, dst,
-                                         std::string(msg.payload->type()),
-                                         msg.payload->digest(), msg.id, 0, 0});
+                                         std::string(payload->type()),
+                                         payload->digest(), id, 0, 0});
     }
     return;
   }
+
+  if (attacker_passive_ && !custom_delivery_hook_) {
+    // Fast path (no attack scenario, no subclass hook): no Message is
+    // materialized — the envelope interns the transmission and the delivery
+    // event carries an 8-byte handle. Bit-identical to the hook path below:
+    // a passive attacker's attack() observes and changes nothing.
+    if (faults_ != nullptr && faults_->maybe_corrupt(now_)) {
+      payload = std::allocate_shared<CorruptedPayload>(
+          ArenaAllocator<CorruptedPayload>(&arena_), std::move(payload));
+      metrics_.on_corrupt();
+    }
+    const std::uint32_t env =
+        env_store_.create(std::move(payload), now_, id, src, false, 1);
+    queue_.push(now_ + std::max<Time>(extra_delay + sampled, 0),
+                MessageDelivery{env, dst});
+    return;
+  }
+
+  Message msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.send_time = now_;
+  msg.id = id;
+  msg.payload = std::move(payload);
   MessageInFlight in_flight{std::move(msg), extra_delay + sampled};
   const Disposition verdict = [&] {
     BFTSIM_PROFILE_SCOPE(profile_, obs::ProfileComponent::kAttackerHook);
@@ -300,14 +354,18 @@ void Controller::network_broadcast(NodeId src, const PayloadPtr& payload,
     trace_digest = payload->digest();
   }
 
+  const bool fast = attacker_passive_ && !custom_delivery_hook_;
+  // The shared fan-out envelope, created lazily at the first scheduled
+  // destination. Its base_id is the id the first destination in the loop
+  // gets (dropped or not), so per-destination ids derive by position
+  // exactly as next_msg_id_++ assigned them.
+  constexpr std::uint32_t kNoEnvelope = 0xffffffffu;
+  std::uint32_t env = kNoEnvelope;
+  const std::uint64_t base_id = next_msg_id_;
+
   for (NodeId dst = 0; dst < cfg_.n; ++dst) {
     if (dst == src) continue;
-    Message msg;
-    msg.src = src;
-    msg.dst = dst;
-    msg.send_time = now_;
-    msg.id = next_msg_id_++;
-    msg.payload = payload;
+    const std::uint64_t id = next_msg_id_++;
 
     metrics_.on_send();
     metrics_.on_bytes(wire);
@@ -318,8 +376,7 @@ void Controller::network_broadcast(NodeId src, const PayloadPtr& payload,
     }
     if (trace_sink_) {
       trace_sink_->on_record(TraceRecord{TraceKind::kSend, now_, src, dst,
-                                         trace_type, trace_digest, msg.id, 0,
-                                         0});
+                                         trace_type, trace_digest, id, 0, 0});
     }
 
     const Time sampled = [&] {
@@ -331,11 +388,40 @@ void Controller::network_broadcast(NodeId src, const PayloadPtr& payload,
       metrics_.on_drop();
       if (trace_sink_) {
         trace_sink_->on_record(TraceRecord{TraceKind::kDrop, now_, src, dst,
-                                           trace_type, trace_digest, msg.id, 0,
+                                           trace_type, trace_digest, id, 0,
                                            0});
       }
       continue;
     }
+
+    if (fast) {
+      if (faults_ != nullptr && faults_->maybe_corrupt(now_)) {
+        // A corrupted copy diverges from the shared body: it gets its own
+        // single-delivery envelope carrying the wrapped payload.
+        PayloadPtr wrapped = std::allocate_shared<CorruptedPayload>(
+            ArenaAllocator<CorruptedPayload>(&arena_), PayloadPtr(payload));
+        metrics_.on_corrupt();
+        const std::uint32_t solo =
+            env_store_.create(std::move(wrapped), now_, id, src, false, 1);
+        queue_.push(now_ + std::max<Time>(extra_delay + sampled, 0),
+                    MessageDelivery{solo, dst});
+        continue;
+      }
+      if (env == kNoEnvelope) {
+        env = env_store_.create(payload, now_, base_id, src, true, 0);
+      }
+      env_store_.add_pending(env, 1);
+      queue_.push(now_ + std::max<Time>(extra_delay + sampled, 0),
+                  MessageDelivery{env, dst});
+      continue;
+    }
+
+    Message msg;
+    msg.src = src;
+    msg.dst = dst;
+    msg.send_time = now_;
+    msg.id = id;
+    msg.payload = payload;
     MessageInFlight in_flight{std::move(msg), extra_delay + sampled};
     const Disposition verdict = [&] {
       BFTSIM_PROFILE_SCOPE(profile_, obs::ProfileComponent::kAttackerHook);
@@ -365,20 +451,25 @@ void Controller::network_broadcast(NodeId src, const PayloadPtr& payload,
 }
 
 void Controller::schedule_network_delivery(Message msg, Time delay) {
-  queue_.push(now_ + delay, MessageDelivery{std::move(msg)});
+  const std::uint32_t env = env_store_.create(
+      std::move(msg.payload), msg.send_time, msg.id, msg.src, false, 1);
+  queue_.push(now_ + delay, MessageDelivery{env, msg.dst});
+}
+
+void Controller::schedule_message_at(Message msg, Time at) {
+  const std::uint32_t env = env_store_.create(
+      std::move(msg.payload), msg.send_time, msg.id, msg.src, false, 1);
+  queue_.push(std::max(at, now_), MessageDelivery{env, msg.dst});
 }
 
 void Controller::deliver_self(NodeId id, PayloadPtr payload) {
   // A node's message to itself does not traverse the network or the
   // attacker and is not counted as a transmitted message; it is scheduled
   // (rather than dispatched inline) so handlers never re-enter.
-  Message msg;
-  msg.src = id;
-  msg.dst = id;
-  msg.send_time = now_;
-  msg.id = next_msg_id_++;
-  msg.payload = std::move(payload);
-  queue_.push(now_, MessageDelivery{std::move(msg)});
+  const std::uint64_t msg_id = next_msg_id_++;
+  const std::uint32_t env =
+      env_store_.create(std::move(payload), now_, msg_id, id, false, 1);
+  queue_.push(now_, MessageDelivery{env, id});
 }
 
 void Controller::inject_message(Message msg, Time delay) {
@@ -390,7 +481,9 @@ void Controller::inject_message(Message msg, Time delay) {
                                        msg.dst, std::string(msg.payload->type()),
                                        msg.payload->digest(), msg.id, 0, 0});
   }
-  queue_.push(now_ + std::max<Time>(delay, 0), MessageDelivery{std::move(msg)});
+  const std::uint32_t env = env_store_.create(
+      std::move(msg.payload), msg.send_time, msg.id, msg.src, false, 1);
+  queue_.push(now_ + std::max<Time>(delay, 0), MessageDelivery{env, msg.dst});
 }
 
 Time Controller::charge_cpu(NodeId node, Time cost) {
@@ -427,7 +520,7 @@ void Controller::deliver_now(const Message& msg) {
     cpu_charged_.insert(msg.id);
     charge_cpu(msg.dst, verify_cost_);
     if (cpu_free_[msg.dst] > now_) {
-      queue_.push(cpu_free_[msg.dst], MessageDelivery{msg});
+      schedule_message_at(msg, cpu_free_[msg.dst]);  // redeliver when free
       return;
     }
   }
@@ -522,6 +615,10 @@ bool Controller::is_live(NodeId id) const noexcept {
   return id < cfg_.n && nodes_[id] != nullptr;
 }
 
+Context& Controller::node_ctx(NodeId id) noexcept { return ctxs_[id]; }
+
+AttackerContext& Controller::attacker_ctx() noexcept { return *atk_ctx_; }
+
 bool Controller::is_honest(NodeId id) const noexcept {
   return is_live(id) && !is_corrupt(id);
 }
@@ -531,8 +628,10 @@ bool Controller::is_honest(NodeId id) const noexcept {
 // ---------------------------------------------------------------------------
 
 void Controller::dispatch(Event& ev) {
-  if (auto* delivery = std::get_if<MessageDelivery>(&ev.body)) {
-    deliver_now(delivery->msg);
+  if (const auto* delivery = std::get_if<MessageDelivery>(&ev.body)) {
+    const Message msg = env_store_.materialize(delivery->env, delivery->dst);
+    deliver_now(msg);
+    env_store_.release(delivery->env);
     return;
   }
   auto& fire = std::get<TimerFire>(ev.body);
@@ -577,6 +676,17 @@ RunResult Controller::run() {
   if (ran_) throw std::logic_error("Controller::run() called twice");
   ran_ = true;
 
+  if (cfg_.engine.per_node_rng()) {
+    if (custom_delivery_hook_) {
+      throw std::invalid_argument(
+          "engine: windowed-parallel execution requires the default delivery "
+          "path (controllers overriding schedule_network_delivery are "
+          "serial-only)");
+    }
+    win_ = std::make_unique<WindowedEngine>(*this);
+    return win_->run();
+  }
+
   attacker_->on_start(*atk_ctx_);
   for (NodeId i = 0; i < cfg_.n; ++i) {
     if (is_live(i)) nodes_[i]->on_start(ctxs_[i]);
@@ -608,7 +718,10 @@ RunResult Controller::run() {
     dispatch(ev);
   }
   if (stopped_) reason = TerminationReason::kDecided;
+  return make_result(reason);
+}
 
+RunResult Controller::make_result(TerminationReason reason) {
   RunResult result;
   result.terminated = stopped_;
   result.termination_time = termination_time_;

@@ -19,6 +19,7 @@
 #include "crypto/signature.hpp"
 #include "crypto/vrf.hpp"
 #include "net/delay_model.hpp"
+#include "net/envelope.hpp"
 #include "net/topology.hpp"
 #include "obs/profile.hpp"
 #include "obs/timeline.hpp"
@@ -29,6 +30,7 @@
 namespace bftsim {
 
 class FaultInjector;
+class WindowedEngine;
 
 /// Drives one simulation run. Construct with a validated SimConfig, call
 /// run() once. The packet-level baseline simulator subclasses this and
@@ -49,8 +51,20 @@ class Controller {
   /// Network-delivery hook: schedules the delivery event for a message that
   /// passed the attacker with final `delay`. The default implementation
   /// models message-level delivery (one event). The baseline simulator
-  /// overrides this with per-packet, per-hop event cascades.
+  /// overrides this with per-packet, per-hop event cascades. A subclass
+  /// that overrides it must set custom_delivery_hook_ = true in its
+  /// constructor: that routes every transmission through the hook as a
+  /// materialized Message instead of the envelope fast path (and excludes
+  /// the subclass from windowed-parallel execution).
   virtual void schedule_network_delivery(Message msg, Time delay);
+
+  /// Set by subclasses that override schedule_network_delivery (see above).
+  bool custom_delivery_hook_ = false;
+
+  /// Schedules delivery of a fully-formed message at absolute time `at`
+  /// (clamped to now). For subclasses that bypass delay sampling entirely
+  /// (e.g. the trace-replay validator).
+  void schedule_message_at(Message msg, Time at);
 
   /// Hook for subclass-defined system events (e.g. baseline packet hops).
   virtual void on_system_event(std::uint64_t /*tag*/) {}
@@ -100,10 +114,17 @@ class Controller {
 
   // --- run loop ---------------------------------------------------------------
   void dispatch(Event& ev);
+  /// Assembles the RunResult from the run's final state; shared by the
+  /// serial loop and the windowed-parallel driver.
+  RunResult make_result(TerminationReason reason);
   /// Snapshots engine state into the timeline (timeline_ must be set).
   void sample_timeline(bool final_sample);
   [[nodiscard]] bool is_live(NodeId id) const noexcept;
   [[nodiscard]] bool is_honest(NodeId id) const noexcept;
+  /// Context accessors for the windowed driver (NodeCtx/AtkCtx are
+  /// incomplete types outside controller.cpp; these erase to the bases).
+  [[nodiscard]] Context& node_ctx(NodeId id) noexcept;
+  [[nodiscard]] AttackerContext& attacker_ctx() noexcept;
   [[nodiscard]] bool is_corrupt(NodeId id) const noexcept {
     return id < corrupt_flags_.size() && corrupt_flags_[id] != 0;
   }
@@ -114,6 +135,15 @@ class Controller {
   /// metrics sinks) so that it is destroyed after all of them — arena-backed
   /// payloads must outlive their last shared_ptr.
   Arena arena_;
+  /// Windowed-parallel runs give each lane its own arena (Arena is
+  /// single-threaded by design). Owned here rather than by the engine so
+  /// the destruction-order guarantee above extends to lane-allocated
+  /// payloads; empty for serial runs.
+  std::vector<std::unique_ptr<Arena>> lane_arenas_;
+  /// In-flight transmission state; delivery events carry 8-byte handles
+  /// into this store (see net/envelope.hpp). Declared after the arenas
+  /// (payload pointers release before any arena dies) and before the queue.
+  EnvelopeStore env_store_;
   std::uint32_t f_ = 0;       ///< protocol fault threshold (= attacker budget)
   Time lambda_ = 0;           ///< cfg.lambda_ms in Time units
   Time horizon_ = 0;          ///< cfg.max_time_ms in Time units
@@ -142,6 +172,10 @@ class Controller {
   std::vector<Rng> node_rngs_;
   std::unique_ptr<Attacker> attacker_;
   std::unique_ptr<AtkCtx> atk_ctx_;
+  /// Cached attacker_->is_passive(): with a passive attacker (and the
+  /// default delivery hook) sends take the envelope fast path and never
+  /// materialize a MessageInFlight.
+  bool attacker_passive_ = false;
   /// Fault-injection state; nullptr unless cfg.faults is enabled, so the
   /// fault hooks cost one null check on fault-free runs.
   std::unique_ptr<FaultInjector> faults_;
@@ -173,6 +207,14 @@ class Controller {
   std::uint64_t next_msg_id_ = 1;
   std::uint64_t next_timer_id_ = 1;
   bool ran_ = false;
+
+  /// Windowed-parallel driver (sim/windowed.cpp); non-null only while a
+  /// windowed run executes. Declared last so it is destroyed first — its
+  /// lane queues and envelope stores hold payload pointers that must
+  /// release before lane_arenas_/arena_ die. The engine needs the same
+  /// deep access to the run state as the member functions above.
+  friend class WindowedEngine;
+  std::unique_ptr<WindowedEngine> win_;
 };
 
 }  // namespace bftsim

@@ -1,0 +1,642 @@
+// Windowed-parallel run driver. See windowed.hpp for the scheme and the
+// determinism argument; this file mirrors the serial controller paths
+// (network_send / network_broadcast / deliver_now / dispatch) with three
+// systematic substitutions: now_ -> the lane clock, next_msg_id_ /
+// next_timer_id_ -> per-origin key counters, and direct metric / trace /
+// decision emission -> per-lane buffers merged at window barriers.
+#include "sim/windowed.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/log.hpp"
+#include "faults/fault_injector.hpp"
+#include "sim/controller.hpp"
+
+namespace bftsim {
+
+namespace {
+
+// Timer-ledger states, per (node, key counter): the same lazy-deletion
+// scheme as EventQueue's ledger, but per node so lanes never share it.
+constexpr std::uint8_t kIdle = 0;
+constexpr std::uint8_t kPending = 1;
+constexpr std::uint8_t kCancelled = 2;
+
+}  // namespace
+
+Time compute_lookahead(const SimConfig& cfg) noexcept {
+  const DelaySpec& d = cfg.delay;
+  // Infimum of the sampled delay before clamping: constant and uniform have
+  // a hard lower edge at `a`; normal and exponential can sample arbitrarily
+  // low and rely entirely on the min_ms clamp.
+  double lo_ms = 0.0;
+  switch (d.kind) {
+    case DelaySpec::Kind::kConstant:
+    case DelaySpec::Kind::kUniform:
+      lo_ms = d.a;
+      break;
+    case DelaySpec::Kind::kNormal:
+    case DelaySpec::Kind::kExponential:
+      lo_ms = 0.0;
+      break;
+  }
+  if (lo_ms < d.min_ms) lo_ms = d.min_ms;
+  if (d.max_ms > 0.0 && lo_ms > d.max_ms) lo_ms = d.max_ms;
+  Time lo = from_ms(lo_ms);
+
+  // The topology transformation applies per destination pair; with
+  // cross_factor < 1 a cross-region delay can undercut the flat bound, so
+  // take the minimum over both forms.
+  if (cfg.topology.is_object()) {
+    const TopologySpec topo = TopologySpec::from_json(cfg.topology);
+    if (topo.enabled()) {
+      const double scaled =
+          static_cast<double>(lo) * topo.cross_factor + topo.cross_extra_ms * 1000.0;
+      lo = std::min(lo, static_cast<Time>(scaled));
+    }
+  }
+
+  // Conservative safety margin for configured clock imperfection: skewed
+  // timers are node-local and never cross lanes, but shrinking the window
+  // by the worst-case skew keeps the bound defensible even if a future
+  // fault kind lets skew leak into message timing.
+  if (cfg.faults.clock.enabled()) {
+    const double skewed = static_cast<double>(lo) -
+                          cfg.faults.clock.max_skew_ms * 1000.0 -
+                          static_cast<double>(lo) * cfg.faults.clock.max_drift;
+    lo = static_cast<Time>(skewed);
+  }
+  return std::max<Time>(lo, 0);
+}
+
+std::uint32_t effective_lanes(const SimConfig& cfg) noexcept {
+  if (compute_lookahead(cfg) <= 0) return 1;  // no safe window: self-degrade
+  const std::uint32_t lanes =
+      std::min(cfg.engine.intra_jobs, EngineConfig::kMaxIntraJobs);
+  return std::max(1u, std::min(lanes, cfg.n));
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+WindowedEngine::WindowedEngine(Controller& c) : c_(c) {
+  const SimConfig& cfg = c_.cfg_;
+  lanes_n_ = effective_lanes(cfg);
+  lookahead_ = compute_lookahead(cfg);
+
+  // The gated semantic change: one delay/corruption stream per sending
+  // node, forked off the shared streams in node order (so the layout is a
+  // function of the seed alone, never of the lane count).
+  net_rngs_.reserve(cfg.n);
+  for (NodeId i = 0; i < cfg.n; ++i) net_rngs_.push_back(c_.net_rng_.fork(i));
+  if (c_.faults_ != nullptr) c_.faults_->fork_corruption_streams(cfg.n);
+
+  wctr_.assign(cfg.n, 0);
+  tstate_.resize(cfg.n);
+
+  const std::size_t per_lane_reserve =
+      std::min(static_cast<std::size_t>(cfg.n) * cfg.n,
+               std::size_t{1} << 18) / lanes_n_ + 256;
+  c_.lane_arenas_.reserve(lanes_n_);
+  lanes_.reserve(lanes_n_);
+  for (std::uint32_t l = 0; l < lanes_n_; ++l) {
+    c_.lane_arenas_.push_back(std::make_unique<Arena>());
+    auto lane = std::make_unique<Lane>();
+    lane->heap.reserve(per_lane_reserve);
+    lane->outbox.resize(lanes_n_);
+    lanes_.push_back(std::move(lane));
+  }
+
+  if (c_.faults_ != nullptr) {
+    // The timeline is sorted by time; the prefix within the horizon is the
+    // exact set the serial engine schedules as kFault timers.
+    const auto& timeline = c_.faults_->events();
+    while (fault_count_ < timeline.size() &&
+           timeline[fault_count_].at <= c_.horizon_) {
+      ++fault_count_;
+    }
+  }
+  for (NodeId i = 0; i < cfg.n; ++i) {
+    if (c_.is_live(i)) ++honest_total_;
+  }
+  if (lanes_n_ > 1) pool_ = std::make_unique<ThreadPool>(lanes_n_);
+}
+
+WindowedEngine::~WindowedEngine() = default;
+
+// ---------------------------------------------------------------------------
+// Context entry points
+// ---------------------------------------------------------------------------
+
+Arena& WindowedEngine::ctx_arena(NodeId node) noexcept {
+  return *c_.lane_arenas_[lane_index(node)];
+}
+
+Time WindowedEngine::wcharge_cpu(NodeId node, Time cost) noexcept {
+  const Time lnow = lanes_[lane_index(node)]->now;
+  if (node >= c_.cpu_free_.size()) return lnow;
+  if (cost <= 0) return std::max(c_.cpu_free_[node], lnow);
+  c_.cpu_free_[node] = std::max(c_.cpu_free_[node], lnow) + cost;
+  return c_.cpu_free_[node];
+}
+
+std::uint32_t WindowedEngine::make_env(std::uint32_t lane_id, PayloadPtr payload,
+                                       Time send_time, std::uint64_t base_id,
+                                       NodeId src, bool broadcast,
+                                       std::int32_t remaining) {
+  const std::uint32_t index = lanes_[lane_id]->store.create(
+      std::move(payload), send_time, base_id, src, broadcast, remaining);
+  return (lane_id << kLaneShift) | index;
+}
+
+void WindowedEngine::route(std::uint32_t src_lane, Event ev, NodeId dst) {
+  const std::uint32_t dst_lane = lane_index(dst);
+  if (dst_lane == src_lane) {
+    lanes_[dst_lane]->heap.push(std::move(ev));
+  } else {
+    lanes_[src_lane]->outbox[dst_lane].push_back(std::move(ev));
+  }
+}
+
+void WindowedEngine::ctx_send(NodeId src, NodeId dst, PayloadPtr payload) {
+  const Time wire_at = wcharge_cpu(src, c_.sign_cost_);
+  if (dst == src) {
+    wdeliver_self(src, std::move(payload));
+  } else {
+    wnetwork_send(src, dst, std::move(payload),
+                  wire_at - lanes_[lane_index(src)]->now);
+  }
+}
+
+void WindowedEngine::wnetwork_send(NodeId src, NodeId dst, PayloadPtr payload,
+                                   Time extra) {
+  Lane& ln = lane(src);
+  const std::uint64_t id = draw_key(src);
+
+  ln.delta.on_send();
+  ln.delta.on_bytes(payload->wire_size());
+  const PayloadType tid = payload->type_id();
+  if (tid != PayloadType::kUnknown) {
+    ln.delta.count_type(tid);
+  } else {
+    ln.delta.count_type(std::string(payload->type()));
+  }
+  if (c_.trace_sink_ != nullptr) {
+    ln.trace.push_back(
+        {ln.now, ln.cur_key,
+         TraceRecord{TraceKind::kSend, ln.now, src, dst,
+                     std::string(payload->type()), payload->digest(), id, 0, 0}});
+  }
+
+  const Time sampled =
+      c_.topology_.adjust(c_.delay_sampler_.sample(net_rngs_[src]), src, dst);
+  if (c_.faults_ != nullptr && c_.faults_->any_link_down() &&
+      c_.faults_->link_down(src, dst)) {
+    ln.delta.on_drop();
+    if (c_.trace_sink_ != nullptr) {
+      ln.trace.push_back({ln.now, ln.cur_key,
+                          TraceRecord{TraceKind::kDrop, ln.now, src, dst,
+                                      std::string(payload->type()),
+                                      payload->digest(), id, 0, 0}});
+    }
+    return;
+  }
+  if (c_.faults_ != nullptr && c_.faults_->maybe_corrupt_from(ln.now, src)) {
+    payload = std::allocate_shared<CorruptedPayload>(
+        ArenaAllocator<CorruptedPayload>(c_.lane_arenas_[lane_index(src)].get()),
+        std::move(payload));
+    ln.delta.on_corrupt();
+  }
+  const std::uint32_t env =
+      make_env(lane_index(src), std::move(payload), ln.now, id, src, false, 1);
+  route(lane_index(src),
+        Event{ln.now + std::max<Time>(extra + sampled, 0), id,
+              MessageDelivery{env, dst}},
+        dst);
+}
+
+void WindowedEngine::ctx_broadcast(NodeId src, PayloadPtr payload,
+                                   bool include_self) {
+  const Time wire_at = wcharge_cpu(src, c_.sign_cost_);
+  Lane& ln = lane(src);
+  const std::uint32_t src_lane = lane_index(src);
+  const Time extra = wire_at - ln.now;
+
+  const std::size_t wire = payload->wire_size();
+  const PayloadType tid = payload->type_id();
+  const bool tagged = tid != PayloadType::kUnknown;
+  std::string trace_type;
+  std::uint64_t trace_digest = 0;
+  if (c_.trace_sink_ != nullptr) {
+    trace_type = std::string(payload->type());
+    trace_digest = payload->digest();
+  }
+
+  // Shared fan-out envelope, created lazily; per-destination ids derive
+  // from the first copy's key by loop position, matching the counter's
+  // assignment order exactly (see Envelope::message_id).
+  constexpr std::uint32_t kNoEnvelope = 0xffffffffu;
+  std::uint32_t env = kNoEnvelope;
+  const std::uint64_t base_id =
+      ((static_cast<std::uint64_t>(src) + 1) << kOriginShift) | wctr_[src];
+
+  for (NodeId dst = 0; dst < c_.cfg_.n; ++dst) {
+    if (dst == src) continue;
+    const std::uint64_t id = draw_key(src);
+
+    ln.delta.on_send();
+    ln.delta.on_bytes(wire);
+    if (tagged) {
+      ln.delta.count_type(tid);
+    } else {
+      ln.delta.count_type(std::string(payload->type()));
+    }
+    if (c_.trace_sink_ != nullptr) {
+      ln.trace.push_back({ln.now, ln.cur_key,
+                          TraceRecord{TraceKind::kSend, ln.now, src, dst,
+                                      trace_type, trace_digest, id, 0, 0}});
+    }
+
+    const Time sampled =
+        c_.topology_.adjust(c_.delay_sampler_.sample(net_rngs_[src]), src, dst);
+    if (c_.faults_ != nullptr && c_.faults_->any_link_down() &&
+        c_.faults_->link_down(src, dst)) {
+      ln.delta.on_drop();
+      if (c_.trace_sink_ != nullptr) {
+        ln.trace.push_back({ln.now, ln.cur_key,
+                            TraceRecord{TraceKind::kDrop, ln.now, src, dst,
+                                        trace_type, trace_digest, id, 0, 0}});
+      }
+      continue;
+    }
+
+    if (c_.faults_ != nullptr && c_.faults_->maybe_corrupt_from(ln.now, src)) {
+      PayloadPtr wrapped = std::allocate_shared<CorruptedPayload>(
+          ArenaAllocator<CorruptedPayload>(c_.lane_arenas_[src_lane].get()),
+          PayloadPtr(payload));
+      ln.delta.on_corrupt();
+      const std::uint32_t solo =
+          make_env(src_lane, std::move(wrapped), ln.now, id, src, false, 1);
+      route(src_lane,
+            Event{ln.now + std::max<Time>(extra + sampled, 0), id,
+                  MessageDelivery{solo, dst}},
+            dst);
+      continue;
+    }
+    if (env == kNoEnvelope) {
+      env = make_env(src_lane, payload, ln.now, base_id, src, true, 0);
+    }
+    lanes_[src_lane]->store.add_pending(env & kEnvMask, 1);
+    route(src_lane,
+          Event{ln.now + std::max<Time>(extra + sampled, 0), id,
+                MessageDelivery{env, dst}},
+          dst);
+  }
+  if (include_self) wdeliver_self(src, std::move(payload));
+}
+
+void WindowedEngine::wdeliver_self(NodeId id, PayloadPtr payload) {
+  Lane& ln = lane(id);
+  const std::uint64_t key = draw_key(id);
+  const std::uint32_t env =
+      make_env(lane_index(id), std::move(payload), ln.now, key, id, false, 1);
+  ln.heap.push(Event{ln.now, key, MessageDelivery{env, id}});
+}
+
+TimerId WindowedEngine::ctx_set_timer(NodeId node, Time delay,
+                                      std::uint64_t tag) {
+  if (c_.faults_ != nullptr) delay = c_.faults_->adjust_timer_delay(node, delay);
+  const std::uint64_t key = draw_key(node);
+  const std::uint64_t ctr = key & kCtrMask;
+  auto& ledger = tstate_[node];
+  if (ctr >= ledger.size()) ledger.resize(ctr + 1, kIdle);
+  ledger[ctr] = kPending;
+  Lane& ln = lane(node);
+  ln.heap.push(Event{ln.now + std::max<Time>(delay, 0), key,
+                     TimerFire{TimerOwner::kNode, node, key, tag}});
+  return key;
+}
+
+void WindowedEngine::ctx_cancel_timer(NodeId node, TimerId id) {
+  (void)node;  // the key encodes its origin; nodes only cancel their own
+  const std::uint64_t origin = id >> kOriginShift;
+  if (origin == 0 || origin - 1 >= c_.cfg_.n) return;
+  auto& ledger = tstate_[origin - 1];
+  const std::uint64_t ctr = id & kCtrMask;
+  if (ctr < ledger.size() && ledger[ctr] == kPending) ledger[ctr] = kCancelled;
+}
+
+void WindowedEngine::ctx_report_decision(NodeId node, Value value) {
+  Lane& ln = lane(node);
+  const std::uint64_t height = c_.decided_count_[node]++;
+  ln.decisions.push_back({ln.now, ln.cur_key, node, height, value});
+  if (c_.trace_sink_ != nullptr) {
+    ln.trace.push_back({ln.now, ln.cur_key,
+                        TraceRecord{TraceKind::kDecide, ln.now, node, kNoNode,
+                                    {}, 0, 0, height, value}});
+  }
+}
+
+void WindowedEngine::ctx_record_view(NodeId node, View view) {
+  Lane& ln = lane(node);
+  if (c_.cfg_.record_views) ln.views.push_back({ln.now, ln.cur_key, node, view});
+  if (c_.trace_sink_ != nullptr) {
+    ln.trace.push_back({ln.now, ln.cur_key,
+                        TraceRecord{TraceKind::kViewChange, ln.now, node,
+                                    kNoNode, {}, 0, 0, view, 0}});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Window execution (per lane, concurrent)
+// ---------------------------------------------------------------------------
+
+void WindowedEngine::wdeliver_now(Lane& ln, const Message& msg) {
+  if (!c_.is_live(msg.dst)) {
+    ln.delta.on_drop();
+    return;
+  }
+  if (c_.faults_ != nullptr && c_.faults_->is_crashed(msg.dst)) {
+    ln.delta.on_drop();
+    if (c_.cost_model_on_) ln.cpu_charged.erase(msg.id);
+    if (c_.trace_sink_ != nullptr && msg.payload != nullptr) {
+      ln.trace.push_back({ln.now, ln.cur_key,
+                          TraceRecord{TraceKind::kDrop, ln.now, msg.src,
+                                      msg.dst, std::string(msg.payload->type()),
+                                      msg.payload->digest(), msg.id, 0, 0}});
+    }
+    return;
+  }
+  if (c_.cost_model_on_ && msg.src != msg.dst &&
+      !ln.cpu_charged.contains(msg.id)) {
+    ln.cpu_charged.insert(msg.id);
+    (void)wcharge_cpu(msg.dst, c_.verify_cost_);
+    if (c_.cpu_free_[msg.dst] > ln.now) {
+      // Redeliver when the CPU frees up. The re-interned envelope keeps the
+      // original message identity; the fresh key is drawn from the
+      // destination's counter, whose state is lane-count-invariant.
+      const std::uint32_t env = make_env(lane_index(msg.dst), msg.payload,
+                                         msg.send_time, msg.id, msg.src,
+                                         false, 1);
+      ln.heap.push(Event{c_.cpu_free_[msg.dst], draw_key(msg.dst),
+                         MessageDelivery{env, msg.dst}});
+      return;
+    }
+  }
+  if (c_.cost_model_on_) ln.cpu_charged.erase(msg.id);
+  if (msg.src != msg.dst) ln.delta.on_deliver();
+  if (c_.trace_sink_ != nullptr && msg.payload != nullptr) {
+    ln.trace.push_back({ln.now, ln.cur_key,
+                        TraceRecord{TraceKind::kDeliver, ln.now, msg.src,
+                                    msg.dst, std::string(msg.payload->type()),
+                                    msg.payload->digest(), msg.id, 0, 0}});
+  }
+  if (c_.is_corrupt(msg.dst)) return;
+  c_.nodes_[msg.dst]->on_message(msg, c_.node_ctx(msg.dst));
+}
+
+void WindowedEngine::wdispatch(Lane& ln, std::uint32_t lane_id, Event& ev) {
+  ln.cur_key = ev.seq;
+  if (const auto* delivery = std::get_if<MessageDelivery>(&ev.body)) {
+    const std::uint32_t owner = delivery->env >> kLaneShift;
+    EnvelopeStore& store = lanes_[owner]->store;
+    const std::uint32_t index = delivery->env & kEnvMask;
+    const Message msg = store.materialize(index, delivery->dst);
+    wdeliver_now(ln, msg);
+    if (owner == lane_id) {
+      store.release(index);
+    } else if (store.release_remote(index)) {
+      ln.retired.push_back(delivery->env);
+    }
+    return;
+  }
+  const auto& fire = std::get<TimerFire>(ev.body);
+  const std::uint64_t ctr = fire.timer & kCtrMask;
+  auto& ledger = tstate_[fire.node];
+  if (ctr < ledger.size()) {
+    if (ledger[ctr] == kCancelled) {
+      ledger[ctr] = kIdle;
+      return;
+    }
+    ledger[ctr] = kIdle;
+  }
+  // Crashed node: defer the fire to the recovery instant (the kRecover
+  // fault transition lands at a window barrier before that instant's
+  // window executes, so the node is back up when the timer re-fires).
+  if (c_.faults_ != nullptr && c_.faults_->is_crashed(fire.node)) {
+    if (ctr < ledger.size()) ledger[ctr] = kPending;
+    ln.heap.push(Event{c_.faults_->recovery_time(fire.node), fire.timer,
+                       TimerFire{fire.owner, fire.node, fire.timer, fire.tag}});
+    return;
+  }
+  ln.delta.on_timer();
+  const TimerEvent te{fire.timer, fire.tag, ln.now};
+  if (c_.is_live(fire.node) && !c_.is_corrupt(fire.node)) {
+    c_.nodes_[fire.node]->on_timer(te, c_.node_ctx(fire.node));
+  }
+}
+
+void WindowedEngine::run_window(std::uint32_t lane_id, Time w1,
+                                std::uint64_t event_cap) {
+  Lane& ln = *lanes_[lane_id];
+  ln.window_events = 0;
+  while (!ln.heap.empty() && ln.heap.top().at < w1 &&
+         ln.window_events < event_cap) {
+    Event ev = ln.heap.pop();
+    ln.now = ev.at;
+    ++ln.window_events;
+    ln.delta.on_event();
+    wdispatch(ln, lane_id, ev);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Barriers
+// ---------------------------------------------------------------------------
+
+bool WindowedEngine::apply_faults_at(Time w0) {
+  if (c_.faults_ == nullptr) return true;
+  const auto& timeline = c_.faults_->events();
+  while (fault_cursor_ < fault_count_ && timeline[fault_cursor_].at == w0) {
+    // Mirrors the serial engine's dispatch of a kFault timer: one event,
+    // one timer firing, then the transition.
+    c_.metrics_.on_event();
+    if (c_.metrics_.events_processed() > c_.cfg_.max_events) return false;
+    c_.metrics_.on_timer();
+    c_.faults_->apply(fault_cursor_);
+    ++fault_cursor_;
+  }
+  return true;
+}
+
+bool WindowedEngine::merge_window() {
+  // 1. Hand fully-released cross-lane envelopes back to their owners.
+  for (auto& lp : lanes_) {
+    for (const std::uint32_t handle : lp->retired) {
+      lanes_[handle >> kLaneShift]->store.recycle(handle & kEnvMask);
+    }
+    lp->retired.clear();
+  }
+  // 2. Publish cross-lane sends. Heap order is (at, key) with unique keys,
+  // so insertion timing cannot affect pop order.
+  for (auto& lp : lanes_) {
+    for (std::uint32_t dst_lane = 0; dst_lane < lanes_n_; ++dst_lane) {
+      for (Event& ev : lp->outbox[dst_lane]) {
+        lanes_[dst_lane]->heap.push(std::move(ev));
+      }
+      lp->outbox[dst_lane].clear();
+    }
+  }
+  // 3. Fold counter deltas into the run metrics.
+  for (auto& lp : lanes_) {
+    c_.metrics_.absorb(lp->delta);
+    lp->delta = Metrics{};
+  }
+  // 4. Merge ordered products. Equal (at, key) pairs only occur within one
+  // lane's buffer (a key names one dispatch of one node), so the stable
+  // sort reproduces emission order and is lane-count-invariant.
+  const auto by_time_key = [](const auto& a, const auto& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.key < b.key;
+  };
+  if (c_.trace_sink_ != nullptr) {
+    std::vector<TraceProduct> records;
+    for (auto& lp : lanes_) {
+      records.insert(records.end(), std::make_move_iterator(lp->trace.begin()),
+                     std::make_move_iterator(lp->trace.end()));
+      lp->trace.clear();
+    }
+    std::stable_sort(records.begin(), records.end(), by_time_key);
+    for (const TraceProduct& p : records) c_.trace_sink_->on_record(p.rec);
+  }
+  {
+    std::vector<DecisionProduct> decisions;
+    for (auto& lp : lanes_) {
+      decisions.insert(decisions.end(), lp->decisions.begin(),
+                       lp->decisions.end());
+      lp->decisions.clear();
+    }
+    std::stable_sort(decisions.begin(), decisions.end(), by_time_key);
+    for (const DecisionProduct& d : decisions) {
+      c_.metrics_.on_decision(Decision{d.node, d.at, d.height, d.value});
+      BFTSIM_LOG(kDebug, "node " << d.node << " decided height " << d.height
+                                 << " value " << d.value << " at "
+                                 << to_ms(d.at) << "ms");
+      if (d.height + 1 == c_.cfg_.decisions && c_.is_honest(d.node)) {
+        ++nodes_done_;
+        if (nodes_done_ == honest_total_ && !c_.stopped_) {
+          c_.stopped_ = true;
+          c_.termination_time_ = d.at;
+        }
+      }
+    }
+  }
+  {
+    std::vector<ViewProduct> views;
+    for (auto& lp : lanes_) {
+      views.insert(views.end(), lp->views.begin(), lp->views.end());
+      lp->views.clear();
+    }
+    std::stable_sort(views.begin(), views.end(), by_time_key);
+    for (const ViewProduct& v : views) {
+      c_.metrics_.on_view(ViewRecord{v.node, v.at, v.view});
+    }
+  }
+  return c_.metrics_.events_processed() <= c_.cfg_.max_events;
+}
+
+// ---------------------------------------------------------------------------
+// Run loop
+// ---------------------------------------------------------------------------
+
+RunResult WindowedEngine::run() {
+  if (ran_) throw std::logic_error("WindowedEngine::run() called twice");
+  ran_ = true;
+
+  // Serial start phase: on_start callbacks in node order, exactly like the
+  // serial engine. Products carry the node's base key so the merge keeps
+  // node order; sends route through the same mailboxes as window sends.
+  c_.attacker_->on_start(c_.attacker_ctx());
+  for (NodeId i = 0; i < c_.cfg_.n; ++i) {
+    if (!c_.is_live(i)) continue;
+    lane(i).cur_key = (static_cast<std::uint64_t>(i) + 1) << kOriginShift;
+    c_.nodes_[i]->on_start(c_.node_ctx(i));
+  }
+  bool within_budget = merge_window();
+
+  TerminationReason reason = TerminationReason::kQueueDrained;
+  if (!within_budget) reason = TerminationReason::kEventBudget;
+  while (within_budget && !c_.stopped_) {
+    // W0: the earliest pending instant across every lane and the fault
+    // timeline — the same instant the serial engine would pop next.
+    Time w0 = 0;
+    bool any = false;
+    for (const auto& lp : lanes_) {
+      if (lp->heap.empty()) continue;
+      const Time t = lp->heap.top().at;
+      if (!any || t < w0) {
+        w0 = t;
+        any = true;
+      }
+    }
+    if (c_.faults_ != nullptr && fault_cursor_ < fault_count_) {
+      const Time t = c_.faults_->events()[fault_cursor_].at;
+      if (!any || t < w0) {
+        w0 = t;
+        any = true;
+      }
+    }
+    if (!any) break;  // kQueueDrained
+    if (w0 > c_.horizon_) {
+      c_.now_ = c_.horizon_;
+      reason = TerminationReason::kHorizon;
+      break;
+    }
+    c_.now_ = w0;
+    if (!apply_faults_at(w0)) {
+      reason = TerminationReason::kEventBudget;
+      break;
+    }
+
+    // W1: never wider than the lookahead (cross-lane safety), cut at the
+    // next fault transition (fault state is frozen inside a window) and at
+    // the horizon. The formula never reads lane state, so the window
+    // sequence is identical for every lane count — the determinism anchor.
+    Time w1 = w0 + std::max<Time>(lookahead_, 1);
+    if (c_.faults_ != nullptr && fault_cursor_ < fault_count_) {
+      w1 = std::min(w1, c_.faults_->events()[fault_cursor_].at);
+    }
+    w1 = std::min(w1, c_.horizon_ + 1);
+
+    // Per-lane runaway valve: a single lane may overshoot the remaining
+    // budget by at most one window before the barrier converts the
+    // overshoot into kEventBudget.
+    std::uint64_t cap =
+        c_.cfg_.max_events + 1 - c_.metrics_.events_processed();
+    // Zero-lookahead runs (always a single lane) deliver same-instant
+    // messages into the window being executed, so a protocol that keeps
+    // talking after its last decision never drains the instant — and the
+    // termination check only runs at barriers. The serial engine stops
+    // mid-instant at its inline check; with no parallelism at stake, match
+    // that cadence by forcing a barrier every few thousand events. The
+    // quota is a constant, so the event sequence stays deterministic.
+    if (lookahead_ <= 0) cap = std::min<std::uint64_t>(cap, 4096);
+    if (lanes_n_ == 1) {
+      run_window(0, w1, cap);
+    } else {
+      parallel_for(*pool_, lanes_n_,
+                   [this, w1, cap](std::size_t l) {
+                     run_window(static_cast<std::uint32_t>(l), w1, cap);
+                   });
+    }
+    within_budget = merge_window();
+    if (!within_budget) reason = TerminationReason::kEventBudget;
+  }
+  if (c_.stopped_) reason = TerminationReason::kDecided;
+  return c_.make_result(reason);
+}
+
+}  // namespace bftsim

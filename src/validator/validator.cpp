@@ -24,6 +24,7 @@ class ReplayController final : public Controller {
  public:
   ReplayController(SimConfig cfg, const Trace& ground_truth)
       : Controller(std::move(cfg)) {
+    custom_delivery_hook_ = true;
     for (const TraceRecord& rec : ground_truth.records()) {
       if (rec.kind == TraceKind::kDeliver) {
         // Self-deliveries never traverse the network module; the replay
@@ -77,7 +78,7 @@ class ReplayController final : public Controller {
     const Time at = it->second.front();
     it->second.pop_front();
     ++replayed_;
-    queue().push(std::max(at, now()), MessageDelivery{std::move(msg)});
+    schedule_message_at(std::move(msg), at);
   }
 
  private:

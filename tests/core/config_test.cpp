@@ -221,6 +221,73 @@ TEST(SimConfigTest, FaultsRoundTripThroughConfigJson) {
   EXPECT_TRUE(back.faults.enabled());
 }
 
+TEST(EngineConfigTest, DefaultsAreSerialAndOmittedFromJson) {
+  const SimConfig cfg;
+  EXPECT_EQ(cfg.engine.intra_jobs, 1u);
+  EXPECT_EQ(cfg.engine.rng, EngineConfig::RngMode::kAuto);
+  EXPECT_FALSE(cfg.engine.per_node_rng());
+  EXPECT_FALSE(cfg.engine.active());
+  // Inactive engine sections stay out of the emitted JSON so pre-existing
+  // configs round-trip byte-identically.
+  EXPECT_EQ(cfg.to_json().as_object().find("engine"), nullptr);
+}
+
+TEST(EngineConfigTest, RoundTripsThroughConfigJson) {
+  SimConfig cfg;
+  cfg.engine.intra_jobs = 8;
+  cfg.engine.rng = EngineConfig::RngMode::kPerNode;
+  const SimConfig back = SimConfig::from_json(cfg.to_json());
+  EXPECT_EQ(back.engine.intra_jobs, 8u);
+  EXPECT_EQ(back.engine.rng, EngineConfig::RngMode::kPerNode);
+  EXPECT_TRUE(back.engine.per_node_rng());
+}
+
+TEST(EngineConfigTest, AutoModeSelectsPerNodeRngOnlyWhenParallel) {
+  EngineConfig engine;
+  engine.intra_jobs = 2;
+  EXPECT_TRUE(engine.per_node_rng());
+  engine.rng = EngineConfig::RngMode::kStream;
+  EXPECT_FALSE(engine.per_node_rng());
+}
+
+TEST(StrictEngineConfigTest, UnknownKeysAndModesNamePath) {
+  EXPECT_EQ(error_of(R"({"engine": {"intra_job": 2}})"),
+            "config error at $.engine.intra_job: unknown key");
+  EXPECT_NE(error_of(R"({"engine": {"rng": "shared"}})").find("$.engine.rng"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"engine": {"intra_jobs": 0}})")
+                .find("$.engine.intra_jobs"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"engine": {"intra_jobs": 129}})")
+                .find("$.engine.intra_jobs"),
+            std::string::npos);
+}
+
+TEST(StrictEngineConfigTest, StreamRngIsSerialOnly) {
+  EXPECT_NE(
+      error_of(R"({"engine": {"intra_jobs": 2, "rng": "stream"}})")
+          .find("serial-only"),
+      std::string::npos);
+  EXPECT_EQ(error_of(R"({"engine": {"intra_jobs": 1, "rng": "stream"}})"), "");
+}
+
+TEST(StrictEngineConfigTest, WindowedModeExcludesAttacksAndTimeline) {
+  EXPECT_NE(error_of(R"({"engine": {"intra_jobs": 4},
+                          "attack": "partition"})")
+                .find("attack-free"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"engine": {"rng": "per_node"},
+                          "attack": "partition"})")
+                .find("attack-free"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"engine": {"intra_jobs": 4},
+                          "obs": {"timeline_tick_ms": 100}})")
+                .find("timeline"),
+            std::string::npos);
+  // Serial engine + attack stays valid, as before.
+  EXPECT_EQ(error_of(R"({"attack": "partition"})"), "");
+}
+
 TEST(SimConfigTest, FromFile) {
   const std::string path = ::testing::TempDir() + "/bftsim_config_test.json";
   {

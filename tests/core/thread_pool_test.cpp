@@ -209,6 +209,54 @@ TEST(ThreadPoolTest, DestructorSwallowsPendingTaskError) {
   pool.submit([] { throw std::runtime_error("never observed"); });
 }
 
+TEST(ThreadPoolTest, SubmitBatchRunsEveryTask) {
+  ThreadPool pool{4};
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> batch;
+  for (int i = 0; i < 200; ++i) {
+    batch.push_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.submit_batch(std::move(batch));
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, SubmitBatchEmptyIsANoop) {
+  ThreadPool pool{2};
+  pool.submit_batch({});
+  pool.wait_idle();
+}
+
+TEST(ThreadPoolTest, SubmitBatchInterleavesWithSubmit) {
+  // Barrier-cadenced batches (the windowed engine's usage) reuse the same
+  // queue as single submissions; every task from both paths must run.
+  ThreadPool pool{3};
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::function<void()>> batch;
+    for (int i = 0; i < 3; ++i) {
+      batch.push_back([&counter] { counter.fetch_add(1); });
+    }
+    pool.submit_batch(std::move(batch));
+    pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, SubmitBatchExceptionSurfacesAtWaitIdle) {
+  ThreadPool pool{2};
+  std::vector<std::function<void()>> batch;
+  batch.push_back([] { throw std::runtime_error("batch boom"); });
+  pool.submit_batch(std::move(batch));
+  try {
+    pool.wait_idle();
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "batch boom");
+  }
+}
+
 TEST(ThreadPoolTest, DefaultWorkersHonorsEnvOverride) {
   ASSERT_EQ(setenv("BFTSIM_JOBS", "3", /*overwrite=*/1), 0);
   EXPECT_EQ(ThreadPool::default_workers(), 3u);

@@ -5,6 +5,7 @@
 // (`ctest -L scale`). Set BFTSIM_SCALE_XL=1 to also exercise n=4096.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 
 #include "core/memstats.hpp"
@@ -96,6 +97,38 @@ TEST(ScaleSmoke, Hotstuff1024CompletesAndAgrees) {
   for (const Decision& d : result.decisions) {
     if (d.height == 0) EXPECT_EQ(d.value, decided);
   }
+}
+
+TEST(ScaleSmoke, Pbft1024WindowedIntraJobs4) {
+  // The windowed-parallel driver at intra_jobs=4 (CI runs this suite under
+  // TSan in the tsan-scale job): the run must complete, agree, match its
+  // serial per-node-RNG baseline bit for bit, and stay inside a wall
+  // budget generous enough for sanitizer overhead.
+  SimConfig cfg = scale_config(1024);
+  cfg.engine.rng = EngineConfig::RngMode::kPerNode;
+  cfg.engine.intra_jobs = 1;
+
+  const auto start = std::chrono::steady_clock::now();
+  const RunResult serial = run_simulation(cfg);
+  cfg.engine.intra_jobs = 4;
+  const RunResult parallel = run_simulation(cfg);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  expect_agreement(parallel, 1024);
+  EXPECT_EQ(parallel.events_processed, serial.events_processed);
+  EXPECT_EQ(parallel.messages_sent, serial.messages_sent);
+  EXPECT_EQ(parallel.messages_delivered, serial.messages_delivered);
+  EXPECT_EQ(parallel.termination_time, serial.termination_time);
+  ASSERT_EQ(parallel.decisions.size(), serial.decisions.size());
+  for (std::size_t i = 0; i < parallel.decisions.size(); ++i) {
+    EXPECT_EQ(parallel.decisions[i].node, serial.decisions[i].node);
+    EXPECT_EQ(parallel.decisions[i].at, serial.decisions[i].at);
+  }
+  // Both runs together; TSan slows the engine ~10x, so the budget is wide
+  // — it exists to catch windowed-driver livelock, not to measure speed.
+  EXPECT_LT(seconds, 300.0) << "windowed n=1024 run exceeded the wall budget";
 }
 
 TEST(ScaleSmoke, Pbft4096Completes) {

@@ -1,0 +1,283 @@
+// Windowed-parallel driver tests (sim/windowed.hpp): the window/lookahead
+// calculator in isolation, the determinism matrix replaying the recorded
+// golden configurations at intra_jobs ∈ {2, 3, 8} against the serial
+// per-node-RNG baseline (intra_jobs = 1), and fault-layer interaction
+// (crash / link-flap / corruption / clock-skew scenarios must stay
+// bit-identical across lane counts).
+#include "sim/windowed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/json.hpp"
+#include "sim/simulation.hpp"
+
+#ifndef BFTSIM_REPO_ROOT
+#error "BFTSIM_REPO_ROOT must point at the repository checkout"
+#endif
+
+namespace bftsim {
+namespace {
+
+// --- window calculator ---------------------------------------------------------
+
+SimConfig base_cfg() {
+  SimConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.n = 16;
+  cfg.delay = DelaySpec::uniform(200.0, 400.0);
+  cfg.seed = 7;
+  cfg.decisions = 2;
+  return cfg;
+}
+
+TEST(WindowCalc, ConstantDelayInfimumIsTheDelay) {
+  SimConfig cfg = base_cfg();
+  cfg.delay = DelaySpec::constant(250.0);
+  EXPECT_EQ(compute_lookahead(cfg), from_ms(250.0));
+}
+
+TEST(WindowCalc, ConstantZeroDelayDegeneratesToSerial) {
+  SimConfig cfg = base_cfg();
+  cfg.delay = DelaySpec::constant(0.0);
+  cfg.delay.min_ms = 0.0;  // the factory default clamp would rescue it
+  cfg.engine.intra_jobs = 8;
+  EXPECT_EQ(compute_lookahead(cfg), 0);
+  EXPECT_EQ(effective_lanes(cfg), 1u);
+}
+
+TEST(WindowCalc, UniformLowerEdge) {
+  SimConfig cfg = base_cfg();
+  cfg.delay = DelaySpec::uniform(200.0, 400.0);
+  EXPECT_EQ(compute_lookahead(cfg), from_ms(200.0));
+}
+
+TEST(WindowCalc, UnboundedTailsRelyOnTheMinClamp) {
+  SimConfig cfg = base_cfg();
+  cfg.delay = DelaySpec::normal(250.0, 50.0);  // min_ms = 1 by default
+  EXPECT_EQ(compute_lookahead(cfg), from_ms(1.0));
+  cfg.delay = DelaySpec::exponential(100.0);
+  cfg.delay.min_ms = 0.0;
+  EXPECT_EQ(compute_lookahead(cfg), 0);
+  EXPECT_EQ(effective_lanes(cfg), 1u);
+}
+
+TEST(WindowCalc, MaxClampCapsTheInfimum) {
+  SimConfig cfg = base_cfg();
+  cfg.delay = DelaySpec::constant(250.0);
+  cfg.delay.max_ms = 100.0;
+  EXPECT_EQ(compute_lookahead(cfg), from_ms(100.0));
+}
+
+TEST(WindowCalc, CrossRegionTransformCanUndercutTheFlatBound) {
+  SimConfig cfg = base_cfg();
+  cfg.delay = DelaySpec::constant(100.0);
+  json::Object topo;
+  topo["regions"] = std::int64_t{2};
+  topo["cross_factor"] = 0.5;
+  topo["cross_extra_ms"] = 10.0;
+  cfg.topology = json::Value(topo);
+  // min(100 ms, 100 * 0.5 + 10 ms) = 60 ms.
+  EXPECT_EQ(compute_lookahead(cfg), from_ms(60.0));
+  // A penalizing topology (factor >= 1) never raises the bound.
+  topo["cross_factor"] = 2.0;
+  cfg.topology = json::Value(topo);
+  EXPECT_EQ(compute_lookahead(cfg), from_ms(100.0));
+}
+
+TEST(WindowCalc, SkewLargerThanTheDelayCollapsesTheWindow) {
+  SimConfig cfg = base_cfg();
+  cfg.delay = DelaySpec::constant(5.0);
+  cfg.faults.clock.max_skew_ms = 10.0;
+  cfg.engine.intra_jobs = 4;
+  EXPECT_EQ(compute_lookahead(cfg), 0);
+  EXPECT_EQ(effective_lanes(cfg), 1u);
+}
+
+TEST(WindowCalc, SkewAndDriftShrinkTheWindow) {
+  SimConfig cfg = base_cfg();
+  cfg.delay = DelaySpec::constant(100.0);
+  cfg.faults.clock.max_skew_ms = 10.0;
+  cfg.faults.clock.max_drift = 0.1;
+  // 100 ms - 10 ms skew - 100 ms * 0.1 drift = 80 ms.
+  EXPECT_EQ(compute_lookahead(cfg), from_ms(80.0));
+}
+
+TEST(WindowCalc, EffectiveLanesClampToNodeCount) {
+  SimConfig cfg = base_cfg();
+  cfg.n = 4;
+  cfg.engine.intra_jobs = 8;
+  EXPECT_EQ(effective_lanes(cfg), 4u);
+  cfg.engine.intra_jobs = 1;
+  EXPECT_EQ(effective_lanes(cfg), 1u);
+}
+
+// --- determinism matrix --------------------------------------------------------
+
+/// Full bit-identity check between two runs: termination, every counter,
+/// every decision / view record, and the trace fingerprint. Field-by-field
+/// so a regression names what moved.
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.terminated, b.terminated);
+  EXPECT_EQ(a.termination_time, b.termination_time);
+  EXPECT_EQ(a.termination_reason, b.termination_reason);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.messages_delivered, b.messages_delivered);
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.messages_injected, b.messages_injected);
+  EXPECT_EQ(a.messages_corrupted, b.messages_corrupted);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.timers_fired, b.timers_fired);
+  EXPECT_EQ(a.trace_fingerprint, b.trace_fingerprint);
+  EXPECT_EQ(a.trace_records, b.trace_records);
+  EXPECT_EQ(a.honest, b.honest);
+  EXPECT_EQ(a.failstopped, b.failstopped);
+  EXPECT_EQ(a.corrupted, b.corrupted);
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (std::size_t i = 0; i < a.decisions.size(); ++i) {
+    EXPECT_EQ(a.decisions[i].node, b.decisions[i].node) << "decision " << i;
+    EXPECT_EQ(a.decisions[i].at, b.decisions[i].at) << "decision " << i;
+    EXPECT_EQ(a.decisions[i].height, b.decisions[i].height) << "decision " << i;
+    EXPECT_EQ(a.decisions[i].value, b.decisions[i].value) << "decision " << i;
+  }
+  ASSERT_EQ(a.views.size(), b.views.size());
+  for (std::size_t i = 0; i < a.views.size(); ++i) {
+    EXPECT_EQ(a.views[i].node, b.views[i].node) << "view " << i;
+    EXPECT_EQ(a.views[i].at, b.views[i].at) << "view " << i;
+    EXPECT_EQ(a.views[i].view, b.views[i].view) << "view " << i;
+  }
+}
+
+/// Runs `cfg` through the windowed driver at the given lane count (the
+/// per-node RNG baseline when jobs == 1) and at jobs > 1 the parallel path.
+RunResult run_windowed(SimConfig cfg, std::uint32_t jobs) {
+  cfg.engine.intra_jobs = jobs;
+  cfg.engine.rng = EngineConfig::RngMode::kPerNode;
+  cfg.record_trace = true;  // fingerprint every comparison
+  return run_simulation(cfg);
+}
+
+void expect_lane_invariant(const SimConfig& cfg) {
+  const RunResult serial = run_windowed(cfg, 1);
+  for (const std::uint32_t jobs : {2u, 3u, 8u}) {
+    SCOPED_TRACE("intra_jobs=" + std::to_string(jobs));
+    expect_identical(run_windowed(cfg, jobs), serial);
+  }
+}
+
+TEST(WindowedDeterminism, GoldenConfigsAreLaneCountInvariant) {
+  const std::string path =
+      std::string(BFTSIM_REPO_ROOT) + "/tests/data/engine_goldens.json";
+  const json::Value doc = json::parse_file(path);
+  const json::Array& points = doc.as_object().at("aggregate_points").as_array();
+  ASSERT_GE(points.size(), 20u);
+  std::size_t replayed = 0;
+  for (const json::Value& point : points) {
+    const json::Object& o = point.as_object();
+    const SimConfig cfg = SimConfig::from_json(o.at("config"));
+    // Attacks are excluded from windowed execution by config validation
+    // (a global adaptive adversary is inherently serial).
+    if (!cfg.attack.empty()) continue;
+    SCOPED_TRACE(o.at("name").as_string());
+    expect_lane_invariant(cfg);
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 10u) << "golden corpus lost its attack-free configs";
+}
+
+TEST(WindowedDeterminism, DecidedRunsMatchAcrossProtocols) {
+  for (const char* protocol : {"pbft", "hotstuff-ns", "tendermint", "librabft"}) {
+    SCOPED_TRACE(protocol);
+    SimConfig cfg = base_cfg();
+    cfg.protocol = protocol;
+    cfg.decisions = 3;
+    expect_lane_invariant(cfg);
+  }
+}
+
+TEST(WindowedDeterminism, CostModelRunsAreLaneCountInvariant) {
+  SimConfig cfg = base_cfg();
+  cfg.cost.verify_ms = 0.4;
+  cfg.cost.sign_ms = 0.9;
+  expect_lane_invariant(cfg);
+}
+
+TEST(WindowedDeterminism, GeoTopologyRunsAreLaneCountInvariant) {
+  SimConfig cfg = base_cfg();
+  json::Object topo;
+  topo["regions"] = std::int64_t{4};
+  topo["cross_factor"] = 1.5;
+  topo["cross_extra_ms"] = 40.0;
+  cfg.topology = json::Value(topo);
+  expect_lane_invariant(cfg);
+}
+
+// --- fault-layer interaction ---------------------------------------------------
+
+TEST(WindowedFaults, CrashAndLinkFlapScenariosAreLaneCountInvariant) {
+  SimConfig cfg = base_cfg();
+  cfg.protocol = "pbft";
+  cfg.decisions = 3;
+  cfg.max_time_ms = 120'000.0;
+  cfg.faults.crashes.push_back({/*node=*/3, /*at_ms=*/500.0, /*duration_ms=*/1500.0});
+  cfg.faults.crashes.push_back({/*node=*/7, /*at_ms=*/900.0, /*duration_ms=*/400.0});
+  cfg.faults.link_flaps.push_back(
+      {/*a=*/1, /*b=*/2, /*at_ms=*/200.0, /*duration_ms=*/1800.0});
+  cfg.faults.link_flaps.push_back(
+      {/*a=*/0, /*b=*/5, /*at_ms=*/700.0, /*duration_ms=*/600.0});
+  expect_lane_invariant(cfg);
+}
+
+TEST(WindowedFaults, CorruptionDrawsArePerSenderAndLaneCountInvariant) {
+  SimConfig cfg = base_cfg();
+  cfg.decisions = 3;
+  cfg.faults.corruption.rate = 0.2;
+  cfg.faults.corruption.start_ms = 0.0;
+  cfg.faults.corruption.end_ms = 0.0;  // whole run
+  const RunResult serial = run_windowed(cfg, 1);
+  EXPECT_GT(serial.messages_corrupted, 0u) << "scenario corrupts nothing";
+  for (const std::uint32_t jobs : {2u, 3u, 8u}) {
+    SCOPED_TRACE("intra_jobs=" + std::to_string(jobs));
+    expect_identical(run_windowed(cfg, jobs), serial);
+  }
+}
+
+TEST(WindowedFaults, ClockSkewShrinksTheWindowButStaysInvariant) {
+  SimConfig cfg = base_cfg();
+  cfg.faults.clock.max_skew_ms = 10.0;
+  cfg.faults.clock.max_drift = 0.01;
+  ASSERT_GT(compute_lookahead(cfg), 0);
+  expect_lane_invariant(cfg);
+}
+
+TEST(WindowedFaults, RandomWindowScenariosAreLaneCountInvariant) {
+  SimConfig cfg = base_cfg();
+  cfg.decisions = 3;
+  cfg.faults.random_crashes = {/*count=*/3, /*start_ms=*/0.0, /*end_ms=*/2000.0,
+                               /*min_duration_ms=*/100.0,
+                               /*max_duration_ms=*/1200.0};
+  cfg.faults.random_link_flaps = {/*count=*/4, /*start_ms=*/0.0,
+                                  /*end_ms=*/2500.0, /*min_duration_ms=*/100.0,
+                                  /*max_duration_ms=*/900.0};
+  expect_lane_invariant(cfg);
+}
+
+// --- self-degradation end to end ----------------------------------------------
+
+TEST(WindowedDeterminism, ZeroLookaheadRunsServeOneLane) {
+  SimConfig cfg = base_cfg();
+  cfg.delay = DelaySpec::constant(0.0);
+  cfg.delay.min_ms = 0.0;
+  cfg.decisions = 2;
+  // intra_jobs = 8 self-degrades to one lane; the run must still complete
+  // and match the explicit one-lane execution bit for bit.
+  expect_identical(run_windowed(cfg, 8), run_windowed(cfg, 1));
+}
+
+}  // namespace
+}  // namespace bftsim

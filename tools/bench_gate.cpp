@@ -22,9 +22,24 @@
 // is stable even when the wall clock is not. Files without a scaling
 // section gate workloads only, so the two checks roll out independently.
 //
+// Thread-count honesty: every micro_engine record carries the machine's
+// actual "hardware_threads". When both files declare a thread count and
+// they differ, the gate refuses to compare (exit 2) — events/sec and
+// speedup figures from different machines are not comparable evidence.
+// --allow-thread-mismatch downgrades the refusal to a warning and gates
+// only the thread-count-insensitive records (serial throughput, memory),
+// skipping parallel speedup comparisons entirely.
+//
+// When both files carry an "intra_speedup" record (the windowed-parallel
+// driver vs its serial per-node-RNG baseline; see docs/PARALLELISM.md),
+// each matched workload's speedup must stay above the --tolerance floor,
+// and the run must have been bit-identical ("identical": true) — a
+// divergent parallel run fails regardless of speed.
+//
 // Usage:
 //   bench_gate --current micro.json --reference BENCH_engine.json
 //              [--tolerance 0.25] [--mem-tolerance 0.35]
+//              [--allow-thread-mismatch]
 //
 // Exit codes: 0 pass, 1 regression detected, 2 usage/input error.
 #include <algorithm>
@@ -44,7 +59,8 @@ using bftsim::json::Value;
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --current micro.json --reference BENCH_engine.json\n"
-               "          [--tolerance 0.25] [--mem-tolerance 0.35]\n",
+               "          [--tolerance 0.25] [--mem-tolerance 0.35]\n"
+               "          [--allow-thread-mismatch]\n",
                argv0);
   std::exit(2);
 }
@@ -100,6 +116,7 @@ int main(int argc, char** argv) {
   std::string reference_path;
   double tolerance = 0.25;
   double mem_tolerance = 0.35;
+  bool allow_thread_mismatch = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -115,6 +132,8 @@ int main(int argc, char** argv) {
       tolerance = std::strtod(next(), nullptr);
     } else if (arg == "--mem-tolerance") {
       mem_tolerance = std::strtod(next(), nullptr);
+    } else if (arg == "--allow-thread-mismatch") {
+      allow_thread_mismatch = true;
     } else {
       usage(argv[0]);
     }
@@ -132,6 +151,31 @@ int main(int argc, char** argv) {
   try {
     const Value reference_doc = bftsim::json::parse_file(reference_path);
     const Value current_doc = bftsim::json::parse_file(current_path);
+
+    // Refuse cross-machine comparisons: a record's events/sec and speedup
+    // figures only mean something against a reference taken with the same
+    // hardware thread count.
+    const std::int64_t ref_threads =
+        reference_doc.get_int("hardware_threads", 0);
+    const std::int64_t cur_threads = current_doc.get_int("hardware_threads", 0);
+    bool threads_match = true;
+    if (ref_threads > 0 && cur_threads > 0 && ref_threads != cur_threads) {
+      threads_match = false;
+      if (!allow_thread_mismatch) {
+        std::fprintf(stderr,
+                     "thread-count mismatch: reference recorded with %lld "
+                     "hardware threads, current with %lld — results are not "
+                     "comparable (pass --allow-thread-mismatch to gate only "
+                     "thread-count-insensitive records)\n",
+                     static_cast<long long>(ref_threads),
+                     static_cast<long long>(cur_threads));
+        return 2;
+      }
+      std::printf("WARN  thread-count mismatch (ref %lld, current %lld): "
+                  "skipping parallel speedup comparisons\n",
+                  static_cast<long long>(ref_threads),
+                  static_cast<long long>(cur_threads));
+    }
 
     std::vector<Reference> references;
     const Value* workloads = reference_doc.as_object().find("workloads");
@@ -244,7 +288,66 @@ int main(int argc, char** argv) {
       }
     }
 
-    if (compared == 0 && scale_compared == 0) {
+    // --- windowed intra-run speedup: floor + bit-identity -----------------
+    // Bit-identity is machine-independent and always gated; the speedup
+    // floor only makes sense against a reference from the same hardware.
+    int intra_compared = 0;
+    const Value* intra_ref = reference_doc.as_object().find("intra_speedup");
+    const Value* intra_cur = current_doc.as_object().find("intra_speedup");
+    if (intra_ref != nullptr && intra_cur != nullptr &&
+        intra_ref->is_object() && intra_cur->is_object()) {
+      const Value* ref_rows = intra_ref->as_object().find("workloads");
+      const Value* cur_rows = intra_cur->as_object().find("workloads");
+      if (ref_rows != nullptr && cur_rows != nullptr && ref_rows->is_array() &&
+          cur_rows->is_array()) {
+        for (const Value& cur : cur_rows->as_array()) {
+          const std::string protocol = cur.get_string("protocol", "");
+          const std::int64_t n = cur.get_int("n", 0);
+          const double measured = cur.get_number("speedup", 0.0);
+          const bool identical = cur.as_object().find("identical") != nullptr &&
+                                 cur.as_object().at("identical").as_bool();
+          const bftsim::json::Array& refs = ref_rows->as_array();
+          const auto ref = std::find_if(
+              refs.begin(), refs.end(), [&](const Value& r) {
+                return r.get_string("protocol", "") == protocol &&
+                       r.get_int("n", 0) == n;
+              });
+          if (ref == refs.end()) {
+            std::printf("SKIP  intra %-12s n=%-5lld %.2fx (no reference)\n",
+                        protocol.c_str(), static_cast<long long>(n), measured);
+            continue;
+          }
+          ++intra_compared;
+          const double ref_speedup = ref->get_number("speedup", 0.0);
+          bool ok = true;
+          if (!identical) {
+            ok = false;
+            ++regressions;
+            std::printf("FAIL  intra %-12s n=%-5lld parallel run diverged "
+                        "from serial baseline\n",
+                        protocol.c_str(), static_cast<long long>(n));
+          }
+          if (threads_match && ref_speedup > 0.0 &&
+              measured < (1.0 - tolerance) * ref_speedup) {
+            ok = false;
+            ++regressions;
+            std::printf("FAIL  intra %-12s n=%-5lld %.2fx vs ref %.2fx "
+                        "(%.0f%%)\n",
+                        protocol.c_str(), static_cast<long long>(n), measured,
+                        ref_speedup, 100.0 * measured / ref_speedup);
+          }
+          if (ok) {
+            std::printf("OK    intra %-12s n=%-5lld %.2fx vs ref %.2fx%s\n",
+                        protocol.c_str(), static_cast<long long>(n), measured,
+                        ref_speedup,
+                        threads_match ? "" : " (speedup ungated: thread-count "
+                                             "mismatch; identity checked)");
+          }
+        }
+      }
+    }
+
+    if (compared == 0 && scale_compared == 0 && intra_compared == 0) {
       std::fprintf(stderr, "nothing matched between %s and %s\n",
                    current_path.c_str(), reference_path.c_str());
       return 2;
@@ -252,12 +355,13 @@ int main(int argc, char** argv) {
     if (regressions > 0) {
       std::fprintf(stderr, "%d of %d comparisons regressed (>%.0f%% slower "
                    "or >%.0f%% more memory)\n",
-                   regressions, compared + scale_compared, 100.0 * tolerance,
-                   100.0 * mem_tolerance);
+                   regressions, compared + scale_compared + intra_compared,
+                   100.0 * tolerance, 100.0 * mem_tolerance);
       return 1;
     }
-    std::printf("all %d workloads and %d scaling points within tolerance\n",
-                compared, scale_compared);
+    std::printf("all %d workloads, %d scaling points and %d intra-speedup "
+                "records within tolerance\n",
+                compared, scale_compared, intra_compared);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_gate: %s\n", e.what());

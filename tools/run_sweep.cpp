@@ -10,8 +10,13 @@
 // termination_reason instead of hanging the batch.
 //
 // Usage:
-//   run_sweep <config.json> [--repeats R] [--jobs J] [--out FILE]
-//             [--max-events N] [--max-time-ms T] [--fail-fast]
+//   run_sweep <config.json> [--repeats R] [--jobs J] [--intra-jobs N]
+//             [--out FILE] [--max-events N] [--max-time-ms T] [--fail-fast]
+//
+// --intra-jobs N overrides every point's engine.intra_jobs, running each
+// run through the windowed-parallel driver (per-node RNG semantics; see
+// docs/PARALLELISM.md). Points whose config already sets an engine section
+// keep their own values unless the flag is given.
 //
 // The full SweepOutcome (per-point aggregates, termination tallies, and
 // failure records) is written as JSON to --out, or to stdout when no
@@ -36,8 +41,9 @@ using namespace bftsim;
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <config.json> [--repeats R] [--jobs J] [--out FILE]\n"
-               "          [--max-events N] [--max-time-ms T] [--fail-fast]\n",
+               "usage: %s <config.json> [--repeats R] [--jobs J]\n"
+               "          [--intra-jobs N] [--out FILE] [--max-events N]\n"
+               "          [--max-time-ms T] [--fail-fast]\n",
                argv0);
   std::exit(2);
 }
@@ -47,8 +53,9 @@ using namespace bftsim;
 int main(int argc, char** argv) {
   std::string input_path;
   std::string out_path;
-  std::size_t repeats = 0;  // 0 = from sweep file, default 3
-  std::size_t jobs = 0;     // 0 = ThreadPool default
+  std::size_t repeats = 0;    // 0 = from sweep file, default 3
+  std::size_t jobs = 0;       // 0 = ThreadPool default
+  std::uint32_t intra_jobs = 0;  // 0 = leave each point's engine config alone
   Watchdog watchdog;
   bool fail_fast = false;
 
@@ -62,6 +69,8 @@ int main(int argc, char** argv) {
       repeats = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--jobs") {
       jobs = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--intra-jobs") {
+      intra_jobs = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--max-events") {
@@ -102,6 +111,17 @@ int main(int argc, char** argv) {
   if (points.empty()) {
     std::fprintf(stderr, "%s: no points to run\n", input_path.c_str());
     return 2;
+  }
+  if (intra_jobs > 0) {
+    for (SimConfig& point : points) {
+      point.engine.intra_jobs = intra_jobs;
+      try {
+        point.validate();
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "--intra-jobs %u: %s\n", intra_jobs, e.what());
+        return 2;
+      }
+    }
   }
 
   const SweepOutcome outcome = run_sweep_guarded(points, repeats, jobs, watchdog);
