@@ -7,6 +7,7 @@
 // to size the pool, --intra-jobs N to size the windowed-parallel driver,
 // --skip-micro to run only the measurements, --skip-scaling to omit the
 // curve, --skip-intra to omit the windowed intra-run speedup,
+// --skip-attacker to omit the attacker-hook overhead record,
 // --only-scaling to record just the curve). Every record carries the
 // actual hardware thread count so bench_gate can refuse cross-machine
 // comparisons.
@@ -333,6 +334,56 @@ json::Value measure_intra_speedup(std::uint32_t intra_jobs) {
   return json::Value{std::move(o)};
 }
 
+/// Times the attacker hook: the same workload attack-free (the passive
+/// fast path, which never materializes Message objects) vs with a
+/// registered no-op attack whose type filter matches nothing (every
+/// unicast now traverses attack() through the envelope slow path). The
+/// two runs must stay equivalent — the hook may cost wall time, never
+/// semantics — and the overhead ratio is the figure bench_gate guards.
+json::Value measure_attacker_hook(std::size_t repeats) {
+  SimConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.n = 32;
+  cfg.lambda_ms = 1000;
+  cfg.delay = DelaySpec::normal(250, 50);
+  cfg.seed = 1;
+
+  (void)run_repeated(cfg, 2);  // warm-up outside the timed region
+  const auto passive_start = std::chrono::steady_clock::now();
+  const Aggregate passive = run_repeated(cfg, repeats);
+  const double passive_seconds = seconds_since(passive_start);
+
+  cfg.attack = "delay-schedule";
+  json::Object params;
+  params["type"] = "bench/none";  // matches no payload type: a no-op hook
+  cfg.attack_params = json::Value{std::move(params)};
+  (void)run_repeated(cfg, 2);
+  const auto hooked_start = std::chrono::steady_clock::now();
+  const Aggregate hooked = run_repeated(cfg, repeats);
+  const double hooked_seconds = seconds_since(hooked_start);
+
+  const bool identical = equivalent(passive, hooked);
+  const double overhead =
+      passive_seconds > 0.0 ? hooked_seconds / passive_seconds : 0.0;
+  std::printf("\n--- attacker hook overhead (pbft, n=32, %zu runs) ---\n",
+              repeats);
+  std::printf("passive:   %.3f s\n", passive_seconds);
+  std::printf("hooked:    %.3f s  (no-op delay-schedule attack)\n",
+              hooked_seconds);
+  std::printf("overhead:  %.2fx\n", overhead);
+  std::printf("aggregates identical (modulo wall clock): %s\n",
+              identical ? "yes" : "NO — the hook changed semantics");
+
+  json::Object o;
+  o["workload"] = "run_repeated pbft n=32";
+  o["repeats"] = static_cast<std::int64_t>(repeats);
+  o["passive_seconds"] = passive_seconds;
+  o["hooked_seconds"] = hooked_seconds;
+  o["overhead_ratio"] = overhead;
+  o["identical"] = identical;
+  return json::Value{std::move(o)};
+}
+
 /// Times run_repeated vs run_repeated_parallel on the same workload,
 /// checks the aggregates are equivalent, prints the comparison, and
 /// writes it to `json_path`. Speedup tracks the machine: ~min(jobs,
@@ -340,7 +391,8 @@ json::Value measure_intra_speedup(std::uint32_t intra_jobs) {
 void measure_parallel_speedup(const std::string& json_path, std::size_t jobs,
                               std::size_t repeats, json::Value engine_throughput,
                               json::Value scaling, json::Value intra_speedup,
-                              std::uint32_t intra_jobs) {
+                              std::uint32_t intra_jobs,
+                              json::Value attacker_hook) {
   SimConfig cfg;
   cfg.protocol = "pbft";
   cfg.n = 32;
@@ -390,6 +442,7 @@ void measure_parallel_speedup(const std::string& json_path, std::size_t jobs,
   o["engine_throughput"] = std::move(engine_throughput);
   if (scaling.is_array()) o["scaling"] = std::move(scaling);
   if (intra_speedup.is_object()) o["intra_speedup"] = std::move(intra_speedup);
+  if (attacker_hook.is_object()) o["attacker_hook"] = std::move(attacker_hook);
   write_json_file(json_path, json::Value{std::move(o)});
   std::printf("[speedup record written to %s]\n", json_path.c_str());
 }
@@ -404,6 +457,7 @@ int main(int argc, char** argv) {
   bool run_micro = true;
   bool run_scaling = true;
   bool run_intra = true;
+  bool run_attacker = true;
   bool only_scaling = false;
   if (const char* env = std::getenv("BFTSIM_JOBS")) {
     const long value = std::strtol(env, nullptr, 10);
@@ -422,6 +476,8 @@ int main(int argc, char** argv) {
           static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--skip-intra") == 0) {
       run_intra = false;
+    } else if (std::strcmp(argv[i], "--skip-attacker") == 0) {
+      run_attacker = false;
     } else if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
       repeats = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--skip-micro") == 0) {
@@ -458,10 +514,17 @@ int main(int argc, char** argv) {
   if (run_micro) benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  measure_parallel_speedup(
-      json_path, jobs, repeats, measure_engine_throughput(),
-      run_scaling ? measure_scaling_curve() : json::Value{},
-      run_intra ? measure_intra_speedup(intra_jobs) : json::Value{},
-      intra_jobs);
+  // Named locals pin the measurement (and print) order — function-argument
+  // evaluation order is unspecified.
+  json::Value engine_throughput = measure_engine_throughput();
+  json::Value scaling = run_scaling ? measure_scaling_curve() : json::Value{};
+  json::Value intra =
+      run_intra ? measure_intra_speedup(intra_jobs) : json::Value{};
+  json::Value attacker_hook =
+      run_attacker ? measure_attacker_hook(repeats) : json::Value{};
+  measure_parallel_speedup(json_path, jobs, repeats,
+                           std::move(engine_throughput), std::move(scaling),
+                           std::move(intra), intra_jobs,
+                           std::move(attacker_hook));
   return 0;
 }

@@ -1,0 +1,129 @@
+#include "adversary/reproducer.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "core/config_check.hpp"
+#include "runner/export.hpp"
+#include "sim/simulation.hpp"
+
+namespace bftsim::adversary {
+
+namespace {
+
+[[nodiscard]] std::uint64_t parse_hex64(const std::string& s,
+                                        const std::string& path) {
+  if (s.empty() || s.size() > 16) {
+    cfgcheck::fail(path, "expected a hex string of 1..16 digits");
+  }
+  std::uint64_t value = 0;
+  for (const char c : s) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') value |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') value |= static_cast<std::uint64_t>(c - 'A' + 10);
+    else cfgcheck::fail(path, "bad hex digit in \"" + s + "\"");
+  }
+  return value;
+}
+
+}  // namespace
+
+json::Value AdvReproducer::to_json() const {
+  json::Object o;
+  o["schema"] = kAdvReproducerSchema;
+  o["id"] = id;
+  o["search_seed"] = search_seed;
+  o["protocol"] = protocol;
+  o["attack"] = attack;
+  o["damage"] = damage.to_json();
+  o["attacked_fingerprint"] = fingerprint_to_hex(attacked_fingerprint);
+  o["attacked_records"] = attacked_records;
+  o["baseline_fingerprint"] = fingerprint_to_hex(baseline_fingerprint);
+  o["baseline_records"] = baseline_records;
+  o["shrink_steps"] = static_cast<std::uint64_t>(shrink_steps);
+  o["shrink_runs"] = static_cast<std::uint64_t>(shrink_runs);
+  o["config"] = config.to_json();
+  return json::Value{std::move(o)};
+}
+
+AdvReproducer AdvReproducer::from_json(const json::Value& v,
+                                       const std::string& path) {
+  cfgcheck::require_keys(
+      v, path,
+      {"schema", "id", "search_seed", "protocol", "attack", "damage",
+       "attacked_fingerprint", "attacked_records", "baseline_fingerprint",
+       "baseline_records", "shrink_steps", "shrink_runs", "config"});
+  const std::string schema = v.get_string("schema", "");
+  if (schema != kAdvReproducerSchema) {
+    cfgcheck::fail(path + ".schema",
+                   "expected \"" + std::string(kAdvReproducerSchema) +
+                       "\", got \"" + schema + "\"");
+  }
+  AdvReproducer repro;
+  repro.id = v.get_string("id", "");
+  repro.search_seed = static_cast<std::uint64_t>(v.get_int("search_seed", 0));
+  repro.protocol = v.get_string("protocol", "");
+  repro.attack = v.get_string("attack", "");
+  const json::Value* dmg = v.as_object().find("damage");
+  if (dmg == nullptr) cfgcheck::fail(path + ".damage", "missing");
+  repro.damage = DamageReport::from_json(*dmg, path + ".damage");
+  repro.attacked_fingerprint =
+      parse_hex64(v.get_string("attacked_fingerprint", "0"),
+                  path + ".attacked_fingerprint");
+  repro.attacked_records =
+      static_cast<std::uint64_t>(v.get_int("attacked_records", 0));
+  repro.baseline_fingerprint =
+      parse_hex64(v.get_string("baseline_fingerprint", "0"),
+                  path + ".baseline_fingerprint");
+  repro.baseline_records =
+      static_cast<std::uint64_t>(v.get_int("baseline_records", 0));
+  repro.shrink_steps = static_cast<std::size_t>(v.get_int("shrink_steps", 0));
+  repro.shrink_runs = static_cast<std::size_t>(v.get_int("shrink_runs", 0));
+  const json::Value* cfg = v.as_object().find("config");
+  if (cfg == nullptr) cfgcheck::fail(path + ".config", "missing");
+  repro.config = SimConfig::from_json(*cfg);
+  if (repro.config.attack != repro.attack) {
+    cfgcheck::fail(path + ".attack",
+                   "does not match config.attack \"" + repro.config.attack +
+                       "\"");
+  }
+  return repro;
+}
+
+AdvReproducer AdvReproducer::from_file(const std::string& file) {
+  return from_json(json::parse_file(file));
+}
+
+void AdvReproducer::save(const std::string& file) const {
+  std::ofstream out(file);
+  if (!out) throw std::runtime_error("cannot write reproducer: " + file);
+  out << to_json().dump(2) << '\n';
+}
+
+AdvReplayOutcome replay_adv_reproducer(const AdvReproducer& repro) {
+  const SimConfig base_cfg = baseline_of(repro.config);
+  const RunResult baseline = run_simulation(base_cfg);
+  const RunResult attacked = run_simulation(repro.config);
+
+  AdvReplayOutcome outcome;
+  outcome.damage = compute_damage(repro.config, baseline, attacked);
+  outcome.attacked_fingerprint = attacked.trace_fingerprint;
+  outcome.attacked_records = attacked.trace_records;
+  outcome.baseline_fingerprint = baseline.trace_fingerprint;
+  outcome.baseline_records = baseline.trace_records;
+  // Exact equality is intentional: the score is deterministic double
+  // arithmetic over run products, and JSON numbers round-trip bit-exactly.
+  outcome.score_matches = outcome.damage.score == repro.damage.score;
+  outcome.verdict_matches =
+      outcome.damage.stalled == repro.damage.stalled &&
+      outcome.damage.safety_violated == repro.damage.safety_violated;
+  outcome.fingerprints_match =
+      attacked.trace_fingerprint == repro.attacked_fingerprint &&
+      attacked.trace_records == repro.attacked_records &&
+      baseline.trace_fingerprint == repro.baseline_fingerprint &&
+      baseline.trace_records == repro.baseline_records;
+  return outcome;
+}
+
+}  // namespace bftsim::adversary

@@ -1,0 +1,73 @@
+// Replayable worst-case attack strategies.
+//
+// Each per-protocol × per-attack worst case the search reports is backed by
+// one self-contained JSON document: the attacked SimConfig (its attack-free
+// baseline is derived, not stored — same config with `attack` cleared), the
+// damage report the search measured, and the trace fingerprints of both
+// runs. Replaying re-executes baseline and attacked runs, recomputes the
+// damage from their products, and demands bit-exact agreement — same
+// fingerprints, same record counts, same composite score under `==` (JSON
+// numbers round-trip exactly, so the stored score is the computed one).
+// The search itself refuses to report any cell whose reproducer does not
+// replay; the corpus under tests/data/adversary_corpus/ is these files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "adversary/damage.hpp"
+#include "core/config.hpp"
+#include "core/json.hpp"
+
+namespace bftsim::adversary {
+
+/// Schema tag every adversary reproducer document carries.
+inline constexpr const char* kAdvReproducerSchema =
+    "bftsim-adversary-reproducer-v1";
+
+/// One replayable worst-case strategy for a (protocol, attack) cell.
+struct AdvReproducer {
+  std::string id;                ///< "advsearch-<seed>/<protocol>/<attack>"
+  std::uint64_t search_seed = 0;
+  std::string protocol;
+  std::string attack;
+  SimConfig config;              ///< attacked config; baseline is derived
+  DamageReport damage;           ///< damage measured by the search
+  std::uint64_t attacked_fingerprint = 0;
+  std::uint64_t attacked_records = 0;
+  std::uint64_t baseline_fingerprint = 0;
+  std::uint64_t baseline_records = 0;
+  std::size_t shrink_steps = 0;  ///< accepted shrinking transformations
+  std::size_t shrink_runs = 0;   ///< simulations the shrinker executed
+
+  [[nodiscard]] json::Value to_json() const;
+  /// Strict parse; throws std::invalid_argument / json::Error naming the
+  /// offending path. `path` roots error messages (default "$").
+  [[nodiscard]] static AdvReproducer from_json(const json::Value& v,
+                                               const std::string& path = "$");
+  [[nodiscard]] static AdvReproducer from_file(const std::string& file);
+  void save(const std::string& file) const;
+};
+
+/// Outcome of replaying an adversary reproducer.
+struct AdvReplayOutcome {
+  DamageReport damage;  ///< damage recomputed from the replayed runs
+  std::uint64_t attacked_fingerprint = 0;
+  std::uint64_t attacked_records = 0;
+  std::uint64_t baseline_fingerprint = 0;
+  std::uint64_t baseline_records = 0;
+  bool score_matches = false;        ///< recomputed score == recorded (exact)
+  bool verdict_matches = false;      ///< stalled/safety flags match
+  bool fingerprints_match = false;   ///< both traces bit-identical
+
+  [[nodiscard]] bool ok() const noexcept {
+    return score_matches && verdict_matches && fingerprints_match;
+  }
+};
+
+/// Re-executes the reproducer's baseline and attacked runs and compares
+/// damage score, verdict flags, and both trace fingerprints against the
+/// recorded ones.
+[[nodiscard]] AdvReplayOutcome replay_adv_reproducer(const AdvReproducer& repro);
+
+}  // namespace bftsim::adversary

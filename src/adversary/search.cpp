@@ -1,0 +1,269 @@
+#include "adversary/search.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "core/thread_pool.hpp"
+#include "explore/shrink.hpp"
+#include "protocols/registry.hpp"
+#include "sim/simulation.hpp"
+
+namespace bftsim::adversary {
+
+namespace {
+
+/// One evaluated candidate: its lattice point and the run products needed
+/// to rank it and (for the incumbent) to seed the reproducer.
+struct Eval {
+  ParamVector pv;
+  DamageReport damage;
+  std::uint64_t attacked_fingerprint = 0;
+  std::uint64_t attacked_records = 0;
+  bool failed = false;
+};
+
+[[nodiscard]] SimConfig attacked_config(const SimConfig& base,
+                                        const AttackSpace& space,
+                                        const ParamVector& pv) {
+  SimConfig cfg = base;
+  cfg.attack = space.attack;
+  cfg.attack_params = params_of(space, pv);
+  return cfg;
+}
+
+/// Products of the shrink predicate's accepted probe, captured on the side
+/// (shrink_config only tracks configs).
+struct AcceptedProbe {
+  DamageReport damage;
+  std::uint64_t attacked_fingerprint = 0;
+  std::uint64_t attacked_records = 0;
+  std::uint64_t baseline_fingerprint = 0;
+  std::uint64_t baseline_records = 0;
+};
+
+}  // namespace
+
+SimConfig search_base_config(const std::string& protocol,
+                             const SearchOptions& options) {
+  SimConfig cfg;
+  cfg.protocol = protocol;
+  cfg.n = options.n;
+  cfg.lambda_ms = options.lambda_ms;
+  cfg.delay = DelaySpec::normal(250.0, 50.0);
+  // Same rule as the fuzzer's scenario generator: a synchronous-model
+  // protocol is only safe when the network honors its λ bound, so an
+  // unbounded delay tail would measure a synchrony violation, not damage.
+  const ProtocolInfo& info = ProtocolRegistry::instance().get(protocol);
+  if (info.model == NetModel::kSync) cfg.delay.max_ms = cfg.lambda_ms;
+  cfg.seed = options.seed;
+  cfg.max_time_ms = 600'000.0;
+  cfg.record_trace = true;
+  return options.watchdog.apply(std::move(cfg));
+}
+
+json::Value SearchReport::to_json() const {
+  json::Object o;
+  o["schema"] = "bftsim-adversary-search-v1";
+  o["seed"] = seed;
+  json::Array cells;
+  for (const WorstCase& w : worst) {
+    json::Object c;
+    c["protocol"] = w.protocol;
+    c["attack"] = w.attack;
+    c["params"] = w.params;
+    c["damage"] = w.damage.to_json();
+    c["evaluations"] = w.evaluations;
+    if (w.has_reproducer) c["reproducer"] = w.reproducer.to_json();
+    cells.emplace_back(json::Value{std::move(c)});
+  }
+  o["worst"] = json::Value{std::move(cells)};
+  json::Array refusals;
+  for (const std::string& r : refused) refusals.emplace_back(r);
+  o["refused"] = json::Value{std::move(refusals)};
+  return json::Value{std::move(o)};
+}
+
+std::string SearchReport::table() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line, "%-14s %-22s %10s  %s\n", "protocol",
+                "attack", "score", "damage");
+  out += line;
+  out += std::string(78, '-') + '\n';
+  for (const WorstCase& w : worst) {
+    std::snprintf(line, sizeof line, "%-14s %-22s %10.2f  %s\n",
+                  w.protocol.c_str(), w.attack.c_str(), w.damage.score,
+                  w.damage.describe().c_str());
+    out += line;
+    if (w.has_reproducer) {
+      out += "  params: " + w.params.dump() + '\n';
+    }
+  }
+  for (const std::string& r : refused) out += "REFUSED " + r + '\n';
+  return out;
+}
+
+SearchReport run_search(const SearchOptions& options) {
+  ThreadPool pool(options.jobs == 0 ? ThreadPool::default_workers()
+                                    : options.jobs);
+
+  SearchReport report;
+  report.seed = options.seed;
+
+  for (const std::string& protocol : options.protocols) {
+    const SimConfig base = search_base_config(protocol, options);
+    // One shared baseline per protocol: every candidate of every cell is
+    // scored against the same attack-free run (it IS baseline_of(candidate)
+    // for unshrunk candidates, since only attack/attack_params differ).
+    const RunResult baseline = run_simulation(base);
+
+    for (const AttackSpace& space : attack_spaces(protocol, base)) {
+      const std::string cell = protocol + "/" + space.attack;
+      std::set<ParamVector> seen;
+      Eval incumbent;
+      bool have_incumbent = false;
+      std::uint64_t evaluations = 0;
+
+      // Evaluates a candidate batch on the pool; slots fold up in index
+      // order (strict > keeps the first maximum), so the incumbent is
+      // independent of scheduling.
+      const auto run_batch = [&](const std::vector<ParamVector>& batch) {
+        std::vector<ParamVector> fresh;
+        for (const ParamVector& pv : batch) {
+          if (seen.insert(pv).second) fresh.push_back(pv);
+        }
+        std::vector<Eval> slots(fresh.size());
+        parallel_for(pool, fresh.size(), [&](std::size_t i) {
+          slots[i].pv = fresh[i];
+          try {
+            const SimConfig cfg = attacked_config(base, space, fresh[i]);
+            const RunResult result = run_simulation(cfg);
+            slots[i].damage = compute_damage(cfg, baseline, result);
+            slots[i].attacked_fingerprint = result.trace_fingerprint;
+            slots[i].attacked_records = result.trace_records;
+          } catch (const std::exception&) {
+            slots[i].failed = true;
+          }
+        });
+        evaluations += fresh.size();
+        for (Eval& slot : slots) {
+          if (slot.failed) continue;
+          if (!have_incumbent || slot.damage.score > incumbent.damage.score) {
+            incumbent = std::move(slot);
+            have_incumbent = true;
+          }
+        }
+      };
+
+      // Round 0: seeded grid. Rounds 1..R: the incumbent's lattice
+      // neighbors plus fresh seeded draws (restarts keep the local search
+      // from anchoring on a weak round-0 sample).
+      std::vector<ParamVector> batch;
+      for (std::uint64_t i = 0; i < options.grid; ++i) {
+        batch.push_back(draw_candidate(space, options.seed, 0, i));
+      }
+      run_batch(batch);
+      for (std::uint64_t round = 1; round <= options.rounds; ++round) {
+        if (!have_incumbent) break;
+        batch = neighbors(space, incumbent.pv);
+        for (std::uint64_t i = 0; i < options.grid / 2; ++i) {
+          batch.push_back(draw_candidate(space, options.seed, round, i));
+        }
+        run_batch(batch);
+      }
+
+      if (!have_incumbent) {
+        report.refused.push_back(cell + ": no candidate evaluated cleanly");
+        continue;
+      }
+
+      WorstCase worst;
+      worst.protocol = protocol;
+      worst.attack = space.attack;
+      worst.params = params_of(space, incumbent.pv);
+      worst.damage = incumbent.damage;
+      worst.evaluations = evaluations;
+
+      if (incumbent.damage.score > 0.0) {
+        // Shrink the winning config while its score stays at least the
+        // winning score. Every probe recomputes its own baseline (shrink
+        // transformations change n / delay / horizon, so the shared one no
+        // longer matches).
+        const SimConfig worst_cfg = attacked_config(base, space, incumbent.pv);
+        const double target = incumbent.damage.score;
+        AcceptedProbe accepted;
+        explore::ShrinkPolicy policy;
+        policy.keep_attack = true;
+        policy.skip_horizon = incumbent.damage.stalled;
+        policy.max_probes = options.shrink_runs;
+        const explore::ConfigShrink shrunk = explore::shrink_config(
+            worst_cfg,
+            [&](const SimConfig& candidate) {
+              const RunResult b = run_simulation(baseline_of(candidate));
+              const RunResult a = run_simulation(candidate);
+              const DamageReport d = compute_damage(candidate, b, a);
+              if (d.score < target) return false;
+              accepted = AcceptedProbe{d, a.trace_fingerprint, a.trace_records,
+                                       b.trace_fingerprint, b.trace_records};
+              return true;
+            },
+            policy);
+
+        AdvReproducer repro;
+        repro.id = "advsearch-" + std::to_string(options.seed) + "/" + cell;
+        repro.search_seed = options.seed;
+        repro.protocol = protocol;
+        repro.attack = space.attack;
+        repro.config = shrunk.config;
+        repro.shrink_steps = shrunk.steps;
+        repro.shrink_runs = shrunk.probes * 2;  // two simulations per probe
+        if (shrunk.steps > 0) {
+          repro.damage = accepted.damage;
+          repro.attacked_fingerprint = accepted.attacked_fingerprint;
+          repro.attacked_records = accepted.attacked_records;
+          repro.baseline_fingerprint = accepted.baseline_fingerprint;
+          repro.baseline_records = accepted.baseline_records;
+        } else {
+          repro.damage = incumbent.damage;
+          repro.attacked_fingerprint = incumbent.attacked_fingerprint;
+          repro.attacked_records = incumbent.attacked_records;
+          repro.baseline_fingerprint = baseline.trace_fingerprint;
+          repro.baseline_records = baseline.trace_records;
+        }
+
+        // The gate the issue demands: a worst case only counts when its
+        // reproducer replays with the exact recorded score. Anything else
+        // means a determinism bug and must be surfaced, not tabulated.
+        const AdvReplayOutcome replay = replay_adv_reproducer(repro);
+        if (!replay.ok()) {
+          report.refused.push_back(
+              cell + ": reproducer replay diverged (score " +
+              json::Value{replay.damage.score}.dump() + " vs recorded " +
+              json::Value{repro.damage.score}.dump() + ")");
+          continue;
+        }
+
+        worst.params = repro.config.attack_params;
+        worst.damage = repro.damage;
+        worst.has_reproducer = true;
+        worst.reproducer = std::move(repro);
+      }
+
+      report.worst.push_back(std::move(worst));
+    }
+  }
+
+  std::stable_sort(report.worst.begin(), report.worst.end(),
+                   [](const WorstCase& a, const WorstCase& b) {
+                     if (a.damage.score != b.damage.score) {
+                       return a.damage.score > b.damage.score;
+                     }
+                     if (a.protocol != b.protocol) return a.protocol < b.protocol;
+                     return a.attack < b.attack;
+                   });
+  return report;
+}
+
+}  // namespace bftsim::adversary

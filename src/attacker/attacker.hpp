@@ -50,6 +50,13 @@ class AttackerContext {
   /// Injects a forged/duplicated message, delivered after `delay`.
   virtual void inject(Message msg, Time delay) = 0;
 
+  /// Injects a *duplicate* of an observed message (flooding attacks).
+  /// Identical to inject() on the wire; the distinction only feeds the
+  /// per-run attacker activity counters, so the default forwards.
+  virtual void inject_duplicate(Message msg, Time delay) {
+    inject(std::move(msg), delay);
+  }
+
   /// Adaptively corrupts `node`. Returns false (and does nothing) when the
   /// budget f is exhausted or the node is already corrupt.
   virtual bool corrupt(NodeId node) = 0;

@@ -164,6 +164,159 @@ Disposition SyncHotStuffEquivocationAttack::attack(MessageInFlight& in_flight,
                                            : Disposition::kDeliver;
 }
 
+// --- eclipse -----------------------------------------------------------------
+
+EclipseAttack::EclipseAttack(NodeId victim, std::uint32_t keep, Time start,
+                             Time end, bool drop_mode)
+    : victim_(victim),
+      keep_(keep),
+      start_(start),
+      end_(end),
+      drop_mode_(drop_mode) {}
+
+Disposition EclipseAttack::attack(MessageInFlight& in_flight,
+                                  AttackerContext& ctx) {
+  const Time now = ctx.now();
+  if (now < start_ || now >= end_) return Disposition::kDeliver;
+  const Message& msg = in_flight.msg;
+  const bool src_victim = msg.src == victim_;
+  const bool dst_victim = msg.dst == victim_;
+  if (src_victim == dst_victim) return Disposition::kDeliver;  // neither side
+  const NodeId peer = src_victim ? msg.dst : msg.src;
+  if (allowed(peer)) return Disposition::kDeliver;
+  if (drop_mode_) return Disposition::kDrop;
+  // Delay mode: the message surfaces when the eclipse lifts.
+  in_flight.delay += end_ - now;
+  return Disposition::kDeliver;
+}
+
+// --- adaptive partition ------------------------------------------------------
+
+AdaptivePartitionAttack::AdaptivePartitionAttack(std::uint32_t subnets,
+                                                 Time period, Time resolve,
+                                                 bool drop_mode)
+    : subnets_(subnets < 2 ? 2 : subnets),
+      period_(period < 1 ? 1 : period),
+      resolve_(resolve),
+      drop_mode_(drop_mode) {}
+
+void AdaptivePartitionAttack::on_start(AttackerContext& ctx) {
+  if (period_ < resolve_) ctx.set_timer(period_, 1);
+}
+
+Disposition AdaptivePartitionAttack::attack(MessageInFlight& in_flight,
+                                            AttackerContext& ctx) {
+  if (ctx.now() >= resolve_) return Disposition::kDeliver;
+  const Message& msg = in_flight.msg;
+  if (group_of(msg.src) == group_of(msg.dst)) return Disposition::kDeliver;
+  if (drop_mode_) return Disposition::kDrop;
+  in_flight.delay += resolve_ - ctx.now();
+  return Disposition::kDeliver;
+}
+
+void AdaptivePartitionAttack::on_timer(const TimerEvent& ev,
+                                       AttackerContext& ctx) {
+  // Re-cut: rotate every node's group by one. The epoch equals the timer
+  // tag, so the cut sequence is a pure function of (period, resolve).
+  epoch_ = ev.tag;
+  const Time next = static_cast<Time>(ev.tag + 1) * period_;
+  if (next < resolve_) ctx.set_timer(next - ctx.now(), ev.tag + 1);
+}
+
+// --- targeted delay scheduling -----------------------------------------------
+
+DelayScheduleAttack::DelayScheduleAttack(std::string type, bool stall,
+                                         Time amount, Time start, Time end,
+                                         Time min_delay, Time max_delay)
+    : type_(std::move(type)),
+      stall_(stall),
+      amount_(amount),
+      start_(start),
+      end_(end),
+      min_delay_(min_delay),
+      max_delay_(max_delay) {}
+
+Disposition DelayScheduleAttack::attack(MessageInFlight& in_flight,
+                                        AttackerContext& ctx) {
+  const Time now = ctx.now();
+  if (now < start_ || now >= end_) return Disposition::kDeliver;
+  if (in_flight.msg.payload->type() != type_) return Disposition::kDeliver;
+  if (stall_) {
+    // Stay within the network model's bounds: never push past the delay
+    // spec's max clamp (when one exists). A sample may already sit at the
+    // bound, in which case the stall is a no-op.
+    Time target = in_flight.delay + amount_;
+    if (max_delay_ > 0 && target > max_delay_) target = max_delay_;
+    if (target > in_flight.delay) in_flight.delay = target;
+  } else {
+    // Rush: the attacker controls scheduling down to the model's min bound.
+    Time target = in_flight.delay - amount_;
+    if (target < min_delay_) target = min_delay_;
+    if (target < 0) target = 0;
+    if (target < in_flight.delay) in_flight.delay = target;
+  }
+  return Disposition::kDeliver;
+}
+
+// --- flooding ----------------------------------------------------------------
+
+FloodingAttack::FloodingAttack(std::uint32_t copies, Time spread, Time start,
+                               Time end)
+    : copies_(copies), spread_(spread < 1 ? 1 : spread), start_(start), end_(end) {}
+
+Disposition FloodingAttack::attack(MessageInFlight& in_flight,
+                                   AttackerContext& ctx) {
+  const Time now = ctx.now();
+  if (now < start_ || now >= end_) return Disposition::kDeliver;
+  // Injected messages do not re-traverse the attacker, so duplicating every
+  // observed message cannot feed back on itself.
+  for (std::uint32_t c = 1; c <= copies_; ++c) {
+    Message dup;
+    dup.src = in_flight.msg.src;
+    dup.dst = in_flight.msg.dst;
+    dup.payload = in_flight.msg.payload;
+    ctx.inject_duplicate(std::move(dup),
+                         in_flight.delay + static_cast<Time>(c) * spread_);
+  }
+  return Disposition::kDeliver;
+}
+
+// --- PBFT late equivocation --------------------------------------------------
+
+PbftLateEquivocationAttack::PbftLateEquivocationAttack(View view, Time strike)
+    : view_(view), strike_(strike) {}
+
+void PbftLateEquivocationAttack::on_start(AttackerContext& ctx) {
+  ctx.set_timer(strike_, 0);
+}
+
+Disposition PbftLateEquivocationAttack::attack(MessageInFlight& in_flight,
+                                               AttackerContext& ctx) {
+  // Nodes captured at strike time are silenced from then on; everything
+  // they sent while honest is already in flight and still delivered.
+  return ctx.is_corrupt(in_flight.msg.src) ? Disposition::kDrop
+                                           : Disposition::kDeliver;
+}
+
+void PbftLateEquivocationAttack::on_timer(const TimerEvent&,
+                                          AttackerContext& ctx) {
+  const NodeId victim = static_cast<NodeId>(view_ % ctx.n());
+  if (!ctx.corrupt(victim)) return;  // budget spent: attack degenerates
+  const Value value_a = hash_words({0xECULL, view_, 0ULL});
+  const Value value_b = hash_words({0xEDULL, view_, 1ULL});
+  for (NodeId dst = 0; dst < ctx.n(); ++dst) {
+    if (dst == victim) continue;
+    const Value value = dst % 2 == 0 ? value_a : value_b;
+    const Signature sig =
+        ctx.sign_as(victim, hash_words({0x5050ULL, view_, 0ULL, value}));
+    Message msg;
+    msg.src = victim;
+    msg.dst = dst;
+    msg.payload = make_payload<pbft::PrePrepare>(view_, 0, value, sig);
+    ctx.inject(std::move(msg), from_ms(1.0) + Time{dst});
+  }
+}
+
 // --- registry + factory -------------------------------------------------------
 
 AttackRegistry& AttackRegistry::instance() {
@@ -236,6 +389,56 @@ void register_builtin_attacks(AttackRegistry& registry) {
   });
   registry.add("sync-hotstuff-equivocation", [](const SimConfig&) {
     return std::make_unique<SyncHotStuffEquivocationAttack>();
+  });
+  registry.add("eclipse", [=](const SimConfig& cfg) -> std::unique_ptr<Attacker> {
+    const auto victim = static_cast<NodeId>(
+        static_cast<std::uint64_t>(get_num(cfg, "victim", 0)) % cfg.n);
+    const auto keep = static_cast<std::uint32_t>(get_num(cfg, "keep", 0));
+    const Time start = from_ms(get_num(cfg, "start_ms", 0.0));
+    const Time duration = from_ms(get_num(cfg, "duration_ms", 30'000.0));
+    const bool drop_mode = get_str(cfg, "mode", "drop") == "drop";
+    return std::make_unique<EclipseAttack>(victim, keep, start,
+                                           start + duration, drop_mode);
+  });
+  registry.add("adaptive-partition",
+               [=](const SimConfig& cfg) -> std::unique_ptr<Attacker> {
+    const auto subnets = static_cast<std::uint32_t>(get_num(cfg, "subnets", 2));
+    const Time period = from_ms(get_num(cfg, "period_ms", cfg.lambda_ms));
+    const Time resolve = from_ms(get_num(cfg, "resolve_ms", 30'000.0));
+    const bool drop_mode = get_str(cfg, "mode", "drop") == "drop";
+    return std::make_unique<AdaptivePartitionAttack>(subnets, period, resolve,
+                                                     drop_mode);
+  });
+  registry.add("delay-schedule",
+               [=](const SimConfig& cfg) -> std::unique_ptr<Attacker> {
+    std::string type = get_str(cfg, "type", "");
+    const bool stall = get_str(cfg, "mode", "stall") == "stall";
+    const Time amount = from_ms(get_num(cfg, "amount_ms", cfg.lambda_ms));
+    const Time start = from_ms(get_num(cfg, "start_ms", 0.0));
+    const Time duration =
+        from_ms(get_num(cfg, "duration_ms", cfg.max_time_ms));
+    // The model's bounds, inside which the attacker may re-time freely.
+    const Time min_delay = from_ms(cfg.delay.min_ms);
+    const Time max_delay =
+        cfg.delay.max_ms > 0 ? from_ms(cfg.delay.max_ms) : Time{0};
+    return std::make_unique<DelayScheduleAttack>(std::move(type), stall, amount,
+                                                 start, start + duration,
+                                                 min_delay, max_delay);
+  });
+  registry.add("flood", [=](const SimConfig& cfg) -> std::unique_ptr<Attacker> {
+    auto copies = static_cast<std::uint32_t>(get_num(cfg, "copies", 1));
+    if (copies > 8) copies = 8;  // bound the amplification factor
+    const Time spread = from_ms(get_num(cfg, "spread_ms", 1.0));
+    const Time start = from_ms(get_num(cfg, "start_ms", 0.0));
+    const Time duration = from_ms(get_num(cfg, "duration_ms", 30'000.0));
+    return std::make_unique<FloodingAttack>(copies, spread, start,
+                                            start + duration);
+  });
+  registry.add("pbft-late-equivocation",
+               [=](const SimConfig& cfg) -> std::unique_ptr<Attacker> {
+    const auto view = static_cast<View>(get_num(cfg, "view", 0));
+    const Time strike = from_ms(get_num(cfg, "strike_ms", cfg.lambda_ms));
+    return std::make_unique<PbftLateEquivocationAttack>(view, strike);
   });
 }
 

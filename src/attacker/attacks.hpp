@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "attacker/attacker.hpp"
@@ -100,6 +101,119 @@ class SyncHotStuffEquivocationAttack final : public Attacker {
 
  private:
   NodeId victim_ = 0;  ///< leader of view 0
+};
+
+/// Eclipse attack: isolates one victim node from all but an attacker-chosen
+/// peer set during [start, start + duration). Traffic between the victim
+/// and any peer outside the allowed set is dropped ("drop" mode) or held
+/// back until the window closes ("delay" mode). The allowed peers are the
+/// `keep` lowest node ids other than the victim, so the whole attack is a
+/// pure function of its parameter vector {victim, keep, start_ms,
+/// duration_ms, mode}.
+class EclipseAttack final : public Attacker {
+ public:
+  EclipseAttack(NodeId victim, std::uint32_t keep, Time start, Time end,
+                bool drop_mode);
+
+  Disposition attack(MessageInFlight& in_flight, AttackerContext& ctx) override;
+
+ private:
+  [[nodiscard]] bool allowed(NodeId peer) const noexcept {
+    // Rank of `peer` among the non-victim ids; the first `keep` stay linked.
+    return (peer < victim_ ? peer : peer - 1) < keep_;
+  }
+
+  NodeId victim_;
+  std::uint32_t keep_;
+  Time start_;
+  Time end_;
+  bool drop_mode_;
+};
+
+/// Adaptive partition: re-cuts the network at attacker time events. The
+/// group assignment rotates every `period` (group = (node + epoch) mod
+/// subnets), so no fixed pair of nodes stays separated and the cut chases
+/// rotating leaders; cross-group traffic is dropped or held until the
+/// attack resolves at `resolve`. Parameter vector: {subnets, period_ms,
+/// resolve_ms, mode}.
+class AdaptivePartitionAttack final : public Attacker {
+ public:
+  AdaptivePartitionAttack(std::uint32_t subnets, Time period, Time resolve,
+                          bool drop_mode);
+
+  void on_start(AttackerContext& ctx) override;
+  Disposition attack(MessageInFlight& in_flight, AttackerContext& ctx) override;
+  void on_timer(const TimerEvent& ev, AttackerContext& ctx) override;
+
+ private:
+  [[nodiscard]] std::uint32_t group_of(NodeId id) const noexcept {
+    return (id + epoch_) % subnets_;
+  }
+
+  std::uint32_t subnets_;
+  Time period_;
+  Time resolve_;
+  bool drop_mode_;
+  std::uint64_t epoch_ = 0;
+};
+
+/// Targeted delay scheduling: rushes or stalls messages of one payload type
+/// during [start, start + duration), staying within the network model's
+/// bounds — a stall never pushes the delay beyond the delay spec's max_ms
+/// clamp (when one is configured) and a rush never pulls it below min_ms.
+/// Parameter vector: {type, mode, amount_ms, start_ms, duration_ms}.
+class DelayScheduleAttack final : public Attacker {
+ public:
+  DelayScheduleAttack(std::string type, bool stall, Time amount, Time start,
+                      Time end, Time min_delay, Time max_delay);
+
+  Disposition attack(MessageInFlight& in_flight, AttackerContext& ctx) override;
+
+ private:
+  std::string type_;
+  bool stall_;
+  Time amount_;
+  Time start_;
+  Time end_;
+  Time min_delay_;
+  Time max_delay_;  ///< 0 = the model is unbounded; stalls are then uncapped
+};
+
+/// Flooding: injects `copies` duplicates of every observed message during
+/// [start, start + duration), spaced `spread` apart after the original's
+/// delivery. Duplicates are genuine re-deliveries (same payload, fresh
+/// message ids), stressing handler idempotence and the event budget.
+/// Parameter vector: {copies, spread_ms, start_ms, duration_ms}.
+class FloodingAttack final : public Attacker {
+ public:
+  FloodingAttack(std::uint32_t copies, Time spread, Time start, Time end);
+
+  Disposition attack(MessageInFlight& in_flight, AttackerContext& ctx) override;
+
+ private:
+  std::uint32_t copies_;
+  Time spread_;
+  Time start_;
+  Time end_;
+};
+
+/// Late equivocation on PBFT: waits until `strike`, corrupts the leader of
+/// view `view` (round-robin: view mod n) and injects conflicting
+/// pre-prepares for that view to the two halves of the network, signed with
+/// the captured key. Unlike PbftEquivocationAttack (which strikes at t=0,
+/// before the honest pre-prepare exists) this probes the window *after*
+/// honest progress started. Parameter vector: {view, strike_ms}.
+class PbftLateEquivocationAttack final : public Attacker {
+ public:
+  PbftLateEquivocationAttack(View view, Time strike);
+
+  void on_start(AttackerContext& ctx) override;
+  Disposition attack(MessageInFlight& in_flight, AttackerContext& ctx) override;
+  void on_timer(const TimerEvent& ev, AttackerContext& ctx) override;
+
+ private:
+  View view_;
+  Time strike_;
 };
 
 /// Creates the attacker configured by `cfg` ("" => NullAttacker).

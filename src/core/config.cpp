@@ -137,12 +137,12 @@ void SimConfig::validate() const {
         "config: engine.rng \"stream\" is serial-only; use \"auto\" or "
         "\"per_node\" with engine.intra_jobs > 1");
   }
-  if (engine.per_node_rng() && !attack.empty()) {
-    throw std::invalid_argument(
-        "config: windowed-parallel execution (engine.intra_jobs > 1 or "
-        "engine.rng \"per_node\") requires an attack-free run — a global "
-        "attacker's observation order is not lane-independent");
-  }
+  // Note: engine.per_node_rng() combined with a configured attack is NOT
+  // rejected here — a global attacker's observation order is not
+  // lane-independent, so the controller deterministically falls back to
+  // the serial engine for such runs and records an "engine-serial-fallback"
+  // warning on the RunResult. Rejecting the combination used to kill whole
+  // sweeps that set a global engine.intra_jobs at their attack points.
   if (engine.per_node_rng() && obs.timeline_enabled()) {
     throw std::invalid_argument(
         "config: the run timeline sampler is serial-only; disable "

@@ -40,6 +40,14 @@ class Metrics {
   void on_timer() noexcept { ++timers_fired_; }
   void on_event() noexcept { ++events_processed_; }
 
+  // Attacker activity counters. Only the controller's attacker hook path
+  // calls these (never the passive-attacker fast path), so attack-free
+  // runs pay nothing for them.
+  void on_attacker_drop() noexcept { ++attacker_dropped_; }
+  void on_attacker_delay() noexcept { ++attacker_delayed_; }
+  void on_attacker_modify() noexcept { ++attacker_modified_; }
+  void on_attacker_duplicate() noexcept { ++attacker_duplicated_; }
+
   /// Per-kind message counting, hot path: one flat-array increment. The
   /// branch only fires for user-defined tags above the builtin range.
   void count_type(PayloadType t) {
@@ -72,6 +80,10 @@ class Metrics {
     messages_corrupted_ += delta.messages_corrupted_;
     timers_fired_ += delta.timers_fired_;
     events_processed_ += delta.events_processed_;
+    attacker_dropped_ += delta.attacker_dropped_;
+    attacker_delayed_ += delta.attacker_delayed_;
+    attacker_modified_ += delta.attacker_modified_;
+    attacker_duplicated_ += delta.attacker_duplicated_;
     if (typed_counts_.size() < delta.typed_counts_.size()) {
       typed_counts_.resize(delta.typed_counts_.size(), 0);
     }
@@ -91,6 +103,10 @@ class Metrics {
   [[nodiscard]] std::uint64_t messages_corrupted() const noexcept { return messages_corrupted_; }
   [[nodiscard]] std::uint64_t timers_fired() const noexcept { return timers_fired_; }
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_processed_; }
+  [[nodiscard]] std::uint64_t attacker_dropped() const noexcept { return attacker_dropped_; }
+  [[nodiscard]] std::uint64_t attacker_delayed() const noexcept { return attacker_delayed_; }
+  [[nodiscard]] std::uint64_t attacker_modified() const noexcept { return attacker_modified_; }
+  [[nodiscard]] std::uint64_t attacker_duplicated() const noexcept { return attacker_duplicated_; }
   /// Per-kind send counts keyed by human-readable name, rebuilt on demand
   /// from the flat tag array (via PayloadTypeRegistry) plus the untagged
   /// fallback map. Only report/teardown code calls this.
@@ -119,6 +135,10 @@ class Metrics {
   std::uint64_t messages_corrupted_ = 0;
   std::uint64_t timers_fired_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t attacker_dropped_ = 0;
+  std::uint64_t attacker_delayed_ = 0;
+  std::uint64_t attacker_modified_ = 0;
+  std::uint64_t attacker_duplicated_ = 0;
   /// Indexed by to_index(PayloadType); pre-sized so builtin tags never grow it.
   std::vector<std::uint64_t> typed_counts_ =
       std::vector<std::uint64_t>(to_index(PayloadType::kBuiltinSentinel), 0);

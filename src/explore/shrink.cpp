@@ -32,10 +32,10 @@ void prune_faults_for_n(SimConfig& cfg) {
 /// big pieces (the whole attack, whole fault windows, excess nodes) before
 /// polishing numbers.
 [[nodiscard]] std::vector<SimConfig> candidates(const SimConfig& cfg,
-                                                Oracle expected) {
+                                                const ShrinkPolicy& policy) {
   std::vector<SimConfig> out;
 
-  if (!cfg.attack.empty()) {
+  if (!policy.keep_attack && !cfg.attack.empty()) {
     SimConfig c = cfg;
     c.attack.clear();
     c.attack_params = json::Value{};
@@ -100,9 +100,9 @@ void prune_faults_for_n(SimConfig& cfg) {
       out.push_back(std::move(c));
     }
   }
-  // Halving the horizon is degenerate for liveness violations ("still
-  // times out with less time" is always true); see the header comment.
-  if (expected != Oracle::kLiveness && cfg.max_time_ms > 2'000.0) {
+  // Halving the horizon is degenerate for liveness-style properties
+  // ("still times out with less time" is always true); see the header.
+  if (!policy.skip_horizon && cfg.max_time_ms > 2'000.0) {
     SimConfig c = cfg;
     c.max_time_ms = quantize_eighth_ms(cfg.max_time_ms / 2.0);
     out.push_back(std::move(c));
@@ -129,6 +129,40 @@ struct Probe {
 
 }  // namespace
 
+ConfigShrink shrink_config(
+    const SimConfig& start,
+    const std::function<bool(const SimConfig&)>& interesting,
+    const ShrinkPolicy& policy) {
+  ConfigShrink best;
+  best.config = start;
+
+  bool improved = true;
+  while (improved && best.probes < policy.max_probes) {
+    improved = false;
+    for (SimConfig& candidate : candidates(best.config, policy)) {
+      if (best.probes >= policy.max_probes) break;
+      try {
+        candidate.validate();
+      } catch (const std::exception&) {
+        continue;  // transformation produced an inconsistent config
+      }
+      ++best.probes;
+      bool accept = false;
+      try {
+        accept = interesting(candidate);
+      } catch (const std::exception&) {
+        continue;  // a crashing candidate is a different bug; keep shrinking
+      }
+      if (!accept) continue;
+      best.config = std::move(candidate);
+      ++best.steps;
+      improved = true;
+      break;  // restart from the most simplifying transformation
+    }
+  }
+  return best;
+}
+
 ShrinkResult shrink_scenario(const SimConfig& failing, Oracle expected,
                              const ShrinkOptions& options) {
   if (failing.protocol == kCanaryProtocol) register_fuzz_canary();
@@ -147,32 +181,31 @@ ShrinkResult shrink_scenario(const SimConfig& failing, Oracle expected,
   best.trace_fingerprint = reference.trace_fingerprint;
   best.trace_records = reference.trace_records;
 
-  bool improved = true;
-  while (improved && best.runs < options.max_runs) {
-    improved = false;
-    for (SimConfig& candidate : candidates(best.config, expected)) {
-      if (best.runs >= options.max_runs) break;
-      try {
-        candidate.validate();
-      } catch (const std::exception&) {
-        continue;  // transformation produced an inconsistent config
-      }
-      Probe p;
-      ++best.runs;
-      try {
-        p = probe(candidate, expected);
-      } catch (const std::exception&) {
-        continue;  // a crashing candidate is a different bug; keep shrinking
-      }
-      if (!p.violates) continue;
-      best.config = std::move(candidate);
-      best.report = std::move(p.report);
-      best.trace_fingerprint = p.trace_fingerprint;
-      best.trace_records = p.trace_records;
-      ++best.steps;
-      improved = true;
-      break;  // restart from the most simplifying transformation
-    }
+  // The oracle acceptance test on top of the generic core: a candidate is
+  // interesting when the SAME oracle still fires. The probe products of
+  // the accepted candidate are captured on the side — the core only tracks
+  // configs — and re-synced after every acceptance.
+  Probe accepted;
+  ShrinkPolicy policy;
+  policy.keep_attack = false;
+  policy.skip_horizon = expected == Oracle::kLiveness;
+  policy.max_probes = options.max_runs > 0 ? options.max_runs - 1 : 0;
+  const ConfigShrink shrunk = shrink_config(
+      failing,
+      [&](const SimConfig& candidate) {
+        const Probe p = probe(candidate, expected);
+        if (p.violates) accepted = p;
+        return p.violates;
+      },
+      policy);
+
+  best.runs += shrunk.probes;
+  best.steps = shrunk.steps;
+  if (shrunk.steps > 0) {
+    best.config = shrunk.config;
+    best.report = accepted.report;
+    best.trace_fingerprint = accepted.trace_fingerprint;
+    best.trace_records = accepted.trace_records;
   }
   return best;
 }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 
 #include "core/config.hpp"
 #include "explore/oracles.hpp"
@@ -29,6 +30,42 @@ struct ShrinkOptions {
   /// best config found so far.
   std::size_t max_runs = 200;
 };
+
+/// Knobs for the generic predicate-driven ddmin core below.
+struct ShrinkPolicy {
+  /// Never propose dropping the attack. The adversary search shrinks
+  /// *damage-maximizing* attack configs, where removing the attack is the
+  /// one transformation that must not be on the table.
+  bool keep_attack = false;
+  /// Skip the horizon-halving transformation ("still fails with less
+  /// time" is trivially true for liveness-style properties and would
+  /// shrink every such case into a microscopic horizon).
+  bool skip_horizon = false;
+  /// Cap on predicate evaluations.
+  std::size_t max_probes = 200;
+};
+
+/// Outcome of the generic core: the smallest config the budget allowed for
+/// which the predicate still held.
+struct ConfigShrink {
+  SimConfig config;
+  std::size_t steps = 0;   ///< accepted transformations
+  std::size_t probes = 0;  ///< predicate evaluations (incl. throwing ones)
+};
+
+/// The ddmin core shared by shrink_scenario and the adversary search:
+/// repeatedly proposes simpler variants of `start` in a fixed order,
+/// accepts a candidate when `interesting(candidate)` returns true, and
+/// restarts from the most simplifying transformation after every
+/// acceptance. The predicate decides what "still interesting" means (same
+/// oracle fires, damage score maintained, ...); a predicate that throws
+/// rejects its candidate but still consumes a probe. Candidates that fail
+/// SimConfig::validate() are skipped for free. `start` itself is never
+/// probed — the caller establishes that it is interesting.
+[[nodiscard]] ConfigShrink shrink_config(
+    const SimConfig& start,
+    const std::function<bool(const SimConfig&)>& interesting,
+    const ShrinkPolicy& policy);
 
 /// Outcome of shrinking one failing config.
 struct ShrinkResult {

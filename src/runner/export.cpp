@@ -45,6 +45,27 @@ json::Value result_to_json(const RunResult& result, bool include_views) {
     o["trace_records"] = static_cast<std::int64_t>(result.trace_records);
     o["trace_fingerprint"] = fingerprint_to_hex(result.trace_fingerprint);
   }
+  // Attacker activity and warnings only appear when present, so exports of
+  // attack-free, warning-free runs stay byte-identical to previous releases.
+  if (result.attacker_dropped != 0 || result.attacker_delayed != 0 ||
+      result.attacker_modified != 0 || result.attacker_duplicated != 0) {
+    json::Object atk;
+    atk["dropped"] = static_cast<std::int64_t>(result.attacker_dropped);
+    atk["delayed"] = static_cast<std::int64_t>(result.attacker_delayed);
+    atk["modified"] = static_cast<std::int64_t>(result.attacker_modified);
+    atk["duplicated"] = static_cast<std::int64_t>(result.attacker_duplicated);
+    o["attacker_activity"] = json::Value{std::move(atk)};
+  }
+  if (!result.warnings.empty()) {
+    json::Array warnings;
+    for (const RunWarning& w : result.warnings) {
+      json::Object wo;
+      wo["code"] = w.code;
+      wo["detail"] = w.detail;
+      warnings.push_back(json::Value{std::move(wo)});
+    }
+    o["warnings"] = json::Value{std::move(warnings)};
+  }
 
   json::Array decisions;
   for (const Decision& d : result.decisions) {

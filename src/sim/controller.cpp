@@ -110,6 +110,11 @@ class Controller::AtkCtx final : public AttackerContext {
     c_.inject_message(std::move(msg), delay);
   }
 
+  void inject_duplicate(Message msg, Time delay) override {
+    c_.metrics_.on_attacker_duplicate();
+    c_.inject_message(std::move(msg), delay);
+  }
+
   bool corrupt(NodeId node) override { return c_.corrupt(node); }
 
   bool is_corrupt(NodeId node) const noexcept override {
@@ -311,12 +316,17 @@ void Controller::network_send(NodeId src, NodeId dst, PayloadPtr payload,
   msg.id = id;
   msg.payload = std::move(payload);
   MessageInFlight in_flight{std::move(msg), extra_delay + sampled};
+  // Snapshot the pre-attack state so the attacker's edits are countable by
+  // comparison — no per-action instrumentation inside attack() needed.
+  const Time assigned_delay = in_flight.delay;
+  const Payload* original_payload = in_flight.msg.payload.get();
   const Disposition verdict = [&] {
     BFTSIM_PROFILE_SCOPE(profile_, obs::ProfileComponent::kAttackerHook);
     return attacker_->attack(in_flight, *atk_ctx_);
   }();
   if (verdict == Disposition::kDrop) {
     metrics_.on_drop();
+    metrics_.on_attacker_drop();
     if (trace_sink_) {
       trace_sink_->on_record(
           TraceRecord{TraceKind::kDrop, now_, in_flight.msg.src,
@@ -325,6 +335,10 @@ void Controller::network_send(NodeId src, NodeId dst, PayloadPtr payload,
                       in_flight.msg.payload->digest(), in_flight.msg.id, 0, 0});
     }
     return;
+  }
+  if (in_flight.delay != assigned_delay) metrics_.on_attacker_delay();
+  if (in_flight.msg.payload.get() != original_payload) {
+    metrics_.on_attacker_modify();
   }
   if (faults_ != nullptr && faults_->maybe_corrupt(now_)) {
     in_flight.msg.payload = std::allocate_shared<CorruptedPayload>(
@@ -423,12 +437,15 @@ void Controller::network_broadcast(NodeId src, const PayloadPtr& payload,
     msg.id = id;
     msg.payload = payload;
     MessageInFlight in_flight{std::move(msg), extra_delay + sampled};
+    const Time assigned_delay = in_flight.delay;
+    const Payload* original_payload = in_flight.msg.payload.get();
     const Disposition verdict = [&] {
       BFTSIM_PROFILE_SCOPE(profile_, obs::ProfileComponent::kAttackerHook);
       return attacker_->attack(in_flight, *atk_ctx_);
     }();
     if (verdict == Disposition::kDrop) {
       metrics_.on_drop();
+      metrics_.on_attacker_drop();
       if (trace_sink_) {
         trace_sink_->on_record(
             TraceRecord{TraceKind::kDrop, now_, in_flight.msg.src,
@@ -438,6 +455,10 @@ void Controller::network_broadcast(NodeId src, const PayloadPtr& payload,
                         0});
       }
       continue;
+    }
+    if (in_flight.delay != assigned_delay) metrics_.on_attacker_delay();
+    if (in_flight.msg.payload.get() != original_payload) {
+      metrics_.on_attacker_modify();
     }
     if (faults_ != nullptr && faults_->maybe_corrupt(now_)) {
       in_flight.msg.payload = std::allocate_shared<CorruptedPayload>(
@@ -683,8 +704,21 @@ RunResult Controller::run() {
           "path (controllers overriding schedule_network_delivery are "
           "serial-only)");
     }
-    win_ = std::make_unique<WindowedEngine>(*this);
-    return win_->run();
+    if (attacker_passive_) {
+      win_ = std::make_unique<WindowedEngine>(*this);
+      return win_->run();
+    }
+    // Graceful degradation: a global attacker's observation order is not
+    // lane-independent, so an attack-carrying run cannot execute on the
+    // windowed driver. Instead of refusing the config (which would kill
+    // whole sweeps that set a global engine.intra_jobs), deterministically
+    // fall back to the serial engine for this run and record the decision.
+    warnings_.push_back(RunWarning{
+        "engine-serial-fallback",
+        "attack \"" + cfg_.attack +
+            "\" is serial-only: engine.intra_jobs=" +
+            std::to_string(cfg_.engine.intra_jobs) +
+            " ignored, run executed on the serial engine"});
   }
 
   attacker_->on_start(*atk_ctx_);
@@ -735,6 +769,11 @@ RunResult Controller::make_result(TerminationReason reason) {
   result.messages_corrupted = metrics_.messages_corrupted();
   result.events_processed = metrics_.events_processed();
   result.timers_fired = metrics_.timers_fired();
+  result.attacker_dropped = metrics_.attacker_dropped();
+  result.attacker_delayed = metrics_.attacker_delayed();
+  result.attacker_modified = metrics_.attacker_modified();
+  result.attacker_duplicated = metrics_.attacker_duplicated();
+  result.warnings = warnings_;
   result.decisions = metrics_.decisions();
   result.views = metrics_.views();
   result.failstopped = failstopped_;

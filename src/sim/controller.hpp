@@ -207,6 +207,9 @@ class Controller {
   std::uint64_t next_msg_id_ = 1;
   std::uint64_t next_timer_id_ = 1;
   bool ran_ = false;
+  /// Non-fatal configuration deviations surfaced on the RunResult (e.g.
+  /// the serial fallback for attack-carrying windowed configs).
+  std::vector<RunWarning> warnings_;
 
   /// Windowed-parallel driver (sim/windowed.cpp); non-null only while a
   /// windowed run executes. Declared last so it is destroyed first — its

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -34,6 +35,16 @@ enum class TerminationReason : std::uint8_t {
   return "?";
 }
 
+/// A structured, non-fatal deviation from the requested configuration —
+/// e.g. the controller falling back to the serial engine because the run
+/// carries an attack that the windowed-parallel driver cannot order
+/// deterministically. Warnings never change run semantics retroactively;
+/// they record a decision the engine already made deterministically.
+struct RunWarning {
+  std::string code;    ///< stable machine-readable tag, e.g. "engine-serial-fallback"
+  std::string detail;  ///< human-readable explanation
+};
+
 /// Result of a single run, as produced by Simulation::run().
 struct RunResult {
   bool terminated = false;          ///< all live honest nodes reached the target
@@ -49,6 +60,18 @@ struct RunResult {
   std::uint64_t messages_corrupted = 0;  ///< fault-layer payload corruptions
   std::uint64_t events_processed = 0;
   std::uint64_t timers_fired = 0;
+
+  // Attacker activity: what the configured attacker actually did to the
+  // message stream. All zero on attack-free runs (the passive-attacker
+  // fast path never touches these counters).
+  std::uint64_t attacker_dropped = 0;    ///< messages the attacker discarded
+  std::uint64_t attacker_delayed = 0;    ///< deliveries re-timed (rush/stall/hold)
+  std::uint64_t attacker_modified = 0;   ///< payloads replaced in flight
+  std::uint64_t attacker_duplicated = 0; ///< duplicate copies injected (flooding)
+
+  /// Non-fatal configuration deviations (see RunWarning); empty for runs
+  /// that executed exactly as configured.
+  std::vector<RunWarning> warnings;
 
   std::vector<Decision> decisions;  ///< every (node, time, height, value)
   std::vector<ViewRecord> views;    ///< per-node view trajectory (Fig. 9)

@@ -1,0 +1,68 @@
+// Adversary-corpus regression: every checked-in worst-case reproducer must
+// replay with its recorded damage score, verdict and trace fingerprints,
+// bit-exactly. Drift here means the engine, an attack, or a damage
+// objective changed behavior — the resilience table is stale either way.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "adversary/reproducer.hpp"
+
+namespace bftsim::adversary {
+namespace {
+
+std::vector<std::string> corpus_files() {
+  const std::string dir =
+      std::string(BFTSIM_REPO_ROOT) + "/tests/data/adversary_corpus";
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".json") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(AdversaryCorpus, EveryWorstCaseReplaysExactly) {
+  const std::vector<std::string> files = corpus_files();
+  ASSERT_FALSE(files.empty()) << "adversary corpus is missing";
+  for (const std::string& file : files) {
+    const AdvReproducer repro = AdvReproducer::from_file(file);
+    const AdvReplayOutcome outcome = replay_adv_reproducer(repro);
+    EXPECT_TRUE(outcome.score_matches)
+        << file << ": score " << outcome.damage.score << " vs recorded "
+        << repro.damage.score;
+    EXPECT_TRUE(outcome.verdict_matches) << file;
+    EXPECT_TRUE(outcome.fingerprints_match)
+        << file << ": attacked " << outcome.attacked_fingerprint << "/"
+        << outcome.attacked_records << " vs recorded "
+        << repro.attacked_fingerprint << "/" << repro.attacked_records;
+  }
+}
+
+TEST(AdversaryCorpus, CoversMultipleProtocolsAndAttacks) {
+  // The corpus ships the search's full default table: several protocols,
+  // several attack families, so the replay gate keeps exercising all of
+  // the damage objectives from checked-in data.
+  std::vector<std::string> protocols, attacks;
+  for (const std::string& file : corpus_files()) {
+    const AdvReproducer repro = AdvReproducer::from_file(file);
+    protocols.push_back(repro.protocol);
+    attacks.push_back(repro.attack);
+    EXPECT_GT(repro.damage.score, 0.0) << file;  // zero-damage cells ship none
+  }
+  std::sort(protocols.begin(), protocols.end());
+  protocols.erase(std::unique(protocols.begin(), protocols.end()),
+                  protocols.end());
+  std::sort(attacks.begin(), attacks.end());
+  attacks.erase(std::unique(attacks.begin(), attacks.end()), attacks.end());
+  EXPECT_GE(protocols.size(), 3u);
+  EXPECT_GE(attacks.size(), 3u);
+}
+
+}  // namespace
+}  // namespace bftsim::adversary

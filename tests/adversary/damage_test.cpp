@@ -1,0 +1,136 @@
+// Damage-oracle tests: the objectives that rank adversary-search
+// candidates must be zero on identical runs, dominated by stalls and
+// safety violations, and reproduce bit-exactly through a JSON round trip
+// (the search's replay gate compares scores with ==).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "adversary/damage.hpp"
+#include "sim/simulation.hpp"
+
+namespace bftsim::adversary {
+namespace {
+
+SimConfig pbft_config(std::uint64_t seed = 1) {
+  SimConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.n = 16;
+  cfg.lambda_ms = 1000;
+  cfg.delay = DelaySpec::normal(250, 50);
+  cfg.seed = seed;
+  cfg.max_time_ms = 300'000;
+  cfg.record_trace = true;
+  return cfg;
+}
+
+TEST(DamageTest, AttackFreeRunScoresZeroAgainstItself) {
+  const SimConfig cfg = pbft_config();
+  const RunResult result = run_simulation(cfg);
+  const DamageReport damage = compute_damage(cfg, result, result);
+  EXPECT_FALSE(damage.stalled);
+  EXPECT_FALSE(damage.safety_violated);
+  EXPECT_EQ(damage.score, 0.0);
+  EXPECT_EQ(damage.describe(), "none");
+}
+
+TEST(DamageTest, StallDominatesLatencyAndChurn) {
+  // Stalling every commit by 8s pushes the decision (~2.5s attack-free,
+  // ~10.5s attacked) past the 6s horizon: a liveness stall, the watchdog
+  // cuts the run off.
+  SimConfig cfg = pbft_config();
+  cfg.max_time_ms = 6'000;
+  const RunResult baseline = run_simulation(baseline_of(cfg));
+  cfg.attack = "delay-schedule";
+  json::Object p;
+  p["type"] = "pbft/commit";
+  p["mode"] = "stall";
+  p["amount_ms"] = 8'000;
+  p["duration_ms"] = 60'000;
+  cfg.attack_params = json::Value{std::move(p)};
+  const RunResult attacked = run_simulation(cfg);
+  ASSERT_FALSE(attacked.terminated);
+  const DamageReport damage = compute_damage(cfg, baseline, attacked);
+  EXPECT_TRUE(damage.stalled);
+  EXPECT_GE(damage.score, kStallWeight);
+  EXPECT_NE(damage.describe().find("stall"), std::string::npos);
+}
+
+TEST(DamageTest, LatencyDegradationIsMeasuredAgainstTheBaseline) {
+  SimConfig cfg = pbft_config(2);
+  const RunResult baseline = run_simulation(baseline_of(cfg));
+  cfg.attack = "partition";
+  json::Object p;
+  p["subnets"] = 2;
+  p["resolve_ms"] = 15'000;
+  p["mode"] = "drop";
+  cfg.attack_params = json::Value{std::move(p)};
+  const RunResult attacked = run_simulation(cfg);
+  ASSERT_TRUE(attacked.terminated);
+  const DamageReport damage = compute_damage(cfg, baseline, attacked);
+  EXPECT_FALSE(damage.stalled);
+  EXPECT_GT(damage.latency_ratio, 1.0);  // >2x the attack-free latency
+  EXPECT_GE(damage.score, kLatencyWeight * damage.latency_ratio);
+}
+
+TEST(DamageTest, QuorumSlackCountsCertificateSenders) {
+  // Attack-free pbft n=16: all 16 nodes send commits, the certificate
+  // needs 2f+1 = 11, so the slack at the first decide is at most 5 and
+  // at least 0 — and it must be present for a traced, decided run.
+  const SimConfig cfg = pbft_config();
+  const RunResult result = run_simulation(cfg);
+  const std::optional<double> slack = quorum_slack(cfg, result);
+  ASSERT_TRUE(slack.has_value());
+  EXPECT_GE(*slack, 0.0);
+  EXPECT_LE(*slack, 5.0);
+}
+
+TEST(DamageTest, QuorumSlackNeedsATrace) {
+  SimConfig cfg = pbft_config();
+  cfg.record_trace = false;
+  const RunResult result = run_simulation(cfg);
+  EXPECT_FALSE(quorum_slack(cfg, result).has_value());
+}
+
+TEST(DamageTest, JsonRoundTripIsExact) {
+  SimConfig cfg = pbft_config(3);
+  const RunResult baseline = run_simulation(baseline_of(cfg));
+  cfg.attack = "delay-schedule";
+  json::Object p;
+  p["type"] = "pbft/prepare";
+  p["mode"] = "stall";
+  p["amount_ms"] = 1'500;
+  p["duration_ms"] = 30'000;
+  cfg.attack_params = json::Value{std::move(p)};
+  const RunResult attacked = run_simulation(cfg);
+  const DamageReport damage = compute_damage(cfg, baseline, attacked);
+
+  const std::string dumped = damage.to_json().dump();
+  const DamageReport back =
+      DamageReport::from_json(json::parse(dumped), "$.damage");
+  EXPECT_EQ(back.stalled, damage.stalled);
+  EXPECT_EQ(back.safety_violated, damage.safety_violated);
+  EXPECT_EQ(back.latency_ratio, damage.latency_ratio);  // bit-exact doubles
+  EXPECT_EQ(back.view_churn, damage.view_churn);
+  EXPECT_EQ(back.quorum_near_miss, damage.quorum_near_miss);
+  EXPECT_EQ(back.score, damage.score);
+}
+
+TEST(DamageTest, BaselineOfOnlyClearsTheAttack) {
+  SimConfig cfg = pbft_config(9);
+  cfg.attack = "flood";
+  json::Object p;
+  p["copies"] = 2;
+  cfg.attack_params = json::Value{std::move(p)};
+  const SimConfig base = baseline_of(cfg);
+  EXPECT_TRUE(base.attack.empty());
+  EXPECT_TRUE(base.attack_params.is_null());
+  EXPECT_EQ(base.protocol, cfg.protocol);
+  EXPECT_EQ(base.n, cfg.n);
+  EXPECT_EQ(base.seed, cfg.seed);
+  EXPECT_EQ(base.max_time_ms, cfg.max_time_ms);
+}
+
+}  // namespace
+}  // namespace bftsim::adversary

@@ -1,0 +1,140 @@
+// Parameter-space tests: the searchable attack grids must be model-aware
+// (no partition-style attacks against synchronous-model protocols), and
+// candidate generation must be a pure, in-range function of
+// (space, seed, round, index) — the determinism the search report relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "adversary/space.hpp"
+
+namespace bftsim::adversary {
+namespace {
+
+SimConfig base(const std::string& protocol) {
+  SimConfig cfg;
+  cfg.protocol = protocol;
+  cfg.n = 8;
+  cfg.lambda_ms = 1000;
+  cfg.delay = DelaySpec::normal(250, 50);
+  cfg.max_time_ms = 60'000;
+  return cfg;
+}
+
+std::vector<std::string> attack_names(const std::string& protocol) {
+  std::vector<std::string> names;
+  for (const AttackSpace& s : attack_spaces(protocol, base(protocol))) {
+    names.push_back(s.attack);
+  }
+  return names;
+}
+
+bool has(const std::vector<std::string>& names, const std::string& name) {
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+TEST(SpaceTest, PartitionStyleAttacksAreModelAware) {
+  const std::vector<std::string> pbft = attack_names("pbft");
+  EXPECT_TRUE(has(pbft, "partition"));
+  EXPECT_TRUE(has(pbft, "adaptive-partition"));
+  EXPECT_TRUE(has(pbft, "eclipse"));
+  // Synchronous model: sustained partitions would break the model's
+  // assumption, not the protocol — they are excluded, bounded delay
+  // scheduling and flooding remain.
+  const std::vector<std::string> shs = attack_names("sync-hotstuff");
+  EXPECT_FALSE(has(shs, "partition"));
+  EXPECT_FALSE(has(shs, "adaptive-partition"));
+  EXPECT_FALSE(has(shs, "eclipse"));
+  EXPECT_TRUE(has(shs, "delay-schedule"));
+  EXPECT_TRUE(has(shs, "flood"));
+}
+
+TEST(SpaceTest, ProtocolSpecificAttacksStayWithTheirProtocol) {
+  EXPECT_TRUE(has(attack_names("pbft"), "pbft-late-equivocation"));
+  EXPECT_FALSE(has(attack_names("hotstuff-ns"), "pbft-late-equivocation"));
+  EXPECT_FALSE(has(attack_names("tendermint"), "pbft-late-equivocation"));
+}
+
+TEST(SpaceTest, GridSizeIsTheAxisProduct) {
+  for (const AttackSpace& s : attack_spaces("pbft", base("pbft"))) {
+    std::uint64_t product = 1;
+    for (const ParamAxis& axis : s.axes) product *= axis.values.size();
+    EXPECT_EQ(s.grid_size(), product) << s.attack;
+    EXPECT_GT(product, 1u) << s.attack;  // something to search
+  }
+}
+
+TEST(SpaceTest, ParamsOfEncodesOneEntryPerAxis) {
+  const AttackSpace space = attack_spaces("pbft", base("pbft")).front();
+  const ParamVector pv(space.axes.size(), 0);
+  const json::Value params = params_of(space, pv);
+  ASSERT_TRUE(params.is_object());
+  ASSERT_EQ(params.as_object().size(), space.axes.size());
+  for (const ParamAxis& axis : space.axes) {
+    EXPECT_NE(params.as_object().find(axis.key), nullptr) << axis.key;
+  }
+}
+
+TEST(SpaceTest, DrawCandidateIsPureAndInRange) {
+  for (const AttackSpace& space : attack_spaces("pbft", base("pbft"))) {
+    std::set<ParamVector> distinct;
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      const ParamVector pv = draw_candidate(space, 42, 1, i);
+      ASSERT_EQ(pv.size(), space.axes.size());
+      for (std::size_t a = 0; a < pv.size(); ++a) {
+        EXPECT_LT(pv[a], space.axes[a].values.size());
+      }
+      EXPECT_EQ(pv, draw_candidate(space, 42, 1, i));  // pure
+      distinct.insert(pv);
+    }
+    EXPECT_GT(distinct.size(), 1u) << space.attack;  // draws do vary
+  }
+}
+
+TEST(SpaceTest, DrawsDependOnSeedAndRound) {
+  const AttackSpace space = attack_spaces("pbft", base("pbft")).front();
+  std::vector<ParamVector> by_seed, by_round;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    by_seed.push_back(draw_candidate(space, 1, 0, i));
+    by_round.push_back(draw_candidate(space, 1, 1, i));
+  }
+  std::vector<ParamVector> other_seed;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    other_seed.push_back(draw_candidate(space, 2, 0, i));
+  }
+  EXPECT_NE(by_seed, other_seed);
+  EXPECT_NE(by_seed, by_round);
+}
+
+TEST(SpaceTest, NeighborsStepEachAxisOnce) {
+  const AttackSpace space = attack_spaces("pbft", base("pbft")).front();
+  // Interior point: every axis with >= 3 values contributes -1 and +1.
+  ParamVector pv;
+  for (const ParamAxis& axis : space.axes) {
+    pv.push_back(axis.values.size() / 2);
+  }
+  const std::vector<ParamVector> steps = neighbors(space, pv);
+  std::size_t expected = 0;
+  for (std::size_t a = 0; a < space.axes.size(); ++a) {
+    if (pv[a] > 0) ++expected;
+    if (pv[a] + 1 < space.axes[a].values.size()) ++expected;
+  }
+  EXPECT_EQ(steps.size(), expected);
+  for (const ParamVector& s : steps) {
+    EXPECT_NE(s, pv);
+    std::size_t moved = 0;
+    for (std::size_t a = 0; a < s.size(); ++a) {
+      if (s[a] != pv[a]) {
+        ++moved;
+        EXPECT_EQ(std::max(s[a], pv[a]) - std::min(s[a], pv[a]), 1u);
+      }
+    }
+    EXPECT_EQ(moved, 1u);  // exactly one axis stepped by one
+  }
+}
+
+}  // namespace
+}  // namespace bftsim::adversary

@@ -1,0 +1,218 @@
+// Adversary strategy search driver.
+//
+// Two modes:
+//
+//   advsearch [--seed S] [--jobs J] [--protocols a,b,c] [--n N] [--grid G]
+//             [--rounds R] [--shrink-runs K] [--max-events E]
+//             [--max-time-ms T] [--out FILE] [--repro-dir DIR]
+//     Runs the worst-case attack search over every (protocol, attack
+//     space) cell and prints the ranked resilience table on stdout. The
+//     table and the --out JSON report are byte-identical for every --jobs
+//     value (candidate batches fold up in index order; see
+//     src/adversary/search.hpp). With --repro-dir each worst case's
+//     replayable reproducer is written to DIR/<protocol>-<attack>.json.
+//     Exit code: 0 when every nonzero cell shipped a replay-verified
+//     reproducer, 1 when any cell was refused (replay divergence — a
+//     determinism bug), 2 on usage or setup errors.
+//
+//   advsearch --replay FILE...
+//   advsearch --replay-dir DIR
+//     Replays adversary reproducer files: re-runs each recorded config and
+//     its derived attack-free baseline, recomputes the damage, and checks
+//     score (exact), verdict flags, and both trace fingerprints. Exit 0
+//     only when every file replays exactly.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "adversary/reproducer.hpp"
+#include "adversary/search.hpp"
+#include "core/json.hpp"
+#include "runner/export.hpp"
+
+namespace {
+
+using namespace bftsim;
+using namespace bftsim::adversary;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--seed S] [--jobs J] [--protocols a,b,c] [--n N]\n"
+      "          [--grid G] [--rounds R] [--shrink-runs K] [--max-events E]\n"
+      "          [--max-time-ms T] [--out FILE] [--repro-dir DIR]\n"
+      "       %s --replay FILE...\n"
+      "       %s --replay-dir DIR\n",
+      argv0, argv0, argv0);
+  std::exit(2);
+}
+
+[[nodiscard]] std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string token;
+  for (const char c : csv) {
+    if (c == ',') {
+      if (!token.empty()) out.push_back(token);
+      token.clear();
+    } else {
+      token += c;
+    }
+  }
+  if (!token.empty()) out.push_back(token);
+  return out;
+}
+
+int replay_files(const std::vector<std::string>& files) {
+  int bad = 0;
+  for (const std::string& file : files) {
+    try {
+      const AdvReproducer repro = AdvReproducer::from_file(file);
+      const AdvReplayOutcome outcome = replay_adv_reproducer(repro);
+      if (outcome.ok()) {
+        std::fprintf(stderr, "OK   %s: score %s reproduces (%s)\n",
+                     file.c_str(), json::Value{repro.damage.score}.dump().c_str(),
+                     repro.damage.describe().c_str());
+        continue;
+      }
+      ++bad;
+      if (!outcome.score_matches) {
+        std::fprintf(stderr, "FAIL %s: score %s, recorded %s\n", file.c_str(),
+                     json::Value{outcome.damage.score}.dump().c_str(),
+                     json::Value{repro.damage.score}.dump().c_str());
+      }
+      if (!outcome.verdict_matches) {
+        std::fprintf(stderr, "FAIL %s: verdict \"%s\", recorded \"%s\"\n",
+                     file.c_str(), outcome.damage.describe().c_str(),
+                     repro.damage.describe().c_str());
+      }
+      if (!outcome.fingerprints_match) {
+        std::fprintf(
+            stderr,
+            "FAIL %s: fingerprints attacked %s/%llu baseline %s/%llu, "
+            "recorded attacked %s/%llu baseline %s/%llu\n",
+            file.c_str(),
+            fingerprint_to_hex(outcome.attacked_fingerprint).c_str(),
+            static_cast<unsigned long long>(outcome.attacked_records),
+            fingerprint_to_hex(outcome.baseline_fingerprint).c_str(),
+            static_cast<unsigned long long>(outcome.baseline_records),
+            fingerprint_to_hex(repro.attacked_fingerprint).c_str(),
+            static_cast<unsigned long long>(repro.attacked_records),
+            fingerprint_to_hex(repro.baseline_fingerprint).c_str(),
+            static_cast<unsigned long long>(repro.baseline_records));
+      }
+    } catch (const std::exception& e) {
+      ++bad;
+      std::fprintf(stderr, "FAIL %s: %s\n", file.c_str(), e.what());
+    }
+  }
+  std::fprintf(stderr, "replayed %zu reproducer(s), %d failure(s)\n",
+               files.size(), bad);
+  return bad == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SearchOptions options;
+  std::string out_path;
+  std::string repro_dir;
+  std::vector<std::string> replay_list;
+  std::string replay_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      options.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--jobs") {
+      options.jobs = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--protocols") {
+      options.protocols = split_csv(next());
+      if (options.protocols.empty()) usage(argv[0]);
+    } else if (arg == "--n") {
+      options.n = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--grid") {
+      options.grid = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--rounds") {
+      options.rounds = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--shrink-runs") {
+      options.shrink_runs =
+          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--max-events") {
+      options.watchdog.max_events = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--max-time-ms") {
+      options.watchdog.max_time_ms = std::strtod(next(), nullptr);
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--repro-dir") {
+      repro_dir = next();
+    } else if (arg == "--replay") {
+      while (i + 1 < argc && argv[i + 1][0] != '-') replay_list.push_back(argv[++i]);
+      if (replay_list.empty()) usage(argv[0]);
+    } else if (arg == "--replay-dir") {
+      replay_dir = next();
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(argv[0]);
+    }
+  }
+
+  if (!replay_dir.empty()) {
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(replay_dir, ec)) {
+      if (entry.path().extension() == ".json") {
+        replay_list.push_back(entry.path().string());
+      }
+    }
+    if (ec) {
+      std::fprintf(stderr, "%s: %s\n", replay_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+    if (replay_list.empty()) {
+      std::fprintf(stderr, "%s: no reproducer files\n", replay_dir.c_str());
+      return 2;
+    }
+    std::sort(replay_list.begin(), replay_list.end());
+  }
+  if (!replay_list.empty()) return replay_files(replay_list);
+
+  if (options.seed >= (1ULL << 53)) {
+    std::fprintf(stderr, "advsearch: --seed must be below 2^53 "
+                         "(reproducer JSON round-trip)\n");
+    return 2;
+  }
+
+  try {
+    const SearchReport report = run_search(options);
+
+    std::fputs(report.table().c_str(), stdout);
+
+    if (!repro_dir.empty()) {
+      std::filesystem::create_directories(repro_dir);
+      for (const WorstCase& w : report.worst) {
+        if (!w.has_reproducer) continue;
+        const std::string file =
+            repro_dir + "/" + w.protocol + "-" + w.attack + ".json";
+        w.reproducer.save(file);
+        std::fprintf(stderr, "reproducer written to %s\n", file.c_str());
+      }
+    }
+    if (!out_path.empty()) {
+      write_json_file(out_path, report.to_json());
+      std::fprintf(stderr, "report written to %s\n", out_path.c_str());
+    }
+    return report.refused.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "advsearch: %s\n", e.what());
+    return 2;
+  }
+}

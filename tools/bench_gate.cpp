@@ -36,6 +36,11 @@
 // and the run must have been bit-identical ("identical": true) — a
 // divergent parallel run fails regardless of speed.
 //
+// When both files carry an "attacker_hook" record (the passive fast path
+// vs a no-op attack on the same workload), the current run must have been
+// equivalent ("identical": true) and its overhead ratio must stay below
+// (1 + tolerance) x max(reference ratio, 1.0).
+//
 // Usage:
 //   bench_gate --current micro.json --reference BENCH_engine.json
 //              [--tolerance 0.25] [--mem-tolerance 0.35]
@@ -347,7 +352,47 @@ int main(int argc, char** argv) {
       }
     }
 
-    if (compared == 0 && scale_compared == 0 && intra_compared == 0) {
+    // --- attacker hook overhead: equivalence + overhead-ratio ceiling ------
+    // The ratio (hooked/passive wall time on the same machine, back to
+    // back) is largely thread-count-insensitive, so it is gated even under
+    // --allow-thread-mismatch; equivalence is gated unconditionally.
+    int hook_compared = 0;
+    const Value* hook_ref = reference_doc.as_object().find("attacker_hook");
+    const Value* hook_cur = current_doc.as_object().find("attacker_hook");
+    if (hook_ref != nullptr && hook_cur != nullptr && hook_ref->is_object() &&
+        hook_cur->is_object()) {
+      ++hook_compared;
+      const double ref_ratio = hook_ref->get_number("overhead_ratio", 0.0);
+      const double cur_ratio = hook_cur->get_number("overhead_ratio", 0.0);
+      const bool identical =
+          hook_cur->as_object().find("identical") != nullptr &&
+          hook_cur->as_object().at("identical").as_bool();
+      bool ok = true;
+      if (!identical) {
+        ok = false;
+        ++regressions;
+        std::printf("FAIL  attacker-hook run diverged from the passive "
+                    "baseline\n");
+      }
+      // Ratios below 1.0 are timer noise; the ceiling is anchored at the
+      // reference ratio but never below parity.
+      const double ceiling =
+          (1.0 + tolerance) * std::max(ref_ratio, 1.0);
+      if (ref_ratio > 0.0 && cur_ratio > ceiling) {
+        ok = false;
+        ++regressions;
+        std::printf("FAIL  attacker-hook overhead %.2fx vs ref %.2fx "
+                    "(ceiling %.2fx)\n",
+                    cur_ratio, ref_ratio, ceiling);
+      }
+      if (ok) {
+        std::printf("OK    attacker-hook overhead %.2fx vs ref %.2fx\n",
+                    cur_ratio, ref_ratio);
+      }
+    }
+
+    if (compared == 0 && scale_compared == 0 && intra_compared == 0 &&
+        hook_compared == 0) {
       std::fprintf(stderr, "nothing matched between %s and %s\n",
                    current_path.c_str(), reference_path.c_str());
       return 2;
@@ -355,13 +400,14 @@ int main(int argc, char** argv) {
     if (regressions > 0) {
       std::fprintf(stderr, "%d of %d comparisons regressed (>%.0f%% slower "
                    "or >%.0f%% more memory)\n",
-                   regressions, compared + scale_compared + intra_compared,
+                   regressions,
+                   compared + scale_compared + intra_compared + hook_compared,
                    100.0 * tolerance, 100.0 * mem_tolerance);
       return 1;
     }
-    std::printf("all %d workloads, %d scaling points and %d intra-speedup "
-                "records within tolerance\n",
-                compared, scale_compared, intra_compared);
+    std::printf("all %d workloads, %d scaling points, %d intra-speedup and "
+                "%d attacker-hook records within tolerance\n",
+                compared, scale_compared, intra_compared, hook_compared);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_gate: %s\n", e.what());
