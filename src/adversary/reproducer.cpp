@@ -83,6 +83,11 @@ AdvReproducer AdvReproducer::from_json(const json::Value& v,
   const json::Value* cfg = v.as_object().find("config");
   if (cfg == nullptr) cfgcheck::fail(path + ".config", "missing");
   repro.config = SimConfig::from_json(*cfg);
+  if (repro.config.protocol != repro.protocol) {
+    cfgcheck::fail(path + ".protocol",
+                   "does not match config.protocol \"" +
+                       repro.config.protocol + "\"");
+  }
   if (repro.config.attack != repro.attack) {
     cfgcheck::fail(path + ".attack",
                    "does not match config.attack \"" + repro.config.attack +

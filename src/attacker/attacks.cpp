@@ -216,8 +216,8 @@ Disposition AdaptivePartitionAttack::attack(MessageInFlight& in_flight,
 
 void AdaptivePartitionAttack::on_timer(const TimerEvent& ev,
                                        AttackerContext& ctx) {
-  // Re-cut: rotate every node's group by one. The epoch equals the timer
-  // tag, so the cut sequence is a pure function of (period, resolve).
+  // Re-cut: re-draw every node's group from (node, epoch). The epoch equals
+  // the timer tag, so the cut sequence is a pure function of (period, resolve).
   epoch_ = ev.tag;
   const Time next = static_cast<Time>(ev.tag + 1) * period_;
   if (next < resolve_) ctx.set_timer(next - ctx.now(), ev.tag + 1);

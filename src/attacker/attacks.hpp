@@ -9,6 +9,7 @@
 
 #include "attacker/attacker.hpp"
 #include "core/config.hpp"
+#include "crypto/hash.hpp"
 
 namespace bftsim {
 
@@ -130,12 +131,25 @@ class EclipseAttack final : public Attacker {
   bool drop_mode_;
 };
 
+/// The rotating group assignment used by AdaptivePartitionAttack, exposed
+/// for tests. Epoch 0 is the static cut (id mod subnets); every later
+/// epoch re-draws the cut by hashing (id, epoch), so the *equivalence
+/// classes* change between epochs — a pair separated by one cut shares a
+/// group under a later one. (A uniform label shift like (id + epoch) mod
+/// subnets would relabel the groups without ever changing the cut.)
+[[nodiscard]] constexpr std::uint32_t adaptive_partition_group(
+    NodeId id, std::uint64_t epoch, std::uint32_t subnets) noexcept {
+  if (epoch == 0) return id % subnets;
+  return static_cast<std::uint32_t>(
+      hash_words({0x61647074ULL /* "adpt" */, id, epoch}) % subnets);
+}
+
 /// Adaptive partition: re-cuts the network at attacker time events. The
-/// group assignment rotates every `period` (group = (node + epoch) mod
-/// subnets), so no fixed pair of nodes stays separated and the cut chases
-/// rotating leaders; cross-group traffic is dropped or held until the
-/// attack resolves at `resolve`. Parameter vector: {subnets, period_ms,
-/// resolve_ms, mode}.
+/// group assignment starts as the static cut (node mod subnets) and is
+/// re-drawn every `period` by hashing (node, epoch), so the set of
+/// separated pairs changes each epoch and the cut chases rotating leaders;
+/// cross-group traffic is dropped or held until the attack resolves at
+/// `resolve`. Parameter vector: {subnets, period_ms, resolve_ms, mode}.
 class AdaptivePartitionAttack final : public Attacker {
  public:
   AdaptivePartitionAttack(std::uint32_t subnets, Time period, Time resolve,
@@ -147,7 +161,7 @@ class AdaptivePartitionAttack final : public Attacker {
 
  private:
   [[nodiscard]] std::uint32_t group_of(NodeId id) const noexcept {
-    return (id + epoch_) % subnets_;
+    return adaptive_partition_group(id, epoch_, subnets_);
   }
 
   std::uint32_t subnets_;

@@ -318,8 +318,12 @@ void Controller::network_send(NodeId src, NodeId dst, PayloadPtr payload,
   MessageInFlight in_flight{std::move(msg), extra_delay + sampled};
   // Snapshot the pre-attack state so the attacker's edits are countable by
   // comparison — no per-action instrumentation inside attack() needed.
+  // Payloads are immutable (shared_ptr<const Payload>), so replacement and
+  // rerouting are the only modification channels an attacker has.
   const Time assigned_delay = in_flight.delay;
   const Payload* original_payload = in_flight.msg.payload.get();
+  const NodeId original_src = in_flight.msg.src;
+  const NodeId original_dst = in_flight.msg.dst;
   const Disposition verdict = [&] {
     BFTSIM_PROFILE_SCOPE(profile_, obs::ProfileComponent::kAttackerHook);
     return attacker_->attack(in_flight, *atk_ctx_);
@@ -337,7 +341,8 @@ void Controller::network_send(NodeId src, NodeId dst, PayloadPtr payload,
     return;
   }
   if (in_flight.delay != assigned_delay) metrics_.on_attacker_delay();
-  if (in_flight.msg.payload.get() != original_payload) {
+  if (in_flight.msg.payload.get() != original_payload ||
+      in_flight.msg.src != original_src || in_flight.msg.dst != original_dst) {
     metrics_.on_attacker_modify();
   }
   if (faults_ != nullptr && faults_->maybe_corrupt(now_)) {
@@ -439,6 +444,8 @@ void Controller::network_broadcast(NodeId src, const PayloadPtr& payload,
     MessageInFlight in_flight{std::move(msg), extra_delay + sampled};
     const Time assigned_delay = in_flight.delay;
     const Payload* original_payload = in_flight.msg.payload.get();
+    const NodeId original_src = in_flight.msg.src;
+    const NodeId original_dst = in_flight.msg.dst;
     const Disposition verdict = [&] {
       BFTSIM_PROFILE_SCOPE(profile_, obs::ProfileComponent::kAttackerHook);
       return attacker_->attack(in_flight, *atk_ctx_);
@@ -457,7 +464,8 @@ void Controller::network_broadcast(NodeId src, const PayloadPtr& payload,
       continue;
     }
     if (in_flight.delay != assigned_delay) metrics_.on_attacker_delay();
-    if (in_flight.msg.payload.get() != original_payload) {
+    if (in_flight.msg.payload.get() != original_payload ||
+        in_flight.msg.src != original_src || in_flight.msg.dst != original_dst) {
       metrics_.on_attacker_modify();
     }
     if (faults_ != nullptr && faults_->maybe_corrupt(now_)) {

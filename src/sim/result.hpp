@@ -66,7 +66,10 @@ struct RunResult {
   // fast path never touches these counters).
   std::uint64_t attacker_dropped = 0;    ///< messages the attacker discarded
   std::uint64_t attacker_delayed = 0;    ///< deliveries re-timed (rush/stall/hold)
-  std::uint64_t attacker_modified = 0;   ///< payloads replaced in flight
+  /// Messages rewritten in flight: payload replaced or src/dst rerouted.
+  /// Payloads are immutable behind shared_ptr<const Payload>, so replacement
+  /// and rerouting are the only modification channels the hook can see.
+  std::uint64_t attacker_modified = 0;
   std::uint64_t attacker_duplicated = 0; ///< duplicate copies injected (flooding)
 
   /// Non-fatal configuration deviations (see RunWarning); empty for runs

@@ -6,10 +6,12 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "adversary/reproducer.hpp"
+#include "core/json.hpp"
 
 namespace bftsim::adversary {
 namespace {
@@ -62,6 +64,21 @@ TEST(AdversaryCorpus, CoversMultipleProtocolsAndAttacks) {
   attacks.erase(std::unique(attacks.begin(), attacks.end()), attacks.end());
   EXPECT_GE(protocols.size(), 3u);
   EXPECT_GE(attacks.size(), 3u);
+}
+
+TEST(AdversaryCorpus, MislabeledReproducersAreRejected) {
+  // The top-level protocol/attack labels feed the table and file names;
+  // a hand-edited document whose label disagrees with the embedded config
+  // would silently replay something else, so both cross-checks must fail
+  // the parse.
+  const std::vector<std::string> files = corpus_files();
+  ASSERT_FALSE(files.empty());
+  json::Value protocol_flip = json::parse_file(files.front());
+  protocol_flip.as_object()["protocol"] = json::Value{std::string("asyncba")};
+  EXPECT_THROW(AdvReproducer::from_json(protocol_flip), std::invalid_argument);
+  json::Value attack_flip = json::parse_file(files.front());
+  attack_flip.as_object()["attack"] = json::Value{std::string("flood")};
+  EXPECT_THROW(AdvReproducer::from_json(attack_flip), std::invalid_argument);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <string>
 #include <utility>
 
+#include "attacker/attacks.hpp"
 #include "attacker/registry.hpp"
 #include "core/json.hpp"
 #include "runner/export.hpp"
@@ -125,10 +126,39 @@ TEST(EclipseAttackTest, KeepPreservesChosenLifelines) {
   EXPECT_GT(lifeline, 0u);
 }
 
+TEST(AdaptivePartitionAttackTest, RotationChangesTheEquivalenceClasses) {
+  // The whole point of the adaptive variant: epochs change the *cut*, not
+  // just the group labels. Epoch 0 is the static parity cut; epoch 1 must
+  // rejoin some pair epoch 0 separated and split some pair it kept
+  // together. (A uniform label shift like (id + epoch) mod subnets passes
+  // neither check — the equivalence classes never move.)
+  constexpr std::uint32_t kSubnets = 2;
+  constexpr NodeId kNodes = 16;
+  for (NodeId id = 0; id < kNodes; ++id) {
+    EXPECT_EQ(adaptive_partition_group(id, 0, kSubnets), id % kSubnets);
+    EXPECT_LT(adaptive_partition_group(id, 1, kSubnets), kSubnets);
+  }
+  bool rejoined = false;
+  bool split = false;
+  for (NodeId a = 0; a < kNodes; ++a) {
+    for (NodeId b = a + 1; b < kNodes; ++b) {
+      const bool apart0 = adaptive_partition_group(a, 0, kSubnets) !=
+                          adaptive_partition_group(b, 0, kSubnets);
+      const bool apart1 = adaptive_partition_group(a, 1, kSubnets) !=
+                          adaptive_partition_group(b, 1, kSubnets);
+      if (apart0 && !apart1) rejoined = true;
+      if (!apart0 && apart1) split = true;
+    }
+  }
+  EXPECT_TRUE(rejoined);
+  EXPECT_TRUE(split);
+}
+
 TEST(AdaptivePartitionAttackTest, BlocksCrossGroupTrafficUntilResolve) {
-  // With subnets=2 the rotating assignment (node + epoch) mod 2 always
-  // separates different-parity nodes, so the cross-parity check from the
-  // static partition test carries over verbatim.
+  // Epoch e covers [e·period, (e+1)·period). Drops are recorded at send
+  // time, so the trace pins each epoch's cut exactly: every drop before
+  // resolve must be cross-group under the cut of its epoch, and nothing is
+  // dropped after resolution.
   SimConfig cfg = base_config("pbft");
   cfg.attack = "adaptive-partition";
   cfg.attack_params = params({{"subnets", 2},
@@ -138,15 +168,28 @@ TEST(AdaptivePartitionAttackTest, BlocksCrossGroupTrafficUntilResolve) {
   cfg.record_trace = true;
   const RunResult result = run_simulation(cfg);
   ASSERT_TRUE(result.terminated);
+  const Time period = from_ms(2'000);
+  bool rejoined_pair_delivered = false;
   for (const TraceRecord& rec : result.trace.records()) {
-    if (rec.kind != TraceKind::kDeliver || rec.a == rec.b) continue;
-    if (rec.at < from_ms(15'000)) {
-      EXPECT_EQ(rec.a % 2, rec.b % 2)
-          << "cross-partition delivery at " << to_ms(rec.at) << "ms";
+    if (rec.a == rec.b) continue;
+    if (rec.kind == TraceKind::kDrop) {
+      EXPECT_LT(rec.at, from_ms(15'000)) << "drop after resolve";
+      // At an exact period boundary the epoch-flip timer and same-instant
+      // sends race in queue order; skip the ambiguous tick.
+      if (rec.at % period == 0) continue;
+      const auto epoch = static_cast<std::uint64_t>(rec.at / period);
+      EXPECT_NE(adaptive_partition_group(rec.a, epoch, 2),
+                adaptive_partition_group(rec.b, epoch, 2))
+          << "same-group drop at " << to_ms(rec.at) << "ms";
+    } else if (rec.kind == TraceKind::kDeliver && rec.at < from_ms(15'000) &&
+               rec.a % 2 != rec.b % 2) {
+      // A pair the epoch-0 cut separates communicated before resolve: a
+      // later epoch genuinely re-cut the network.
+      rejoined_pair_delivered = true;
     }
   }
+  EXPECT_TRUE(rejoined_pair_delivered);
   EXPECT_GT(result.attacker_dropped, 0u);
-  EXPECT_GT(result.latency_ms(), 15'000);
   EXPECT_TRUE(result.decisions_consistent());
 }
 

@@ -106,6 +106,17 @@ class SelfNode final : public Node {
   void on_timer(const TimerEvent&, Context&) override {}
 };
 
+/// Reroutes every intercepted message to the next node without touching
+/// payload or delay: pins the attacker_modified contract (rerouting counts
+/// as modification just like payload replacement).
+class ReroutingAttacker final : public Attacker {
+ public:
+  Disposition attack(MessageInFlight& in_flight, AttackerContext& ctx) override {
+    in_flight.msg.dst = (in_flight.msg.dst + 1) % ctx.n();
+    return Disposition::kDeliver;
+  }
+};
+
 /// Greedy corruption attack: tries to corrupt every node at start; the
 /// budget must cap it at f (minus fail-stopped nodes).
 class GreedyCorruptor final : public Attacker {
@@ -141,6 +152,9 @@ void register_test_protocols() {
              simple([] { return std::make_unique<SelfNode>(); })});
     AttackRegistry::instance().add("test-greedy", [](const SimConfig&) {
       return std::make_unique<GreedyCorruptor>();
+    });
+    AttackRegistry::instance().add("test-reroute", [](const SimConfig&) {
+      return std::make_unique<ReroutingAttacker>();
     });
     return true;
   }();
@@ -269,6 +283,18 @@ TEST(ControllerTest, CorruptionBudgetSharedWithFailstops) {
   cfg.attack = "test-greedy";
   const RunResult result = run_simulation(cfg);
   EXPECT_EQ(result.corrupted.size(), 1u);  // 2 + 1 <= f
+}
+
+TEST(ControllerTest, ReroutedMessagesCountAsAttackerModified) {
+  // The attacker rewrites dst only — payload pointer and delay untouched —
+  // so the modified counter must pick up the reroute, not stay at zero.
+  SimConfig cfg = test_config("test-pingpong");
+  cfg.attack = "test-reroute";
+  const RunResult result = run_simulation(cfg);
+  EXPECT_GT(result.attacker_modified, 0u);
+  EXPECT_EQ(result.attacker_dropped, 0u);
+  EXPECT_EQ(result.attacker_delayed, 0u);
+  EXPECT_EQ(result.attacker_duplicated, 0u);
 }
 
 TEST(ControllerTest, RunTwiceThrows) {

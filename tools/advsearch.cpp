@@ -155,7 +155,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--repro-dir") {
       repro_dir = next();
     } else if (arg == "--replay") {
-      while (i + 1 < argc && argv[i + 1][0] != '-') replay_list.push_back(argv[++i]);
+      // Replay mode takes no further options: every remaining argv entry is
+      // a reproducer path, including names that begin with '-'.
+      while (i + 1 < argc) replay_list.push_back(argv[++i]);
       if (replay_list.empty()) usage(argv[0]);
     } else if (arg == "--replay-dir") {
       replay_dir = next();
