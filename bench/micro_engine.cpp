@@ -8,6 +8,7 @@
 // --skip-micro to run only the measurements, --skip-scaling to omit the
 // curve, --skip-intra to omit the windowed intra-run speedup,
 // --skip-attacker to omit the attacker-hook overhead record,
+// --skip-wan to omit the WAN-backend vs direct-broadcast record,
 // --only-scaling to record just the curve). Every record carries the
 // actual hardware thread count so bench_gate can refuse cross-machine
 // comparisons.
@@ -26,7 +27,9 @@
 #include "core/memstats.hpp"
 #include "core/rng.hpp"
 #include "core/thread_pool.hpp"
+#include "core/json.hpp"
 #include "net/delay_model.hpp"
+#include "net/wan/wan_spec.hpp"
 #include "runner/export.hpp"
 #include "runner/runner.hpp"
 #include "sim/simulation.hpp"
@@ -384,6 +387,84 @@ json::Value measure_attacker_hook(std::size_t repeats) {
   return json::Value{std::move(o)};
 }
 
+/// Times the WAN transport backend (net/wan/; see docs/NETWORKING.md)
+/// against the classic direct-broadcast network on the same workload: one
+/// direct baseline, then one run per backend piece (geo8 RTT matrix,
+/// bandwidth queues, gossip dissemination). Each mode runs twice and the
+/// two aggregates must be equivalent — WAN delays are deterministic
+/// functions of the run seed, never of the wall clock. The gated figure is
+/// relative_throughput (mode events/sec over direct events/sec): a pure
+/// per-event-cost ratio, so it transfers across machines where raw
+/// events/sec does not.
+json::Value measure_wan_backend(std::size_t repeats) {
+  SimConfig base;
+  base.protocol = "pbft";
+  base.n = 32;
+  base.lambda_ms = 1000;
+  base.delay = DelaySpec::normal(250, 50);
+  base.seed = 1;
+
+  (void)run_repeated(base, 2);  // warm-up outside the timed region
+  const auto direct_start = std::chrono::steady_clock::now();
+  const Aggregate direct = run_repeated(base, repeats);
+  const double direct_seconds = seconds_since(direct_start);
+  const double direct_events =
+      direct.events.mean * static_cast<double>(direct.runs);
+  const double direct_eps =
+      direct_seconds > 0.0 ? direct_events / direct_seconds : 0.0;
+
+  struct Mode {
+    const char* name;
+    const char* net_json;
+  };
+  const Mode modes[] = {
+      {"matrix", R"({"rtt": {"matrix": "geo8"}})"},
+      {"bandwidth", R"({"uplink_mbps": 200, "downlink_mbps": 200})"},
+      {"gossip", R"({"backend": "gossip", "fanout": 3})"},
+  };
+
+  std::printf("\n--- WAN backend vs direct broadcast (pbft, n=32, %zu runs) ---\n",
+              repeats);
+  std::printf("direct:    %.3f s, %.0f events -> %.0f events/s\n",
+              direct_seconds, direct_events, direct_eps);
+
+  json::Array rows;
+  for (const Mode& mode : modes) {
+    SimConfig cfg = base;
+    cfg.net = WanSpec::from_json(json::parse(mode.net_json));
+    (void)run_repeated(cfg, 2);
+    const auto start = std::chrono::steady_clock::now();
+    const Aggregate agg = run_repeated(cfg, repeats);
+    const double seconds = seconds_since(start);
+    const Aggregate again = run_repeated(cfg, repeats);
+    const bool deterministic = equivalent(agg, again);
+
+    const double events = agg.events.mean * static_cast<double>(agg.runs);
+    const double eps = seconds > 0.0 ? events / seconds : 0.0;
+    const double relative = direct_eps > 0.0 ? eps / direct_eps : 0.0;
+    std::printf("%-9s  %.3f s, %.0f events -> %.0f events/s (%.2fx direct)%s\n",
+                mode.name, seconds, events, eps, relative,
+                deterministic ? "" : "  [NONDETERMINISTIC — bug]");
+
+    json::Object row;
+    row["mode"] = mode.name;
+    row["seconds"] = seconds;
+    row["events_total"] = events;
+    row["events_per_sec"] = eps;
+    row["relative_throughput"] = relative;
+    row["deterministic"] = deterministic;
+    rows.push_back(json::Value{std::move(row)});
+  }
+
+  json::Object o;
+  o["workload"] = "run_repeated pbft n=32";
+  o["repeats"] = static_cast<std::int64_t>(repeats);
+  o["direct_seconds"] = direct_seconds;
+  o["direct_events_per_sec"] = direct_eps;
+  o["modes"] = json::Value{std::move(rows)};
+  return json::Value{std::move(o)};
+}
+
 /// Times run_repeated vs run_repeated_parallel on the same workload,
 /// checks the aggregates are equivalent, prints the comparison, and
 /// writes it to `json_path`. Speedup tracks the machine: ~min(jobs,
@@ -392,7 +473,8 @@ void measure_parallel_speedup(const std::string& json_path, std::size_t jobs,
                               std::size_t repeats, json::Value engine_throughput,
                               json::Value scaling, json::Value intra_speedup,
                               std::uint32_t intra_jobs,
-                              json::Value attacker_hook) {
+                              json::Value attacker_hook,
+                              json::Value wan_backend) {
   SimConfig cfg;
   cfg.protocol = "pbft";
   cfg.n = 32;
@@ -443,6 +525,7 @@ void measure_parallel_speedup(const std::string& json_path, std::size_t jobs,
   if (scaling.is_array()) o["scaling"] = std::move(scaling);
   if (intra_speedup.is_object()) o["intra_speedup"] = std::move(intra_speedup);
   if (attacker_hook.is_object()) o["attacker_hook"] = std::move(attacker_hook);
+  if (wan_backend.is_object()) o["wan_backend"] = std::move(wan_backend);
   write_json_file(json_path, json::Value{std::move(o)});
   std::printf("[speedup record written to %s]\n", json_path.c_str());
 }
@@ -458,6 +541,7 @@ int main(int argc, char** argv) {
   bool run_scaling = true;
   bool run_intra = true;
   bool run_attacker = true;
+  bool run_wan = true;
   bool only_scaling = false;
   if (const char* env = std::getenv("BFTSIM_JOBS")) {
     const long value = std::strtol(env, nullptr, 10);
@@ -478,6 +562,8 @@ int main(int argc, char** argv) {
       run_intra = false;
     } else if (std::strcmp(argv[i], "--skip-attacker") == 0) {
       run_attacker = false;
+    } else if (std::strcmp(argv[i], "--skip-wan") == 0) {
+      run_wan = false;
     } else if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
       repeats = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--skip-micro") == 0) {
@@ -522,9 +608,11 @@ int main(int argc, char** argv) {
       run_intra ? measure_intra_speedup(intra_jobs) : json::Value{};
   json::Value attacker_hook =
       run_attacker ? measure_attacker_hook(repeats) : json::Value{};
+  json::Value wan_backend =
+      run_wan ? measure_wan_backend(repeats) : json::Value{};
   measure_parallel_speedup(json_path, jobs, repeats,
                            std::move(engine_throughput), std::move(scaling),
                            std::move(intra), intra_jobs,
-                           std::move(attacker_hook));
+                           std::move(attacker_hook), std::move(wan_backend));
   return 0;
 }

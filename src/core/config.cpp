@@ -148,6 +148,28 @@ void SimConfig::validate() const {
         "config: the run timeline sampler is serial-only; disable "
         "obs.timeline_tick_ms or engine parallelism");
   }
+  net.validate();
+  if (net.enabled() && topology.is_object()) {
+    cfgcheck::fail("$.net",
+                   "cannot combine with $.topology: the WAN backend replaces "
+                   "the cross-region transform (move the regions into "
+                   "$.net.rtt)");
+  }
+  if (engine.per_node_rng() && (net.gossip() || net.bandwidth_enabled())) {
+    // Gossip relays and FIFO bandwidth queues are inherently order-dependent
+    // across sending nodes, so they have no lane-invariant per-node RNG
+    // form. Matrix-only WAN runs are pure per-pair delay offsets and stay
+    // windowed-parallel safe.
+    cfgcheck::fail("$.net",
+                   "gossip/bandwidth backends are serial-only; drop "
+                   "engine.intra_jobs > 1 / rng \"per_node\" or keep only the "
+                   "RTT matrix");
+  }
+  if (net.gossip() && !attack.empty()) {
+    cfgcheck::fail("$.net.backend",
+                   "gossip cannot combine with an attack scenario: the "
+                   "global attacker observes direct transmissions only");
+  }
   faults.validate(n);
   obs.validate();
 }
@@ -167,6 +189,7 @@ json::Value SimConfig::to_json() const {
   if (attack_params.is_object()) o["attack_params"] = attack_params;
   if (cost.enabled()) o["cost"] = cost.to_json();
   if (topology.is_object()) o["topology"] = topology;
+  if (net.enabled()) o["net"] = net.to_json();
   if (protocol_params.is_object()) o["protocol_params"] = protocol_params;
   if (faults.enabled()) o["faults"] = faults.to_json();
   o["record_trace"] = record_trace;
@@ -180,7 +203,7 @@ SimConfig SimConfig::from_json(const json::Value& v) {
   require_keys(v, "$",
                {"protocol", "n", "honest", "lambda_ms", "delay", "seed",
                 "decisions", "max_time_ms", "max_events", "attack",
-                "attack_params", "protocol_params", "cost", "topology",
+                "attack_params", "protocol_params", "cost", "topology", "net",
                 "faults", "record_trace", "record_views", "obs", "engine"});
   SimConfig cfg;
   cfg.protocol = v.get_string("protocol", cfg.protocol);
@@ -219,6 +242,9 @@ SimConfig SimConfig::from_json(const json::Value& v) {
     (void)number_in(*t, "$.topology", "cross_factor", 1.0, 0.0, 1e6);
     (void)number_in(*t, "$.topology", "cross_extra_ms", 0.0, 0.0, 1e9);
     cfg.topology = *t;
+  }
+  if (const json::Value* nv = v.as_object().find("net")) {
+    cfg.net = WanSpec::from_json(*nv, "$.net");
   }
   if (const json::Value* f = v.as_object().find("faults")) {
     cfg.faults = FaultConfig::from_json(*f, "$.faults");

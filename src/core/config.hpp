@@ -11,6 +11,7 @@
 #include "core/json.hpp"
 #include "core/types.hpp"
 #include "faults/fault_config.hpp"
+#include "net/wan/wan_spec.hpp"
 #include "obs/obs_config.hpp"
 
 namespace bftsim {
@@ -126,6 +127,11 @@ struct SimConfig {
   /// Geo-distribution: regions > 1 applies cross-region delay penalties
   /// (declared in net/topology.hpp; stored as JSON here to keep layering).
   json::Value topology;
+
+  /// Topology-aware WAN transport backend: geo RTT matrices, per-node
+  /// bandwidth queues, gossip dissemination. Disabled by default; mutually
+  /// exclusive with the simpler $.topology transform. See docs/NETWORKING.md.
+  WanSpec net;
 
   /// Deterministic fault scenario (crash/recover windows, link flaps,
   /// message corruption, clock skew); disabled by default. See docs/FAULTS.md.

@@ -48,6 +48,12 @@ class Metrics {
   void on_attacker_modify() noexcept { ++attacker_modified_; }
   void on_attacker_duplicate() noexcept { ++attacker_duplicated_; }
 
+  // WAN gossip backend counters (net/wan/): copies forwarded by non-origin
+  // relayers, and received copies suppressed as duplicates. Serial-engine
+  // only, but absorbed like every other counter for uniformity.
+  void on_gossip_relay() noexcept { ++gossip_relayed_; }
+  void on_gossip_duplicate() noexcept { ++gossip_duplicates_; }
+
   /// Per-kind message counting, hot path: one flat-array increment. The
   /// branch only fires for user-defined tags above the builtin range.
   void count_type(PayloadType t) {
@@ -84,6 +90,8 @@ class Metrics {
     attacker_delayed_ += delta.attacker_delayed_;
     attacker_modified_ += delta.attacker_modified_;
     attacker_duplicated_ += delta.attacker_duplicated_;
+    gossip_relayed_ += delta.gossip_relayed_;
+    gossip_duplicates_ += delta.gossip_duplicates_;
     if (typed_counts_.size() < delta.typed_counts_.size()) {
       typed_counts_.resize(delta.typed_counts_.size(), 0);
     }
@@ -107,6 +115,8 @@ class Metrics {
   [[nodiscard]] std::uint64_t attacker_delayed() const noexcept { return attacker_delayed_; }
   [[nodiscard]] std::uint64_t attacker_modified() const noexcept { return attacker_modified_; }
   [[nodiscard]] std::uint64_t attacker_duplicated() const noexcept { return attacker_duplicated_; }
+  [[nodiscard]] std::uint64_t gossip_relayed() const noexcept { return gossip_relayed_; }
+  [[nodiscard]] std::uint64_t gossip_duplicates() const noexcept { return gossip_duplicates_; }
   /// Per-kind send counts keyed by human-readable name, rebuilt on demand
   /// from the flat tag array (via PayloadTypeRegistry) plus the untagged
   /// fallback map. Only report/teardown code calls this.
@@ -139,6 +149,8 @@ class Metrics {
   std::uint64_t attacker_delayed_ = 0;
   std::uint64_t attacker_modified_ = 0;
   std::uint64_t attacker_duplicated_ = 0;
+  std::uint64_t gossip_relayed_ = 0;
+  std::uint64_t gossip_duplicates_ = 0;
   /// Indexed by to_index(PayloadType); pre-sized so builtin tags never grow it.
   std::vector<std::uint64_t> typed_counts_ =
       std::vector<std::uint64_t>(to_index(PayloadType::kBuiltinSentinel), 0);

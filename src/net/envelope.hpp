@@ -50,6 +50,10 @@ struct Envelope {
   /// True for a broadcast fan-out envelope: per-destination ids are
   /// base_id + the destination's position in the src-skipping fan-out loop.
   bool broadcast = false;
+  /// Nonzero marks a gossip transmission (WAN backend): the id of the
+  /// disseminated broadcast, used for duplicate suppression and relaying.
+  /// Serial engine only, so no atomicity concerns.
+  std::uint64_t gossip_id = 0;
   /// Scheduled deliveries still referencing this envelope.
   std::atomic<std::int32_t> remaining{0};
 
@@ -100,6 +104,7 @@ class EnvelopeStore {
     e.base_id = base_id;
     e.src = src;
     e.broadcast = broadcast;
+    e.gossip_id = 0;
     e.remaining.store(remaining, std::memory_order_relaxed);
     live_.fetch_add(1, std::memory_order_relaxed);
     return index;

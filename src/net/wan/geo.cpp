@@ -1,0 +1,42 @@
+#include "net/wan/geo.hpp"
+
+namespace bftsim::wan {
+
+namespace {
+
+// Eight-region WAN: two North American, two European, three Asia-Pacific
+// and one South American region. Symmetric RTTs in milliseconds; the 2 ms
+// diagonal models the intra-region hop between availability zones.
+const GeoTable kGeo8 = {
+    "geo8",
+    {"us-east", "us-west", "eu-west", "eu-central", "ap-south", "ap-northeast",
+     "ap-southeast", "sa-east"},
+    {
+        2,   65,  75,  85,  190, 170, 210, 115,  // us-east
+        65,  2,   135, 145, 220, 110, 175, 175,  // us-west
+        75,  135, 2,   25,  110, 210, 160, 185,  // eu-west
+        85,  145, 25,  2,   105, 225, 155, 200,  // eu-central
+        190, 220, 110, 105, 2,   120, 60,  300,  // ap-south
+        170, 110, 210, 225, 120, 2,   70,  255,  // ap-northeast
+        210, 175, 160, 155, 60,  70,  2,   320,  // ap-southeast
+        115, 175, 185, 200, 300, 255, 320, 2,    // sa-east
+    },
+};
+
+}  // namespace
+
+const GeoTable* find_geo_table(std::string_view name) {
+  if (name == kGeo8.name) return &kGeo8;
+  return nullptr;
+}
+
+std::string bundled_table_names() { return std::string(kGeo8.name); }
+
+std::size_t region_index(const GeoTable& table, std::string_view region) {
+  for (std::size_t i = 0; i < table.regions.size(); ++i) {
+    if (table.regions[i] == region) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace bftsim::wan

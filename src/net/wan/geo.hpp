@@ -1,0 +1,37 @@
+// Bundled inter-region RTT tables for the WAN transport backend.
+//
+// The tables are named so a config can select one with a single string
+// ("matrix": "geo8") instead of pasting a full matrix. Values are
+// round-trip times in milliseconds between cloud-style regions, rounded
+// from public inter-region latency surveys; the simulator charges half the
+// RTT as the one-way propagation base (see docs/NETWORKING.md).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bftsim::wan {
+
+/// A named RTT matrix: `rtt_ms[i * regions.size() + j]` is the round-trip
+/// time between regions i and j, symmetric, with a small intra-region value
+/// on the diagonal.
+struct GeoTable {
+  std::string_view name;
+  std::vector<std::string_view> regions;
+  std::vector<double> rtt_ms;  ///< row-major, regions.size() squared
+};
+
+/// Returns the bundled table named `name`, or nullptr when unknown.
+[[nodiscard]] const GeoTable* find_geo_table(std::string_view name);
+
+/// Names of every bundled table, for error messages ("geo8").
+[[nodiscard]] std::string bundled_table_names();
+
+/// Index of `region` within `table`, or npos when the table has no such
+/// region.
+[[nodiscard]] std::size_t region_index(const GeoTable& table,
+                                       std::string_view region);
+
+}  // namespace bftsim::wan

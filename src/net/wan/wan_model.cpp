@@ -1,0 +1,71 @@
+#include "net/wan/wan_model.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace bftsim {
+
+WanModel::WanModel(const WanSpec& spec, std::uint32_t n, Rng overlay_rng)
+    : spec_(spec), region_n_(spec.region_count()) {
+  if (region_n_ > 0) {
+    base_us_.resize(static_cast<std::size_t>(region_n_) * region_n_);
+    min_base_us_ = std::numeric_limits<Time>::max();
+    for (std::size_t i = 0; i < base_us_.size(); ++i) {
+      base_us_[i] = from_ms(spec_.rtt_ms[i] / 2.0);
+      min_base_us_ = std::min(min_base_us_, base_us_[i]);
+    }
+  }
+  if (spec_.bandwidth_enabled()) {
+    if (spec_.uplink_mbps > 0.0) up_free_.assign(n, 0);
+    if (spec_.downlink_mbps > 0.0) down_free_.assign(n, 0);
+  }
+  if (spec_.gossip()) {
+    // Fixed directed overlay: node v always links to its ring successor
+    // (connectivity over any live subset that forms a contiguous arc, and a
+    // deterministic backbone regardless of fanout), plus fanout-1 distinct
+    // seeded random peers. Draw order is fixed, so the overlay is a pure
+    // function of (run seed, n, fanout).
+    peers_.resize(n);
+    for (NodeId v = 0; v < n; ++v) {
+      std::vector<NodeId>& out = peers_[v];
+      if (n <= 1) continue;
+      if (spec_.fanout >= n - 1) {
+        out.reserve(n - 1);
+        for (NodeId u = 0; u < n; ++u) {
+          if (u != v) out.push_back(u);
+        }
+        continue;
+      }
+      out.reserve(spec_.fanout);
+      out.push_back((v + 1) % n);
+      while (out.size() < spec_.fanout) {
+        const auto u = static_cast<NodeId>(overlay_rng.next_below(n));
+        if (u == v) continue;
+        if (std::find(out.begin(), out.end(), u) != out.end()) continue;
+        out.push_back(u);
+      }
+    }
+  }
+}
+
+Time WanModel::delivery_time(NodeId src, NodeId dst, std::size_t bytes,
+                             Time depart, Time prop) noexcept {
+  Time arrive;
+  if (up_free_.empty()) {
+    arrive = depart + prop;
+  } else {
+    // The sender's NIC serializes messages one at a time in send order: the
+    // transmission starts when both the message and the uplink are ready.
+    const Time start = std::max(up_free_[src], depart);
+    up_free_[src] = start + serialize_time(bytes, spec_.uplink_mbps);
+    arrive = up_free_[src] + prop;
+  }
+  if (down_free_.empty()) return arrive;
+  // Same FIFO approximation on the receiver side: a message queues behind
+  // whatever the downlink is still draining when its last bit arrives.
+  const Time start = std::max(down_free_[dst], arrive);
+  down_free_[dst] = start + serialize_time(bytes, spec_.downlink_mbps);
+  return down_free_[dst];
+}
+
+}  // namespace bftsim

@@ -1,0 +1,234 @@
+#include "net/wan/wan_spec.hpp"
+
+#include <algorithm>
+
+#include "core/config_check.hpp"
+#include "net/wan/geo.hpp"
+
+namespace bftsim {
+
+namespace {
+
+using cfgcheck::fail;
+using cfgcheck::int_in;
+using cfgcheck::number_in;
+using cfgcheck::require_keys;
+
+constexpr double kMaxRttMs = 1e7;
+constexpr double kMaxMbps = 1e6;
+constexpr std::int64_t kMaxFanout = 1024;
+
+[[nodiscard]] std::string backend_name(WanSpec::Backend backend) {
+  switch (backend) {
+    case WanSpec::Backend::kDirect: return "direct";
+    case WanSpec::Backend::kGossip: return "gossip";
+  }
+  return "?";
+}
+
+/// Selects rows/columns of a bundled table. An empty `wanted` list keeps
+/// the whole table; names are checked one by one so the error points at
+/// the exact list entry.
+void select_from_table(const wan::GeoTable& table,
+                       const std::vector<std::string>& wanted,
+                       const std::string& path, WanSpec& spec) {
+  std::vector<std::size_t> indices;
+  if (wanted.empty()) {
+    indices.resize(table.regions.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+    spec.regions.reserve(indices.size());
+    for (const std::string_view r : table.regions) spec.regions.emplace_back(r);
+  } else {
+    indices.reserve(wanted.size());
+    for (std::size_t i = 0; i < wanted.size(); ++i) {
+      const std::size_t index = wan::region_index(table, wanted[i]);
+      if (index == static_cast<std::size_t>(-1)) {
+        fail(path + ".rtt.regions[" + std::to_string(i) + "]",
+             "unknown region \"" + wanted[i] + "\" in matrix \"" +
+                 std::string(table.name) + "\"");
+      }
+      indices.push_back(index);
+    }
+    spec.regions = wanted;
+  }
+  const std::size_t k = indices.size();
+  spec.rtt_ms.resize(k * k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      spec.rtt_ms[i * k + j] =
+          table.rtt_ms[indices[i] * table.regions.size() + indices[j]];
+    }
+  }
+}
+
+[[nodiscard]] std::vector<std::string> parse_region_names(
+    const json::Value& v, const std::string& path) {
+  if (!v.is_array()) fail(path, "must be an array of region names");
+  std::vector<std::string> names;
+  const json::Array& arr = v.as_array();
+  names.reserve(arr.size());
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    if (!arr[i].is_string()) {
+      fail(path + "[" + std::to_string(i) + "]", "must be a string");
+    }
+    names.push_back(arr[i].as_string());
+  }
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      if (names[i] == names[j]) {
+        fail(path + "[" + std::to_string(j) + "]",
+             "duplicate region \"" + names[j] + "\"");
+      }
+    }
+  }
+  return names;
+}
+
+void parse_rtt(const json::Value& v, const std::string& path, WanSpec& spec) {
+  require_keys(v, path, {"matrix", "regions", "rtt_ms"});
+  const json::Object& o = v.as_object();
+  const json::Value* matrix = o.find("matrix");
+  const json::Value* regions = o.find("regions");
+  const json::Value* rtt = o.find("rtt_ms");
+
+  if (matrix != nullptr && rtt != nullptr) {
+    fail(path, "give either a bundled \"matrix\" name or a custom \"rtt_ms\" "
+               "table, not both");
+  }
+  if (matrix != nullptr) {
+    const std::string& name = matrix->as_string();
+    const wan::GeoTable* table = wan::find_geo_table(name);
+    if (table == nullptr) {
+      fail(path + ".matrix", "unknown matrix \"" + name + "\" (bundled: " +
+                                 wan::bundled_table_names() + ")");
+    }
+    std::vector<std::string> wanted;
+    if (regions != nullptr) {
+      wanted = parse_region_names(*regions, path + ".regions");
+      if (wanted.empty()) fail(path + ".regions", "must name at least one region");
+    }
+    select_from_table(*table, wanted, "$.net", spec);
+    return;
+  }
+  if (rtt == nullptr || regions == nullptr) {
+    fail(path, "a custom table needs both \"regions\" and \"rtt_ms\"");
+  }
+  spec.regions = parse_region_names(*regions, path + ".regions");
+  if (spec.regions.empty()) fail(path + ".regions", "must name at least one region");
+
+  if (!rtt->is_array()) fail(path + ".rtt_ms", "must be an array of rows");
+  const json::Array& rows = rtt->as_array();
+  const std::size_t k = spec.regions.size();
+  if (rows.size() != k) {
+    fail(path + ".rtt_ms",
+         "matrix must be square over the " + std::to_string(k) + " region(s): got " +
+             std::to_string(rows.size()) + " row(s)");
+  }
+  spec.rtt_ms.reserve(k * k);
+  for (std::size_t i = 0; i < k; ++i) {
+    if (!rows[i].is_array() || rows[i].as_array().size() != k) {
+      fail(path + ".rtt_ms[" + std::to_string(i) + "]",
+           "matrix must be square: row needs exactly " + std::to_string(k) +
+               " entries");
+    }
+    const json::Array& row = rows[i].as_array();
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!row[j].is_number()) {
+        fail(path + ".rtt_ms[" + std::to_string(i) + "][" + std::to_string(j) + "]",
+             "must be a number (milliseconds)");
+      }
+      const double ms = row[j].as_number();
+      if (ms < 0.0 || ms > kMaxRttMs) {
+        fail(path + ".rtt_ms[" + std::to_string(i) + "][" + std::to_string(j) + "]",
+             "must be within [0, " + std::to_string(kMaxRttMs) + "]");
+      }
+      spec.rtt_ms.push_back(ms);
+    }
+  }
+}
+
+}  // namespace
+
+double WanSpec::min_one_way_ms() const noexcept {
+  if (!has_matrix()) return 0.0;
+  const double lo = *std::min_element(rtt_ms.begin(), rtt_ms.end());
+  return lo / 2.0;
+}
+
+void WanSpec::validate(const std::string& path) const {
+  if (rtt_ms.size() != regions.size() * regions.size()) {
+    fail(path + ".rtt_ms", "matrix must be square over the " +
+                               std::to_string(regions.size()) + " region(s)");
+  }
+  for (const double ms : rtt_ms) {
+    if (ms < 0.0 || ms > kMaxRttMs) {
+      fail(path + ".rtt_ms", "entries must be within [0, " +
+                                 std::to_string(kMaxRttMs) + "]");
+    }
+  }
+  if (uplink_mbps < 0.0 || uplink_mbps > kMaxMbps) {
+    fail(path + ".uplink_mbps",
+         "must be within [0, " + std::to_string(kMaxMbps) + "]");
+  }
+  if (downlink_mbps < 0.0 || downlink_mbps > kMaxMbps) {
+    fail(path + ".downlink_mbps",
+         "must be within [0, " + std::to_string(kMaxMbps) + "]");
+  }
+  if (fanout < 1 || fanout > kMaxFanout) {
+    fail(path + ".fanout", "must be within [1, " + std::to_string(kMaxFanout) + "]");
+  }
+}
+
+json::Value WanSpec::to_json() const {
+  json::Object o;
+  o["backend"] = backend_name(backend);
+  if (has_matrix()) {
+    // Always emitted in the self-contained custom form, so a re-parsed
+    // config never depends on which tables this build bundles.
+    json::Object rtt;
+    json::Array names;
+    for (const std::string& r : regions) names.emplace_back(r);
+    rtt["regions"] = json::Value{std::move(names)};
+    json::Array rows;
+    const std::size_t k = regions.size();
+    for (std::size_t i = 0; i < k; ++i) {
+      json::Array row;
+      for (std::size_t j = 0; j < k; ++j) row.emplace_back(rtt_ms[i * k + j]);
+      rows.push_back(json::Value{std::move(row)});
+    }
+    rtt["rtt_ms"] = json::Value{std::move(rows)};
+    o["rtt"] = json::Value{std::move(rtt)};
+  }
+  o["uplink_mbps"] = uplink_mbps;
+  o["downlink_mbps"] = downlink_mbps;
+  if (gossip()) o["fanout"] = static_cast<std::int64_t>(fanout);
+  return json::Value{std::move(o)};
+}
+
+WanSpec WanSpec::from_json(const json::Value& v, const std::string& path) {
+  require_keys(v, path,
+               {"backend", "rtt", "uplink_mbps", "downlink_mbps", "fanout"});
+  WanSpec spec;
+  const std::string backend = v.get_string("backend", "direct");
+  if (backend == "direct") {
+    spec.backend = Backend::kDirect;
+  } else if (backend == "gossip") {
+    spec.backend = Backend::kGossip;
+  } else {
+    fail(path + ".backend", "unknown backend \"" + backend +
+                                "\" (expected \"direct\" or \"gossip\")");
+  }
+  if (const json::Value* rtt = v.as_object().find("rtt")) {
+    parse_rtt(*rtt, path + ".rtt", spec);
+  }
+  spec.uplink_mbps =
+      number_in(v, path, "uplink_mbps", spec.uplink_mbps, 0.0, kMaxMbps);
+  spec.downlink_mbps =
+      number_in(v, path, "downlink_mbps", spec.downlink_mbps, 0.0, kMaxMbps);
+  spec.fanout = static_cast<std::uint32_t>(
+      int_in(v, path, "fanout", spec.fanout, 1, kMaxFanout));
+  spec.validate(path);
+  return spec;
+}
+
+}  // namespace bftsim

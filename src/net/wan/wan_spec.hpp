@@ -1,0 +1,94 @@
+// Configuration of the topology-aware WAN transport backend ($.net).
+//
+// The paper's network module draws every delay from one distribution and
+// the geo topology extension (net/topology.hpp) applies a single
+// cross-region transform. The WAN backend replaces both with three
+// independently selectable pieces:
+//
+//   - a per-(src-region, dst-region) propagation base from a named RTT
+//     matrix — a bundled real-world table ("geo8") or a user-supplied one;
+//   - per-node up/downlink bandwidth: message-size serialization delay and
+//     FIFO queue buildup approximated at message granularity;
+//   - gossip dissemination: broadcasts fan out to k peers over a seeded
+//     deterministic overlay instead of directly to all n-1 destinations.
+//
+// $.net and $.topology are mutually exclusive (SimConfig::validate). See
+// docs/NETWORKING.md for the full semantics and the determinism argument.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/json.hpp"
+#include "core/types.hpp"
+
+namespace bftsim {
+
+/// Parsed $.net block; part of SimConfig (held by value, like FaultConfig).
+/// The default-constructed spec is disabled: a config without $.net runs
+/// the classic direct-broadcast network bit-identically to older releases.
+struct WanSpec {
+  enum class Backend : std::uint8_t { kDirect, kGossip };
+
+  Backend backend = Backend::kDirect;
+
+  /// Region names; empty = no RTT matrix. Nodes map to regions round-robin
+  /// (node id mod regions.size()), like TopologySpec, so quorums always
+  /// span regions.
+  std::vector<std::string> regions;
+  /// Row-major RTT matrix in milliseconds, regions.size() squared; the
+  /// one-way propagation base charged per message is rtt/2.
+  std::vector<double> rtt_ms;
+
+  double uplink_mbps = 0.0;    ///< per-node uplink rate; 0 = unlimited
+  double downlink_mbps = 0.0;  ///< per-node downlink rate; 0 = unlimited
+
+  /// Gossip fan-out degree: every (re)transmission goes to this many
+  /// overlay peers. Only meaningful with backend == kGossip.
+  std::uint32_t fanout = 3;
+
+  [[nodiscard]] bool has_matrix() const noexcept { return !regions.empty(); }
+  [[nodiscard]] bool bandwidth_enabled() const noexcept {
+    return uplink_mbps > 0.0 || downlink_mbps > 0.0;
+  }
+  [[nodiscard]] bool gossip() const noexcept {
+    return backend == Backend::kGossip;
+  }
+  /// True when any piece of the WAN backend is selected (gates both the
+  /// controller's WanModel construction and JSON emission).
+  [[nodiscard]] bool enabled() const noexcept {
+    return gossip() || has_matrix() || bandwidth_enabled();
+  }
+
+  [[nodiscard]] std::uint32_t region_count() const noexcept {
+    return static_cast<std::uint32_t>(regions.size());
+  }
+  [[nodiscard]] std::uint32_t region_of(NodeId node) const noexcept {
+    return regions.empty()
+               ? 0
+               : node % static_cast<std::uint32_t>(regions.size());
+  }
+  /// RTT between region indices (ms); requires has_matrix().
+  [[nodiscard]] double rtt(std::uint32_t i, std::uint32_t j) const noexcept {
+    return rtt_ms[static_cast<std::size_t>(i) * regions.size() + j];
+  }
+  /// Smallest one-way propagation base over all region pairs (ms); 0 when
+  /// no matrix is configured. The windowed engine's lookahead adds this to
+  /// the delay distribution's infimum.
+  [[nodiscard]] double min_one_way_ms() const noexcept;
+
+  /// Structural invariants (square matrix, non-negative entries, fanout
+  /// >= 1); throws the canonical path-aware config error. from_json always
+  /// leaves a valid spec; this re-checks programmatically built ones.
+  void validate(const std::string& path = "$.net") const;
+
+  [[nodiscard]] json::Value to_json() const;
+  /// Strict parse: unknown keys / unknown region or matrix names /
+  /// non-square matrices / negative rates throw a single-line
+  /// "config error at $.net..." naming the offending path.
+  [[nodiscard]] static WanSpec from_json(const json::Value& v,
+                                         const std::string& path = "$.net");
+};
+
+}  // namespace bftsim

@@ -56,6 +56,13 @@ json::Value result_to_json(const RunResult& result, bool include_views) {
     atk["duplicated"] = static_cast<std::int64_t>(result.attacker_duplicated);
     o["attacker_activity"] = json::Value{std::move(atk)};
   }
+  // Same rule for the WAN gossip counters: present only for gossip runs.
+  if (result.gossip_relayed != 0 || result.gossip_duplicates != 0) {
+    json::Object gossip;
+    gossip["relayed"] = static_cast<std::int64_t>(result.gossip_relayed);
+    gossip["duplicates"] = static_cast<std::int64_t>(result.gossip_duplicates);
+    o["gossip"] = json::Value{std::move(gossip)};
+  }
   if (!result.warnings.empty()) {
     json::Array warnings;
     for (const RunWarning& w : result.warnings) {

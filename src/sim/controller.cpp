@@ -247,6 +247,15 @@ Controller::Controller(SimConfig cfg)
                   TimerFire{TimerOwner::kFault, kNoNode, next_timer_id_++, i});
     }
   }
+
+  // WAN transport backend. Like the fault RNG, the overlay RNG is forked
+  // off run_rng_ only when the backend is selected, so classic runs keep
+  // every other stream aligned with the recorded goldens.
+  if (cfg_.net.enabled()) {
+    wan_ = std::make_unique<WanModel>(cfg_.net, cfg_.n,
+                                      run_rng_.fork(0x77616e));  // "wan"
+    if (wan_->gossip()) gossip_seen_.resize(cfg_.n);
+  }
 }
 
 Controller::~Controller() = default;
@@ -259,9 +268,10 @@ void Controller::network_send(NodeId src, NodeId dst, PayloadPtr payload,
                               Time extra_delay) {
   assert(payload != nullptr);
   const std::uint64_t id = next_msg_id_++;
+  const std::size_t wire = payload->wire_size();
 
   metrics_.on_send();
-  metrics_.on_bytes(payload->wire_size());
+  metrics_.on_bytes(wire);
   const PayloadType tid = payload->type_id();
   if (tid != PayloadType::kUnknown) {
     metrics_.count_type(tid);
@@ -276,7 +286,12 @@ void Controller::network_send(NodeId src, NodeId dst, PayloadPtr payload,
 
   const Time sampled = [&] {
     BFTSIM_PROFILE_SCOPE(profile_, obs::ProfileComponent::kDelaySample);
-    return topology_.adjust(delay_sampler_.sample(net_rng_), src, dst);
+    const Time draw = delay_sampler_.sample(net_rng_);
+    // The WAN matrix adds a pure per-region-pair base on top of the same
+    // single draw the classic path makes, so disabled-backend runs keep
+    // net_rng_ bit-aligned with the goldens.
+    return wan_ != nullptr ? draw + wan_->base_delay(src, dst)
+                           : topology_.adjust(draw, src, dst);
   }();
   // Link flaps sit below the attacker: the delay is sampled first (keeping
   // net_rng_ aligned with fault-free runs) and a down link drops the
@@ -304,8 +319,11 @@ void Controller::network_send(NodeId src, NodeId dst, PayloadPtr payload,
     }
     const std::uint32_t env =
         env_store_.create(std::move(payload), now_, id, src, false, 1);
-    queue_.push(now_ + std::max<Time>(extra_delay + sampled, 0),
-                MessageDelivery{env, dst});
+    const Time at =
+        wan_ != nullptr && wan_->bandwidth_enabled()
+            ? wan_->delivery_time(src, dst, wire, now_ + extra_delay, sampled)
+            : now_ + std::max<Time>(extra_delay + sampled, 0);
+    queue_.push(at, MessageDelivery{env, dst});
     return;
   }
 
@@ -351,13 +369,24 @@ void Controller::network_send(NodeId src, NodeId dst, PayloadPtr payload,
         std::move(in_flight.msg.payload));
     metrics_.on_corrupt();
   }
-  schedule_network_delivery(std::move(in_flight.msg),
-                            std::max<Time>(in_flight.delay, 0));
+  Time final_delay = std::max<Time>(in_flight.delay, 0);
+  if (wan_ != nullptr && wan_->bandwidth_enabled()) {
+    // Bandwidth queuing applies after the attacker's verdict, on the link
+    // the message actually takes (an attacker may have rerouted it).
+    final_delay = wan_->delivery_time(in_flight.msg.src, in_flight.msg.dst,
+                                      wire, now_, final_delay) -
+                  now_;
+  }
+  schedule_network_delivery(std::move(in_flight.msg), final_delay);
 }
 
 void Controller::network_broadcast(NodeId src, const PayloadPtr& payload,
                                    Time extra_delay) {
   assert(payload != nullptr);
+  if (wan_ != nullptr && wan_->gossip()) {
+    gossip_broadcast(src, payload, extra_delay);
+    return;
+  }
   // Hoist everything that depends only on the payload out of the fan-out
   // loop: the virtual wire_size()/type_id() calls, and (when tracing) the
   // type string and digest. The per-destination sequence — message id,
@@ -400,7 +429,12 @@ void Controller::network_broadcast(NodeId src, const PayloadPtr& payload,
 
     const Time sampled = [&] {
       BFTSIM_PROFILE_SCOPE(profile_, obs::ProfileComponent::kDelaySample);
-      return topology_.adjust(delay_sampler_.sample(net_rng_), src, dst);
+      const Time draw = delay_sampler_.sample(net_rng_);
+      // The WAN matrix adds a pure per-region-pair base on top of the same
+      // single draw the classic path makes, so disabled-backend runs keep
+      // net_rng_ bit-aligned with the goldens.
+      return wan_ != nullptr ? draw + wan_->base_delay(src, dst)
+                             : topology_.adjust(draw, src, dst);
     }();
     if (faults_ != nullptr && faults_->any_link_down() &&
         faults_->link_down(src, dst)) {
@@ -422,16 +456,23 @@ void Controller::network_broadcast(NodeId src, const PayloadPtr& payload,
         metrics_.on_corrupt();
         const std::uint32_t solo =
             env_store_.create(std::move(wrapped), now_, id, src, false, 1);
-        queue_.push(now_ + std::max<Time>(extra_delay + sampled, 0),
-                    MessageDelivery{solo, dst});
+        const Time at =
+            wan_ != nullptr && wan_->bandwidth_enabled()
+                ? wan_->delivery_time(src, dst, wire, now_ + extra_delay,
+                                      sampled)
+                : now_ + std::max<Time>(extra_delay + sampled, 0);
+        queue_.push(at, MessageDelivery{solo, dst});
         continue;
       }
       if (env == kNoEnvelope) {
         env = env_store_.create(payload, now_, base_id, src, true, 0);
       }
       env_store_.add_pending(env, 1);
-      queue_.push(now_ + std::max<Time>(extra_delay + sampled, 0),
-                  MessageDelivery{env, dst});
+      const Time at =
+          wan_ != nullptr && wan_->bandwidth_enabled()
+              ? wan_->delivery_time(src, dst, wire, now_ + extra_delay, sampled)
+              : now_ + std::max<Time>(extra_delay + sampled, 0);
+      queue_.push(at, MessageDelivery{env, dst});
       continue;
     }
 
@@ -474,9 +515,124 @@ void Controller::network_broadcast(NodeId src, const PayloadPtr& payload,
           std::move(in_flight.msg.payload));
       metrics_.on_corrupt();
     }
-    schedule_network_delivery(std::move(in_flight.msg),
-                              std::max<Time>(in_flight.delay, 0));
+    Time final_delay = std::max<Time>(in_flight.delay, 0);
+    if (wan_ != nullptr && wan_->bandwidth_enabled()) {
+      final_delay = wan_->delivery_time(in_flight.msg.src, in_flight.msg.dst,
+                                        wire, now_, final_delay) -
+                    now_;
+    }
+    schedule_network_delivery(std::move(in_flight.msg), final_delay);
   }
+}
+
+// ---------------------------------------------------------------------------
+// WAN gossip backend
+// ---------------------------------------------------------------------------
+//
+// A broadcast under the gossip backend is disseminated epidemically: the
+// origin sends to its fanout overlay peers; every node relays the first
+// copy it accepts to its own peers and drops subsequent copies (counted as
+// gossip duplicates). The overlay's ring edge keeps the digraph strongly
+// connected, so every live node is reached. Gossip is serial-engine-only
+// and incompatible with attack scenarios (SimConfig::validate) — the
+// envelope fast path is therefore always available here.
+
+void Controller::gossip_broadcast(NodeId origin, const PayloadPtr& payload,
+                                  Time extra_delay) {
+  const std::uint64_t gid = next_gossip_id_++;
+  gossip_seen_[origin].insert(gid);  // never re-deliver to the origin
+  for (const NodeId peer : wan_->peers_of(origin)) {
+    gossip_send_copy(origin, peer, origin, payload, gid, extra_delay);
+  }
+}
+
+void Controller::gossip_send_copy(NodeId relayer, NodeId peer, NodeId origin,
+                                  const PayloadPtr& payload, std::uint64_t gid,
+                                  Time extra_delay) {
+  const std::uint64_t id = next_msg_id_++;
+  const std::size_t wire = payload->wire_size();
+
+  metrics_.on_send();
+  metrics_.on_bytes(wire);
+  const PayloadType tid = payload->type_id();
+  if (tid != PayloadType::kUnknown) {
+    metrics_.count_type(tid);
+  } else {
+    metrics_.count_type(std::string(payload->type()));
+  }
+  if (trace_sink_) {
+    // The trace keeps the protocol-level source (the origin) so Send and
+    // Deliver records pair up by message id like on the classic path; the
+    // physical relayer shows up in the gossip counters instead.
+    trace_sink_->on_record(TraceRecord{TraceKind::kSend, now_, origin, peer,
+                                       std::string(payload->type()),
+                                       payload->digest(), id, 0, 0});
+  }
+
+  const Time sampled = [&] {
+    BFTSIM_PROFILE_SCOPE(profile_, obs::ProfileComponent::kDelaySample);
+    return delay_sampler_.sample(net_rng_) + wan_->base_delay(relayer, peer);
+  }();
+  if (faults_ != nullptr && faults_->any_link_down() &&
+      faults_->link_down(relayer, peer)) {
+    metrics_.on_drop();
+    if (trace_sink_) {
+      trace_sink_->on_record(TraceRecord{TraceKind::kDrop, now_, origin, peer,
+                                         std::string(payload->type()),
+                                         payload->digest(), id, 0, 0});
+    }
+    return;
+  }
+
+  PayloadPtr body = payload;
+  if (faults_ != nullptr && faults_->maybe_corrupt(now_)) {
+    body = std::allocate_shared<CorruptedPayload>(
+        ArenaAllocator<CorruptedPayload>(&arena_), std::move(body));
+    metrics_.on_corrupt();
+  }
+  const std::uint32_t env =
+      env_store_.create(std::move(body), now_, id, origin, false, 1);
+  env_store_.get(env).gossip_id = gid;
+  const Time at =
+      wan_->bandwidth_enabled()
+          ? wan_->delivery_time(relayer, peer, wire, now_ + extra_delay,
+                                sampled)
+          : now_ + std::max<Time>(extra_delay + sampled, 0);
+  queue_.push(at, MessageDelivery{env, peer});
+}
+
+void Controller::gossip_deliver(const Message& msg, std::uint64_t gid) {
+  // Fail-stopped / crashed destinations drop the copy exactly like the
+  // classic path — without marking it seen, so a copy arriving after a
+  // crash recovery can still be the accepted one.
+  if (!is_live(msg.dst) ||
+      (faults_ != nullptr && faults_->is_crashed(msg.dst))) {
+    deliver_now(msg);
+    return;
+  }
+  if (!gossip_seen_[msg.dst].insert(gid).second) {
+    metrics_.on_drop();
+    metrics_.on_gossip_duplicate();
+    if (trace_sink_ != nullptr && msg.payload != nullptr) {
+      trace_sink_->on_record(TraceRecord{TraceKind::kDrop, now_, msg.src,
+                                         msg.dst,
+                                         std::string(msg.payload->type()),
+                                         msg.payload->digest(), msg.id, 0, 0});
+    }
+    return;
+  }
+  // First accepted copy: relay before local processing, so the CPU cost
+  // model (which can defer on_message) never slows dissemination down.
+  // Relaying forwards the bytes as received — including a fault-corrupted
+  // wrapper — and skips the origin, which has the payload by definition.
+  if (msg.payload != nullptr) {
+    for (const NodeId peer : wan_->peers_of(msg.dst)) {
+      if (peer == msg.src) continue;
+      metrics_.on_gossip_relay();
+      gossip_send_copy(msg.dst, peer, msg.src, msg.payload, gid, 0);
+    }
+  }
+  deliver_now(msg);
 }
 
 void Controller::schedule_network_delivery(Message msg, Time delay) {
@@ -658,8 +814,13 @@ bool Controller::is_honest(NodeId id) const noexcept {
 
 void Controller::dispatch(Event& ev) {
   if (const auto* delivery = std::get_if<MessageDelivery>(&ev.body)) {
+    const std::uint64_t gid = env_store_.get(delivery->env).gossip_id;
     const Message msg = env_store_.materialize(delivery->env, delivery->dst);
-    deliver_now(msg);
+    if (gid != 0) {
+      gossip_deliver(msg, gid);
+    } else {
+      deliver_now(msg);
+    }
     env_store_.release(delivery->env);
     return;
   }
@@ -704,6 +865,13 @@ void Controller::dispatch(Event& ev) {
 RunResult Controller::run() {
   if (ran_) throw std::logic_error("Controller::run() called twice");
   ran_ = true;
+
+  if (custom_delivery_hook_ && wan_ != nullptr) {
+    throw std::invalid_argument(
+        "config error at $.net: the WAN backend requires the default "
+        "delivery path (controllers overriding schedule_network_delivery "
+        "model the wire themselves)");
+  }
 
   if (cfg_.engine.per_node_rng()) {
     if (custom_delivery_hook_) {
@@ -781,6 +949,8 @@ RunResult Controller::make_result(TerminationReason reason) {
   result.attacker_delayed = metrics_.attacker_delayed();
   result.attacker_modified = metrics_.attacker_modified();
   result.attacker_duplicated = metrics_.attacker_duplicated();
+  result.gossip_relayed = metrics_.gossip_relayed();
+  result.gossip_duplicates = metrics_.gossip_duplicates();
   result.warnings = warnings_;
   result.decisions = metrics_.decisions();
   result.views = metrics_.views();

@@ -21,6 +21,7 @@
 #include "net/delay_model.hpp"
 #include "net/envelope.hpp"
 #include "net/topology.hpp"
+#include "net/wan/wan_model.hpp"
 #include "obs/profile.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace_sink.hpp"
@@ -97,6 +98,21 @@ class Controller {
   void network_broadcast(NodeId src, const PayloadPtr& payload, Time extra_delay);
   void deliver_self(NodeId id, PayloadPtr payload);
   void inject_message(Message msg, Time delay);
+
+  // --- WAN backend (net/wan/) -------------------------------------------------
+  /// Gossip origination: Context::broadcast under the gossip backend sends
+  /// to the origin's overlay peers instead of all n-1 destinations.
+  void gossip_broadcast(NodeId origin, const PayloadPtr& payload,
+                        Time extra_delay);
+  /// Schedules one gossip copy on the wire from `relayer` to `peer`. The
+  /// envelope keeps `origin` as the protocol-visible source; delays and
+  /// bandwidth are charged to the (relayer, peer) link.
+  void gossip_send_copy(NodeId relayer, NodeId peer, NodeId origin,
+                        const PayloadPtr& payload, std::uint64_t gid,
+                        Time extra_delay);
+  /// Duplicate suppression + relay fan-out on gossip arrival, then the
+  /// shared deliver_now step.
+  void gossip_deliver(const Message& msg, std::uint64_t gid);
 
   // --- timers ---------------------------------------------------------------
   TimerId set_timer(TimerOwner owner, NodeId node, Time delay, std::uint64_t tag);
@@ -179,6 +195,14 @@ class Controller {
   /// Fault-injection state; nullptr unless cfg.faults is enabled, so the
   /// fault hooks cost one null check on fault-free runs.
   std::unique_ptr<FaultInjector> faults_;
+
+  /// WAN transport backend; nullptr unless cfg.net is enabled, so the
+  /// classic network path costs one null check per send.
+  std::unique_ptr<WanModel> wan_;
+  /// Per-node sets of gossip ids already accepted (duplicate suppression);
+  /// sized only under the gossip backend.
+  std::vector<std::unordered_set<std::uint64_t>> gossip_seen_;
+  std::uint64_t next_gossip_id_ = 1;
 
   // Computation-cost model state: per-node CPU availability and the set of
   // deliveries whose verification cost has already been paid.

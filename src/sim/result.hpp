@@ -72,6 +72,11 @@ struct RunResult {
   std::uint64_t attacker_modified = 0;
   std::uint64_t attacker_duplicated = 0; ///< duplicate copies injected (flooding)
 
+  // WAN gossip backend activity (net/wan/): both zero unless the run
+  // selected $.net.backend = "gossip".
+  std::uint64_t gossip_relayed = 0;    ///< copies forwarded by relayers
+  std::uint64_t gossip_duplicates = 0; ///< received copies suppressed
+
   /// Non-fatal configuration deviations (see RunWarning); empty for runs
   /// that executed exactly as configured.
   std::vector<RunWarning> warnings;

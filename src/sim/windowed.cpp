@@ -58,6 +58,13 @@ Time compute_lookahead(const SimConfig& cfg) noexcept {
     }
   }
 
+  // The WAN backend's RTT matrix adds a pure per-region-pair propagation
+  // base on top of every sampled draw, so the infimum grows by the smallest
+  // one-way entry. Bandwidth serialization only ever adds further delay, so
+  // ignoring it keeps the result a valid lower bound (and gossip/bandwidth
+  // runs are serial-only anyway — see SimConfig::validate).
+  if (cfg.net.has_matrix()) lo += from_ms(cfg.net.min_one_way_ms());
+
   // Conservative safety margin for configured clock imperfection: skewed
   // timers are node-local and never cross lanes, but shrinking the window
   // by the worst-case skew keeps the bound defensible even if a future
@@ -191,8 +198,12 @@ void WindowedEngine::wnetwork_send(NodeId src, NodeId dst, PayloadPtr payload,
                      std::string(payload->type()), payload->digest(), id, 0, 0}});
   }
 
-  const Time sampled =
-      c_.topology_.adjust(c_.delay_sampler_.sample(net_rngs_[src]), src, dst);
+  const Time draw = c_.delay_sampler_.sample(net_rngs_[src]);
+  // Matrix-only WAN runs are windowed-safe: the base is a pure function of
+  // the pair, drawn from no stream (gossip/bandwidth never reach here).
+  const Time sampled = c_.wan_ != nullptr
+                           ? draw + c_.wan_->base_delay(src, dst)
+                           : c_.topology_.adjust(draw, src, dst);
   if (c_.faults_ != nullptr && c_.faults_->any_link_down() &&
       c_.faults_->link_down(src, dst)) {
     ln.delta.on_drop();
@@ -260,8 +271,10 @@ void WindowedEngine::ctx_broadcast(NodeId src, PayloadPtr payload,
                                       trace_type, trace_digest, id, 0, 0}});
     }
 
-    const Time sampled =
-        c_.topology_.adjust(c_.delay_sampler_.sample(net_rngs_[src]), src, dst);
+    const Time draw = c_.delay_sampler_.sample(net_rngs_[src]);
+    const Time sampled = c_.wan_ != nullptr
+                             ? draw + c_.wan_->base_delay(src, dst)
+                             : c_.topology_.adjust(draw, src, dst);
     if (c_.faults_ != nullptr && c_.faults_->any_link_down() &&
         c_.faults_->link_down(src, dst)) {
       ln.delta.on_drop();

@@ -41,6 +41,14 @@
 // equivalent ("identical": true) and its overhead ratio must stay below
 // (1 + tolerance) x max(reference ratio, 1.0).
 //
+// When both files carry a "wan_backend" record (the WAN transport backend
+// vs direct broadcast on the same workload; see docs/NETWORKING.md), every
+// matched mode must have been deterministic ("deterministic": true — two
+// same-seed runs produced equivalent aggregates) and its
+// relative_throughput (mode events/sec over direct events/sec, a
+// machine-portable per-event-cost ratio) must stay above the --tolerance
+// floor of the reference ratio.
+//
 // Usage:
 //   bench_gate --current micro.json --reference BENCH_engine.json
 //              [--tolerance 0.25] [--mem-tolerance 0.35]
@@ -391,8 +399,60 @@ int main(int argc, char** argv) {
       }
     }
 
+    // --- WAN backend: per-mode determinism + relative-throughput floor ----
+    // relative_throughput is a same-machine, same-moment ratio of two
+    // serial runs, so it is gated even under --allow-thread-mismatch.
+    int wan_compared = 0;
+    const Value* wan_ref = reference_doc.as_object().find("wan_backend");
+    const Value* wan_cur = current_doc.as_object().find("wan_backend");
+    if (wan_ref != nullptr && wan_cur != nullptr && wan_ref->is_object() &&
+        wan_cur->is_object()) {
+      const Value* ref_rows = wan_ref->as_object().find("modes");
+      const Value* cur_rows = wan_cur->as_object().find("modes");
+      if (ref_rows != nullptr && cur_rows != nullptr && ref_rows->is_array() &&
+          cur_rows->is_array()) {
+        for (const Value& cur : cur_rows->as_array()) {
+          const std::string mode = cur.get_string("mode", "");
+          const double measured = cur.get_number("relative_throughput", 0.0);
+          const bool deterministic =
+              cur.as_object().find("deterministic") != nullptr &&
+              cur.as_object().at("deterministic").as_bool();
+          const bftsim::json::Array& refs = ref_rows->as_array();
+          const auto ref = std::find_if(
+              refs.begin(), refs.end(),
+              [&](const Value& r) { return r.get_string("mode", "") == mode; });
+          if (ref == refs.end()) {
+            std::printf("SKIP  wan   %-9s %.2fx direct (no reference)\n",
+                        mode.c_str(), measured);
+            continue;
+          }
+          ++wan_compared;
+          const double ref_relative = ref->get_number("relative_throughput", 0.0);
+          bool ok = true;
+          if (!deterministic) {
+            ok = false;
+            ++regressions;
+            std::printf("FAIL  wan   %-9s same-seed runs diverged\n",
+                        mode.c_str());
+          }
+          if (ref_relative > 0.0 &&
+              measured < (1.0 - tolerance) * ref_relative) {
+            ok = false;
+            ++regressions;
+            std::printf("FAIL  wan   %-9s %.2fx direct vs ref %.2fx (%.0f%%)\n",
+                        mode.c_str(), measured, ref_relative,
+                        100.0 * measured / ref_relative);
+          }
+          if (ok) {
+            std::printf("OK    wan   %-9s %.2fx direct vs ref %.2fx\n",
+                        mode.c_str(), measured, ref_relative);
+          }
+        }
+      }
+    }
+
     if (compared == 0 && scale_compared == 0 && intra_compared == 0 &&
-        hook_compared == 0) {
+        hook_compared == 0 && wan_compared == 0) {
       std::fprintf(stderr, "nothing matched between %s and %s\n",
                    current_path.c_str(), reference_path.c_str());
       return 2;
@@ -401,13 +461,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%d of %d comparisons regressed (>%.0f%% slower "
                    "or >%.0f%% more memory)\n",
                    regressions,
-                   compared + scale_compared + intra_compared + hook_compared,
+                   compared + scale_compared + intra_compared + hook_compared +
+                       wan_compared,
                    100.0 * tolerance, 100.0 * mem_tolerance);
       return 1;
     }
-    std::printf("all %d workloads, %d scaling points, %d intra-speedup and "
-                "%d attacker-hook records within tolerance\n",
-                compared, scale_compared, intra_compared, hook_compared);
+    std::printf("all %d workloads, %d scaling points, %d intra-speedup, "
+                "%d attacker-hook and %d wan-backend records within "
+                "tolerance\n",
+                compared, scale_compared, intra_compared, hook_compared,
+                wan_compared);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_gate: %s\n", e.what());

@@ -180,6 +180,53 @@ std::vector<AggregatePoint> aggregate_points() {
   return points;
 }
 
+/// WAN transport backend points (net/wan/; see docs/NETWORKING.md): one
+/// aggregate pair per backend piece — RTT matrix, bandwidth queues, gossip
+/// dissemination, the three combined — plus a windowed-parallel matrix run.
+/// These pin the WAN delay arithmetic, the FIFO next-free-time scalars, the
+/// overlay construction and the duplicate-suppression order; the CI
+/// wan-matrix job replays them under ASan/UBSan.
+std::vector<AggregatePoint> wan_points() {
+  std::vector<AggregatePoint> points;
+  const auto net = [](const char* json_text) {
+    return WanSpec::from_json(json::parse(json_text));
+  };
+
+  SimConfig cfg = experiment_config("pbft", 16, 1000, DelaySpec::normal(50, 10));
+  cfg.decisions = 1;
+  cfg.net = net(R"({"rtt": {"matrix": "geo8"}})");
+  points.push_back(AggregatePoint{"wan/pbft/geo8-matrix", cfg, 3});
+
+  cfg = experiment_config("hotstuff-ns", 16, 1000, DelaySpec::normal(50, 10));
+  cfg.decisions = 5;
+  cfg.net = net(R"({"uplink_mbps": 20, "downlink_mbps": 20})");
+  points.push_back(AggregatePoint{"wan/hotstuff-ns/bandwidth", cfg, 3});
+
+  cfg = experiment_config("pbft", 16, 1000, DelaySpec::normal(50, 10));
+  cfg.decisions = 1;
+  cfg.net = net(R"({"backend": "gossip", "fanout": 3})");
+  points.push_back(AggregatePoint{"wan/pbft/gossip-fanout3", cfg, 3});
+
+  cfg = experiment_config("tendermint", 16, 1000, DelaySpec::normal(50, 10));
+  cfg.decisions = 1;
+  cfg.net = net(
+      R"({"backend": "gossip", "fanout": 4,
+          "uplink_mbps": 100, "downlink_mbps": 100,
+          "rtt": {"matrix": "geo8",
+                  "regions": ["us-east", "eu-west", "ap-northeast"]}})");
+  points.push_back(AggregatePoint{"wan/tendermint/gossip-bw-matrix", cfg, 3});
+
+  // Matrix-only stays legal on the windowed-parallel driver: this point
+  // runs two lanes with the WAN infimum folded into the lookahead.
+  cfg = experiment_config("librabft", 16, 1000, DelaySpec::normal(50, 10));
+  cfg.decisions = 2;
+  cfg.net = net(R"({"rtt": {"matrix": "geo8"}})");
+  cfg.engine.intra_jobs = 2;
+  points.push_back(AggregatePoint{"wan/librabft/geo8-windowed", cfg, 2});
+
+  return points;
+}
+
 struct SinglePoint {
   std::string name;
   SimConfig cfg;
@@ -214,6 +261,19 @@ std::vector<SinglePoint> single_points() {
   cfg.seed = 1;
   points.push_back(SinglePoint{"fig2/baseline/pbft/n=8", cfg, true});
 
+  return points;
+}
+
+/// WAN single-run points: a gossip run recorded with its dissemination
+/// counters, pinning relay fan-out and duplicate suppression exactly.
+std::vector<SinglePoint> wan_single_points() {
+  std::vector<SinglePoint> points;
+  SimConfig cfg = experiment_config("pbft", 16, 1000, DelaySpec::normal(50, 10));
+  cfg.decisions = 1;
+  cfg.seed = 5;
+  cfg.net = WanSpec::from_json(
+      json::parse(R"({"backend": "gossip", "fanout": 3})"));
+  points.push_back(SinglePoint{"wan/pbft/gossip-counters", cfg, false});
   return points;
 }
 
@@ -269,10 +329,46 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.events_processed));
   }
 
+  json::Array wan_array;
+  for (const AggregatePoint& point : wan_points()) {
+    std::printf("recording %-45s ...", point.name.c_str());
+    std::fflush(stdout);
+    const Aggregate agg = run_repeated(point.cfg, point.repeats);
+    json::Object o;
+    o["name"] = point.name;
+    o["repeats"] = static_cast<std::int64_t>(point.repeats);
+    o["config"] = point.cfg.to_json();
+    o["aggregate"] = aggregate_to_json(agg);
+    wan_array.push_back(json::Value{std::move(o)});
+    std::printf(" done (%zu runs, %.0f events mean)\n", agg.runs, agg.events.mean);
+  }
+
+  json::Array wan_single_array;
+  for (const SinglePoint& point : wan_single_points()) {
+    std::printf("recording %-45s ...", point.name.c_str());
+    std::fflush(stdout);
+    const RunResult r = run_simulation(point.cfg);
+    json::Object o;
+    o["name"] = point.name;
+    o["config"] = point.cfg.to_json();
+    json::Value result = single_result_to_json(r);
+    result.as_object()["gossip_relayed"] =
+        static_cast<std::int64_t>(r.gossip_relayed);
+    result.as_object()["gossip_duplicates"] =
+        static_cast<std::int64_t>(r.gossip_duplicates);
+    o["result"] = std::move(result);
+    wan_single_array.push_back(json::Value{std::move(o)});
+    std::printf(" done (%llu events, %llu relays)\n",
+                static_cast<unsigned long long>(r.events_processed),
+                static_cast<unsigned long long>(r.gossip_relayed));
+  }
+
   json::Object top;
   top["generated_by"] = "tools/record_goldens";
   top["aggregate_points"] = json::Value{std::move(aggregate_array)};
   top["single_points"] = json::Value{std::move(single_array)};
+  top["wan_points"] = json::Value{std::move(wan_array)};
+  top["wan_single_points"] = json::Value{std::move(wan_single_array)};
   write_json_file(out_path, json::Value{std::move(top)});
   std::printf("goldens written to %s\n", out_path.c_str());
   return 0;

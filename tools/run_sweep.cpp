@@ -12,6 +12,12 @@
 // Usage:
 //   run_sweep <config.json> [--repeats R] [--jobs J] [--intra-jobs N]
 //             [--out FILE] [--max-events N] [--max-time-ms T] [--fail-fast]
+//             [--zero-wall]
+//
+// --zero-wall zeroes every aggregate's wall_seconds_total before export.
+// Wall clock is the one field `equivalent()` excludes from bit-identity;
+// zeroing it makes the outcome file byte-for-byte comparable across job
+// counts and machines (CI's wan-matrix job diffs --jobs 1 vs --jobs 4).
 //
 // --intra-jobs N overrides every point's engine.intra_jobs, running each
 // run through the windowed-parallel driver (per-node RNG semantics; see
@@ -43,7 +49,7 @@ using namespace bftsim;
   std::fprintf(stderr,
                "usage: %s <config.json> [--repeats R] [--jobs J]\n"
                "          [--intra-jobs N] [--out FILE] [--max-events N]\n"
-               "          [--max-time-ms T] [--fail-fast]\n",
+               "          [--max-time-ms T] [--fail-fast] [--zero-wall]\n",
                argv0);
   std::exit(2);
 }
@@ -58,6 +64,7 @@ int main(int argc, char** argv) {
   std::uint32_t intra_jobs = 0;  // 0 = leave each point's engine config alone
   Watchdog watchdog;
   bool fail_fast = false;
+  bool zero_wall = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -79,6 +86,8 @@ int main(int argc, char** argv) {
       watchdog.max_time_ms = std::strtod(next(), nullptr);
     } else if (arg == "--fail-fast") {
       fail_fast = true;
+    } else if (arg == "--zero-wall") {
+      zero_wall = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage(argv[0]);
@@ -124,7 +133,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  const SweepOutcome outcome = run_sweep_guarded(points, repeats, jobs, watchdog);
+  SweepOutcome outcome = run_sweep_guarded(points, repeats, jobs, watchdog);
+  if (zero_wall) {
+    for (PointOutcome& po : outcome.points) po.aggregate.wall_seconds_total = 0.0;
+  }
 
   for (std::size_t i = 0; i < outcome.points.size(); ++i) {
     const PointOutcome& po = outcome.points[i];
