@@ -9,6 +9,7 @@
 // curve, --skip-intra to omit the windowed intra-run speedup,
 // --skip-attacker to omit the attacker-hook overhead record,
 // --skip-wan to omit the WAN-backend vs direct-broadcast record,
+// --skip-workload to omit the client-workload-generator record,
 // --only-scaling to record just the curve). Every record carries the
 // actual hardware thread count so bench_gate can refuse cross-machine
 // comparisons.
@@ -33,6 +34,7 @@
 #include "runner/export.hpp"
 #include "runner/runner.hpp"
 #include "sim/simulation.hpp"
+#include "workload/workload_spec.hpp"
 
 namespace {
 
@@ -465,6 +467,104 @@ json::Value measure_wan_backend(std::size_t repeats) {
   return json::Value{std::move(o)};
 }
 
+/// Times the client workload generator (src/workload/; see
+/// docs/WORKLOADS.md) against the same runs with no workload attached: one
+/// request-free baseline, then one run per generator discipline
+/// (open-loop Poisson arrivals, open-loop fixed arrivals with a batch
+/// deadline, closed-loop client population). Each mode runs twice and the
+/// two aggregates must be equivalent — arrivals come off the run-seed
+/// "wl" RNG fork, never the wall clock. The gated figure is
+/// relative_throughput (mode events/sec over baseline events/sec): a pure
+/// per-event-cost ratio, so it transfers across machines where raw
+/// events/sec does not. The base config targets ten decisions so batching
+/// actually engages (a single-decision pbft run mints its only fresh
+/// proposal at t=0, before any open-loop request has arrived).
+json::Value measure_client_workload(std::size_t repeats) {
+  SimConfig base;
+  base.protocol = "pbft";
+  base.n = 32;
+  base.lambda_ms = 1000;
+  base.delay = DelaySpec::normal(250, 50);
+  base.decisions = 10;
+  base.seed = 1;
+
+  (void)run_repeated(base, 2);  // warm-up outside the timed region
+  const auto baseline_start = std::chrono::steady_clock::now();
+  const Aggregate baseline = run_repeated(base, repeats);
+  const double baseline_seconds = seconds_since(baseline_start);
+  const double baseline_events =
+      baseline.events.mean * static_cast<double>(baseline.runs);
+  const double baseline_eps =
+      baseline_seconds > 0.0 ? baseline_events / baseline_seconds : 0.0;
+
+  struct Mode {
+    const char* name;
+    WorkloadSpec spec;
+  };
+  Mode modes[3];
+  modes[0].name = "open-poisson";
+  modes[0].spec.rate_rps = 500.0;
+  modes[0].spec.max_batch = 16;
+  modes[1].name = "open-fixed";
+  modes[1].spec.arrival = WorkloadSpec::Arrival::kFixed;
+  modes[1].spec.rate_rps = 500.0;
+  modes[1].spec.max_batch = 16;
+  modes[1].spec.max_wait_ms = 50.0;
+  modes[2].name = "closed";
+  modes[2].spec.mode = WorkloadSpec::Mode::kClosed;
+  modes[2].spec.clients = 200;
+  modes[2].spec.window = 2;
+  modes[2].spec.think_ms = 10.0;
+  modes[2].spec.max_batch = 16;
+
+  std::printf(
+      "\n--- client workload vs request-free runs (pbft, n=32, %zu runs) ---\n",
+      repeats);
+  std::printf("no-workload: %.3f s, %.0f events -> %.0f events/s\n",
+              baseline_seconds, baseline_events, baseline_eps);
+
+  json::Array rows;
+  for (const Mode& mode : modes) {
+    SimConfig cfg = base;
+    cfg.workload = mode.spec;
+    (void)run_repeated(cfg, 2);
+    const auto start = std::chrono::steady_clock::now();
+    const Aggregate agg = run_repeated(cfg, repeats);
+    const double seconds = seconds_since(start);
+    const Aggregate again = run_repeated(cfg, repeats);
+    const bool deterministic = equivalent(agg, again);
+
+    const double events = agg.events.mean * static_cast<double>(agg.runs);
+    const double eps = seconds > 0.0 ? events / seconds : 0.0;
+    const double relative = baseline_eps > 0.0 ? eps / baseline_eps : 0.0;
+    std::printf(
+        "%-12s %.3f s, %.0f events -> %.0f events/s (%.2fx no-workload, "
+        "%llu requests decided)%s\n",
+        mode.name, seconds, events, eps, relative,
+        static_cast<unsigned long long>(agg.workload_decided),
+        deterministic ? "" : "  [NONDETERMINISTIC — bug]");
+
+    json::Object row;
+    row["mode"] = mode.name;
+    row["seconds"] = seconds;
+    row["events_total"] = events;
+    row["events_per_sec"] = eps;
+    row["relative_throughput"] = relative;
+    row["deterministic"] = deterministic;
+    row["requests_decided"] =
+        static_cast<std::int64_t>(agg.workload_decided);
+    rows.push_back(json::Value{std::move(row)});
+  }
+
+  json::Object o;
+  o["workload"] = "run_repeated pbft n=32 decisions=10";
+  o["repeats"] = static_cast<std::int64_t>(repeats);
+  o["baseline_seconds"] = baseline_seconds;
+  o["baseline_events_per_sec"] = baseline_eps;
+  o["modes"] = json::Value{std::move(rows)};
+  return json::Value{std::move(o)};
+}
+
 /// Times run_repeated vs run_repeated_parallel on the same workload,
 /// checks the aggregates are equivalent, prints the comparison, and
 /// writes it to `json_path`. Speedup tracks the machine: ~min(jobs,
@@ -474,7 +574,8 @@ void measure_parallel_speedup(const std::string& json_path, std::size_t jobs,
                               json::Value scaling, json::Value intra_speedup,
                               std::uint32_t intra_jobs,
                               json::Value attacker_hook,
-                              json::Value wan_backend) {
+                              json::Value wan_backend,
+                              json::Value client_workload) {
   SimConfig cfg;
   cfg.protocol = "pbft";
   cfg.n = 32;
@@ -526,6 +627,9 @@ void measure_parallel_speedup(const std::string& json_path, std::size_t jobs,
   if (intra_speedup.is_object()) o["intra_speedup"] = std::move(intra_speedup);
   if (attacker_hook.is_object()) o["attacker_hook"] = std::move(attacker_hook);
   if (wan_backend.is_object()) o["wan_backend"] = std::move(wan_backend);
+  if (client_workload.is_object()) {
+    o["client_workload"] = std::move(client_workload);
+  }
   write_json_file(json_path, json::Value{std::move(o)});
   std::printf("[speedup record written to %s]\n", json_path.c_str());
 }
@@ -542,6 +646,7 @@ int main(int argc, char** argv) {
   bool run_intra = true;
   bool run_attacker = true;
   bool run_wan = true;
+  bool run_workload = true;
   bool only_scaling = false;
   if (const char* env = std::getenv("BFTSIM_JOBS")) {
     const long value = std::strtol(env, nullptr, 10);
@@ -564,6 +669,8 @@ int main(int argc, char** argv) {
       run_attacker = false;
     } else if (std::strcmp(argv[i], "--skip-wan") == 0) {
       run_wan = false;
+    } else if (std::strcmp(argv[i], "--skip-workload") == 0) {
+      run_workload = false;
     } else if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
       repeats = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--skip-micro") == 0) {
@@ -610,9 +717,12 @@ int main(int argc, char** argv) {
       run_attacker ? measure_attacker_hook(repeats) : json::Value{};
   json::Value wan_backend =
       run_wan ? measure_wan_backend(repeats) : json::Value{};
+  json::Value client_workload =
+      run_workload ? measure_client_workload(repeats) : json::Value{};
   measure_parallel_speedup(json_path, jobs, repeats,
                            std::move(engine_throughput), std::move(scaling),
                            std::move(intra), intra_jobs,
-                           std::move(attacker_hook), std::move(wan_backend));
+                           std::move(attacker_hook), std::move(wan_backend),
+                           std::move(client_workload));
   return 0;
 }

@@ -171,6 +171,12 @@ void SimConfig::validate() const {
                    "global attacker observes direct transmissions only");
   }
   faults.validate(n);
+  workload.validate();
+  // Note: engine.per_node_rng() combined with a closed-loop workload is
+  // likewise NOT rejected: resubmission timing depends on decision order,
+  // which only the serial engine provides, so the controller falls back
+  // serially with an "engine-serial-fallback" warning (open-loop workloads
+  // are per-node streams and stay windowed-parallel safe).
   obs.validate();
 }
 
@@ -192,6 +198,7 @@ json::Value SimConfig::to_json() const {
   if (net.enabled()) o["net"] = net.to_json();
   if (protocol_params.is_object()) o["protocol_params"] = protocol_params;
   if (faults.enabled()) o["faults"] = faults.to_json();
+  if (workload.enabled()) o["workload"] = workload.to_json();
   o["record_trace"] = record_trace;
   o["record_views"] = record_views;
   if (obs.enabled()) o["obs"] = obs.to_json();
@@ -204,7 +211,8 @@ SimConfig SimConfig::from_json(const json::Value& v) {
                {"protocol", "n", "honest", "lambda_ms", "delay", "seed",
                 "decisions", "max_time_ms", "max_events", "attack",
                 "attack_params", "protocol_params", "cost", "topology", "net",
-                "faults", "record_trace", "record_views", "obs", "engine"});
+                "faults", "workload", "record_trace", "record_views", "obs",
+                "engine"});
   SimConfig cfg;
   cfg.protocol = v.get_string("protocol", cfg.protocol);
   cfg.n = static_cast<std::uint32_t>(cfgcheck::int_in(v, "$", "n", cfg.n, 1, 1'000'000));
@@ -248,6 +256,9 @@ SimConfig SimConfig::from_json(const json::Value& v) {
   }
   if (const json::Value* f = v.as_object().find("faults")) {
     cfg.faults = FaultConfig::from_json(*f, "$.faults");
+  }
+  if (const json::Value* w = v.as_object().find("workload")) {
+    cfg.workload = WorkloadSpec::from_json(*w, "$.workload");
   }
   cfg.record_trace = v.get_bool("record_trace", cfg.record_trace);
   cfg.record_views = v.get_bool("record_views", cfg.record_views);

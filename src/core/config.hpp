@@ -12,6 +12,7 @@
 #include "core/types.hpp"
 #include "faults/fault_config.hpp"
 #include "net/wan/wan_spec.hpp"
+#include "workload/workload_spec.hpp"
 #include "obs/obs_config.hpp"
 
 namespace bftsim {
@@ -136,6 +137,11 @@ struct SimConfig {
   /// Deterministic fault scenario (crash/recover windows, link flaps,
   /// message corruption, clock skew); disabled by default. See docs/FAULTS.md.
   FaultConfig faults;
+
+  /// Client workload generator: open/closed-loop request arrivals batched
+  /// into proposals, request-level latency percentiles. Disabled by
+  /// default. See docs/WORKLOADS.md.
+  WorkloadSpec workload;
 
   bool record_trace = false;  ///< record full message trace (validator input)
   bool record_views = true;   ///< record per-node view changes (Fig. 9)

@@ -44,7 +44,9 @@ void AddNode::step(std::uint64_t iter, std::uint64_t round, Context& ctx) {
       // 3 iteration end.
       if (round == 0) {
         if (ctx.id() == iter % ctx.n()) {
-          ctx.broadcast(ctx.make_payload<AddPropose>(iter, own_proposal(iter, ctx)));
+          const ProposalBatch batch = own_proposal(iter, ctx);
+          ctx.broadcast(ctx.make_payload<AddPropose>(iter, batch.value,
+                                                     batch.body_bytes));
         }
       } else if (round == 1) {
         do_vote(iter, ctx);
@@ -61,7 +63,9 @@ void AddNode::step(std::uint64_t iter, std::uint64_t round, Context& ctx) {
       } else if (round == 1) {
         const auto it = min_elect_.find(iter);
         if (it != min_elect_.end() && it->second.second == id_) {
-          ctx.broadcast(ctx.make_payload<AddPropose>(iter, own_proposal(iter, ctx)));
+          const ProposalBatch batch = own_proposal(iter, ctx);
+          ctx.broadcast(ctx.make_payload<AddPropose>(iter, batch.value,
+                                                     batch.body_bytes));
         }
       } else if (round == 2) {
         do_vote(iter, ctx);
@@ -74,8 +78,10 @@ void AddNode::step(std::uint64_t iter, std::uint64_t round, Context& ctx) {
       // rounds: 0 propose (everyone, credential attached), 1 prepare the
       // minimum-credential value, 2 commit on quorum, 3 iteration end.
       if (round == 0) {
-        ctx.broadcast(ctx.make_payload<AddPropose>(iter, own_proposal(iter, ctx),
-                                               ctx.vrf().evaluate(id_, iter)));
+        const ProposalBatch batch = own_proposal(iter, ctx);
+        ctx.broadcast(ctx.make_payload<AddPropose>(
+            iter, batch.value, ctx.vrf().evaluate(id_, iter),
+            batch.body_bytes));
       } else if (round == 1) {
         do_vote(iter, ctx);
       } else if (round == 3) {

@@ -54,17 +54,20 @@ struct AddPropose final : Payload {
   static constexpr PayloadType kType = PayloadType::kAddPropose;
   std::uint64_t iter = 0;
   Value value = 0;
+  std::uint32_t body_bytes = 0;  ///< batched client requests (0 w/o workload)
   bool has_credential = false;  // v3 carries the credential in the proposal
   VrfOutput credential;
 
-  AddPropose(std::uint64_t i, Value v) : Payload(kType), iter(i), value(v) {}
-  AddPropose(std::uint64_t i, Value v, VrfOutput c)
-      : Payload(kType), iter(i), value(v), has_credential(true), credential(c) {}
+  AddPropose(std::uint64_t i, Value v, std::uint32_t body = 0)
+      : Payload(kType), iter(i), value(v), body_bytes(body) {}
+  AddPropose(std::uint64_t i, Value v, VrfOutput c, std::uint32_t body = 0)
+      : Payload(kType), iter(i), value(v), body_bytes(body),
+        has_credential(true), credential(c) {}
   std::string_view type() const noexcept override { return "add/propose"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x5052ULL, iter, value, credential.value});
   }
-  std::size_t wire_size() const noexcept override { return 160; }
+  std::size_t wire_size() const noexcept override { return 160 + body_bytes; }
 };
 
 struct AddPrepare final : Payload {  // v3 only
@@ -124,8 +127,11 @@ class AddNode final : public Node {
   [[nodiscard]] std::uint32_t quorum(Context& ctx) const noexcept {
     return ctx.f() + 1;  // honest majority: f+1 of n = 2f+1
   }
-  [[nodiscard]] Value own_proposal(std::uint64_t iter, Context& ctx) const noexcept {
-    return lock_ != kBottom ? lock_ : hash_words({0x414444ULL, iter, ctx.id()});
+  /// Re-proposes the locked value (digest only); a fresh mint batches this
+  /// node's pending client requests into the proposal.
+  [[nodiscard]] ProposalBatch own_proposal(std::uint64_t iter, Context& ctx) {
+    if (lock_ != kBottom) return ProposalBatch{lock_, 0, 0};
+    return ctx.next_proposal(iter, hash_words({0x414444ULL, iter, ctx.id()}));
   }
 
   void enter_iteration(std::uint64_t iter, Context& ctx);

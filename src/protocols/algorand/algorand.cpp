@@ -14,11 +14,18 @@ void AlgorandNode::on_start(Context& ctx) {
 }
 
 void AlgorandNode::broadcast_proposal(Context& ctx) {
-  const Value value = starting_ != kBottom
-                          ? starting_
-                          : hash_words({0x414cULL, period_, id_});
-  ctx.broadcast(ctx.make_payload<AlgoProposal>(period_, value,
-                                           ctx.vrf().evaluate(id_, period_)));
+  // Re-propose the period's starting value when one is locked in; only a
+  // fresh mint carries a batch of this node's pending client requests.
+  Value value = starting_;
+  std::uint32_t body = 0;
+  if (value == kBottom) {
+    const ProposalBatch batch =
+        ctx.next_proposal(period_, hash_words({0x414cULL, period_, id_}));
+    value = batch.value;
+    body = batch.body_bytes;
+  }
+  ctx.broadcast(ctx.make_payload<AlgoProposal>(
+      period_, value, ctx.vrf().evaluate(id_, period_), body));
 }
 
 void AlgorandNode::enter_period(std::uint64_t period, Value starting, Context& ctx) {

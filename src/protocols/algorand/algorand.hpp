@@ -29,15 +29,16 @@ struct AlgoProposal final : Payload {
   static constexpr PayloadType kType = PayloadType::kAlgorandProposal;
   std::uint64_t period = 1;
   Value value = 0;
+  std::uint32_t body_bytes = 0;  ///< batched client requests (0 w/o workload)
   VrfOutput credential;
 
-  AlgoProposal(std::uint64_t p, Value v, VrfOutput c)
-      : Payload(kType), period(p), value(v), credential(c) {}
+  AlgoProposal(std::uint64_t p, Value v, VrfOutput c, std::uint32_t body = 0)
+      : Payload(kType), period(p), value(v), body_bytes(body), credential(c) {}
   std::string_view type() const noexcept override { return "algorand/proposal"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x4150ULL, period, value, credential.value});
   }
-  std::size_t wire_size() const noexcept override { return 160; }
+  std::size_t wire_size() const noexcept override { return 160 + body_bytes; }
 };
 
 struct AlgoSoftVote final : Payload {

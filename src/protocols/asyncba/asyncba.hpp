@@ -9,6 +9,11 @@
 //
 // The protocol ignores λ entirely — there are no timers — which is why its
 // performance is unaffected by timeout configuration in Figs. 4 and 5.
+//
+// Workload note: asyncba decides single bits, not proposer-minted values,
+// so it never calls Context::next_proposal — a configured client workload
+// runs its arrival streams but every decision counts as an empty decision
+// (requests stay pending; see docs/WORKLOADS.md).
 #pragma once
 
 #include <cstdint>

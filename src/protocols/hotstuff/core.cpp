@@ -29,11 +29,15 @@ Block Core::make_block(View view, Context& ctx) {
   Block b;
   b.parent = high_qc_.block;
   b.view = view;
-  b.value = hash_words({0x76616cULL, view, id_});
   b.height = (parent != nullptr ? parent->height : 0) + 1;
   b.justify = high_qc_;
+  // Fresh mint: let the workload layer batch pending client requests into
+  // the block (shared by the hotstuff-ns and librabft pacemakers).
+  const ProposalBatch batch =
+      ctx.next_proposal(b.height, hash_words({0x76616cULL, view, id_}));
+  b.value = batch.value;
+  b.body_bytes = batch.body_bytes;
   b.id = hash_words({0x626c6bULL, b.parent, b.view, b.value, b.height});
-  (void)ctx;
   return b;
 }
 

@@ -33,6 +33,10 @@ struct Block {
   View view = 0;
   Value value = 0;          ///< the decided payload
   std::uint64_t height = 0; ///< chain height (genesis = 0)
+  /// Wire weight of the batched client requests the block carries
+  /// (0 without a workload). Not part of the digest: the batch is
+  /// identified by `value`.
+  std::uint32_t body_bytes = 0;
   QuorumCert justify;       ///< QC for `parent`
 
   [[nodiscard]] std::uint64_t digest() const noexcept {
@@ -52,7 +56,9 @@ struct Proposal final : Payload {
   Proposal(Block b, Signature s) : Payload(kType), block(b), sig(s) {}
   std::string_view type() const noexcept override { return "hotstuff/proposal"; }
   std::uint64_t digest() const noexcept override { return block.digest(); }
-  std::size_t wire_size() const noexcept override { return 512; }
+  std::size_t wire_size() const noexcept override {
+    return 512 + block.body_bytes;
+  }
 };
 
 struct Vote final : Payload {
@@ -94,7 +100,11 @@ struct BlockResponse final : Payload {
     for (const Block& b : blocks) h = hash_combine(h, b.digest());
     return h;
   }
-  std::size_t wire_size() const noexcept override { return 128 + 256 * blocks.size(); }
+  std::size_t wire_size() const noexcept override {
+    std::size_t bodies = 0;
+    for (const Block& b : blocks) bodies += b.body_bytes;
+    return 128 + 256 * blocks.size() + bodies;
+  }
 
   static constexpr std::size_t kChunk = 16;
 };

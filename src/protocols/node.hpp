@@ -22,6 +22,7 @@
 #include "crypto/signature.hpp"
 #include "crypto/vrf.hpp"
 #include "net/message.hpp"
+#include "workload/proposal_batch.hpp"
 
 namespace bftsim {
 
@@ -55,6 +56,19 @@ class Context {
   virtual void cancel_timer(TimerId id) = 0;
 
   // --- reporting -----------------------------------------------------------
+  /// Asks the workload layer what to put in this node's next *fresh*
+  /// proposal for `slot` (sequence number / height / iteration). With a
+  /// client workload configured, returns a batch of this node's pending
+  /// requests (value = batch digest, body_bytes the batch's wire weight);
+  /// otherwise — or when no request is ready — returns the protocol's own
+  /// minted `fresh` value with an empty body. Protocols call this only
+  /// when minting a fresh value, never when re-proposing a prepared or
+  /// locked one.
+  [[nodiscard]] virtual ProposalBatch next_proposal(std::uint64_t /*slot*/,
+                                                    Value fresh) {
+    return ProposalBatch{fresh, 0, 0};
+  }
+
   /// Reports that this node decided `value` (next height). The controller
   /// stops the run once every live honest node reported the configured
   /// number of decisions.

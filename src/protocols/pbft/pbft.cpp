@@ -35,14 +35,23 @@ void PbftNode::start_view_timer(Context& ctx) {
 
 void PbftNode::propose(Context& ctx) {
   // Re-propose the prepared value if one exists for this sequence (we may
-  // be re-proposing after a view change); otherwise mint a fresh proposal.
-  Value value = proposal_value(view_, working_seq_, id_);
+  // be re-proposing after a view change); otherwise mint a fresh proposal,
+  // letting the workload layer batch pending client requests into it.
+  Value value;
+  std::uint32_t body = 0;
   if (const auto it = prepared_at_.find(working_seq_); it != prepared_at_.end()) {
-    value = it->second.second;
+    value = it->second.second;  // digest-only re-proposal: no body re-shipped
+  } else {
+    const ProposalBatch batch = ctx.next_proposal(
+        working_seq_, proposal_value(view_, working_seq_, id_));
+    value = batch.value;
+    body = batch.body_bytes;
   }
   const auto payload = ctx.make_payload<PrePrepare>(
       view_, working_seq_, value,
-      ctx.signer().sign(id_, hash_words({0x5050ULL, view_, working_seq_, value})));
+      ctx.signer().sign(id_,
+                        hash_words({0x5050ULL, view_, working_seq_, value})),
+      body);
   ctx.broadcast(payload);
 }
 

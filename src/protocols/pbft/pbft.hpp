@@ -36,15 +36,20 @@ struct PrePrepare final : Payload {
   View view = 0;
   std::uint64_t seq = 0;
   Value value = kBottom;
+  /// Wire weight of the batched client requests the proposal carries
+  /// (0 without a workload, and on digest-only re-proposals).
+  std::uint32_t body_bytes = 0;
   Signature sig;
 
-  PrePrepare(View v, std::uint64_t s, Value val, Signature signature)
-      : Payload(kType), view(v), seq(s), value(val), sig(signature) {}
+  PrePrepare(View v, std::uint64_t s, Value val, Signature signature,
+             std::uint32_t body = 0)
+      : Payload(kType), view(v), seq(s), value(val), body_bytes(body),
+        sig(signature) {}
   std::string_view type() const noexcept override { return "pbft/pre-prepare"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x5050ULL, view, seq, value});
   }
-  std::size_t wire_size() const noexcept override { return 192; }
+  std::size_t wire_size() const noexcept override { return 192 + body_bytes; }
 };
 
 struct Prepare final : Payload {

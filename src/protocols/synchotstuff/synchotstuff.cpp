@@ -41,10 +41,13 @@ void SyncHotStuffNode::restart_blame_timer(Context& ctx) {
 
 void SyncHotStuffNode::propose(Context& ctx) {
   const std::uint64_t height = next_height_;
-  const Value value = hash_words({0x534850ULL, view_, height, id_});
+  const ProposalBatch batch =
+      ctx.next_proposal(height, hash_words({0x534850ULL, view_, height, id_}));
+  const Value value = batch.value;
   const Signature sig =
       ctx.signer().sign(id_, hash_words({0x5348ULL, height, view_, value}));
-  ctx.broadcast(ctx.make_payload<ShsProposal>(height, view_, value, sig));
+  ctx.broadcast(ctx.make_payload<ShsProposal>(height, view_, value, sig,
+                                              batch.body_bytes));
 }
 
 void SyncHotStuffNode::on_message(const Message& msg, Context& ctx) {

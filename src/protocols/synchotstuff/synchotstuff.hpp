@@ -41,15 +41,18 @@ struct ShsProposal final : Payload {
   std::uint64_t height = 0;
   View view = 0;
   Value value = 0;
+  std::uint32_t body_bytes = 0;  ///< batched client requests (0 w/o workload)
   Signature sig;
 
-  ShsProposal(std::uint64_t h, View v, Value val, Signature s)
-      : Payload(kType), height(h), view(v), value(val), sig(s) {}
+  ShsProposal(std::uint64_t h, View v, Value val, Signature s,
+              std::uint32_t body = 0)
+      : Payload(kType), height(h), view(v), value(val), body_bytes(body),
+        sig(s) {}
   std::string_view type() const noexcept override { return "sync-hs/proposal"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x5348ULL, height, view, value});
   }
-  std::size_t wire_size() const noexcept override { return 256; }
+  std::size_t wire_size() const noexcept override { return 256 + body_bytes; }
 };
 
 struct ShsVote final : Payload {

@@ -14,15 +14,21 @@ void TendermintNode::start_round(std::uint64_t round, Context& ctx) {
   ctx.record_view(height_ * 64 + round);  // height-dominant view trace
 
   if (proposer_of(height_, round_, ctx) == id_) {
-    // Propose validValue if a newer prevote quorum certified one, else mint.
-    const Value value = valid_value_ != kBottom
-                            ? valid_value_
-                            : hash_words({0x544dULL, height_, round_, id_});
+    // Propose validValue if a newer prevote quorum certified one, else mint
+    // fresh — batching pending client requests into the fresh proposal.
+    Value value = valid_value_;
+    std::uint32_t body = 0;
+    if (value == kBottom) {
+      const ProposalBatch batch = ctx.next_proposal(
+          height_, hash_words({0x544dULL, height_, round_, id_}));
+      value = batch.value;
+      body = batch.body_bytes;
+    }
     const Signature sig = ctx.signer().sign(
         id_, hash_words({0x5450ULL, height_, round_, value,
                          static_cast<std::uint64_t>(valid_round_)}));
-    ctx.broadcast(
-        ctx.make_payload<TmProposal>(height_, round_, value, valid_round_, sig));
+    ctx.broadcast(ctx.make_payload<TmProposal>(height_, round_, value,
+                                               valid_round_, sig, body));
   }
   // timeout_propose: prevote nil if the proposer stays silent.
   ctx.set_timer(timeout_of(round_, ctx), tag_of(round_, Step::kPropose));

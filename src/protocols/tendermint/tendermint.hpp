@@ -34,17 +34,19 @@ struct TmProposal final : Payload {
   std::uint64_t round = 0;
   Value value = 0;
   std::int64_t valid_round = -1;  ///< -1 = fresh proposal
+  std::uint32_t body_bytes = 0;  ///< batched client requests (0 w/o workload)
   Signature sig;
 
   TmProposal(std::uint64_t h, std::uint64_t r, Value v, std::int64_t vr,
-             Signature s)
-      : Payload(kType), height(h), round(r), value(v), valid_round(vr), sig(s) {}
+             Signature s, std::uint32_t body = 0)
+      : Payload(kType), height(h), round(r), value(v), valid_round(vr),
+        body_bytes(body), sig(s) {}
   std::string_view type() const noexcept override { return "tendermint/proposal"; }
   std::uint64_t digest() const noexcept override {
     return hash_words({0x5450ULL, height, round, value,
                        static_cast<std::uint64_t>(valid_round)});
   }
-  std::size_t wire_size() const noexcept override { return 256; }
+  std::size_t wire_size() const noexcept override { return 256 + body_bytes; }
 };
 
 struct TmPrevote final : Payload {

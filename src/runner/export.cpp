@@ -23,6 +23,29 @@ json::Value summary_to_json(const Summary& summary) {
   return json::Value{std::move(o)};
 }
 
+json::Value workload_to_json(const WorkloadStats& wl) {
+  json::Object o;
+  o["submitted"] = static_cast<std::int64_t>(wl.submitted);
+  o["decided"] = static_cast<std::int64_t>(wl.decided);
+  o["batched"] = static_cast<std::int64_t>(wl.batched);
+  o["pending_end"] = static_cast<std::int64_t>(wl.pending_end);
+  o["batched_undecided"] = static_cast<std::int64_t>(wl.batched_undecided);
+  o["batches"] = static_cast<std::int64_t>(wl.batches);
+  o["empty_proposals"] = static_cast<std::int64_t>(wl.empty_proposals);
+  o["empty_decisions"] = static_cast<std::int64_t>(wl.empty_decisions);
+  o["duplicate_decides"] = static_cast<std::int64_t>(wl.duplicate_decides);
+  o["max_in_flight"] = static_cast<std::int64_t>(wl.max_in_flight);
+  o["duration_ms"] = wl.duration_ms;
+  o["requests_per_sec"] = wl.requests_per_sec;
+  o["latency_mean_ms"] = wl.latency_mean_ms;
+  o["latency_min_ms"] = wl.latency_min_ms;
+  o["latency_max_ms"] = wl.latency_max_ms;
+  o["latency_p50_ms"] = wl.latency_p50_ms;
+  o["latency_p99_ms"] = wl.latency_p99_ms;
+  o["latency_p999_ms"] = wl.latency_p999_ms;
+  return json::Value{std::move(o)};
+}
+
 json::Value result_to_json(const RunResult& result, bool include_views) {
   json::Object o;
   o["terminated"] = result.terminated;
@@ -62,6 +85,11 @@ json::Value result_to_json(const RunResult& result, bool include_views) {
     gossip["relayed"] = static_cast<std::int64_t>(result.gossip_relayed);
     gossip["duplicates"] = static_cast<std::int64_t>(result.gossip_duplicates);
     o["gossip"] = json::Value{std::move(gossip)};
+  }
+  // Request-level workload results: present only when the run carried a
+  // client workload, so workload-off exports stay byte-identical.
+  if (result.workload.enabled) {
+    o["workload"] = workload_to_json(result.workload);
   }
   if (!result.warnings.empty()) {
     json::Array warnings;
@@ -137,6 +165,19 @@ json::Value aggregate_to_json(const Aggregate& aggregate) {
   o["messages"] = summary_to_json(aggregate.messages);
   o["per_decision_messages"] = summary_to_json(aggregate.per_decision_messages);
   o["events"] = summary_to_json(aggregate.events);
+  // Gated like the per-run block: workload-free aggregates keep their
+  // previous byte-identical shape.
+  if (aggregate.workload_runs > 0) {
+    json::Object wl;
+    wl["runs"] = static_cast<std::int64_t>(aggregate.workload_runs);
+    wl["submitted"] = static_cast<std::int64_t>(aggregate.workload_submitted);
+    wl["decided"] = static_cast<std::int64_t>(aggregate.workload_decided);
+    wl["requests_per_sec"] = summary_to_json(aggregate.workload_rps);
+    wl["latency_p50_ms"] = summary_to_json(aggregate.workload_p50_ms);
+    wl["latency_p99_ms"] = summary_to_json(aggregate.workload_p99_ms);
+    wl["latency_p999_ms"] = summary_to_json(aggregate.workload_p999_ms);
+    o["workload"] = json::Value{std::move(wl)};
+  }
   o["wall_seconds_total"] = aggregate.wall_seconds_total;
   return json::Value{std::move(o)};
 }

@@ -47,6 +47,10 @@ struct RunManifest {
 /// Serializes an aggregate (mean/stddev/min/max/percentiles per metric).
 [[nodiscard]] json::Value aggregate_to_json(const Aggregate& aggregate);
 
+/// Serializes one run's request-level workload stats (conservation
+/// counters, throughput, latency percentiles).
+[[nodiscard]] json::Value workload_to_json(const WorkloadStats& wl);
+
 /// Renders a trace fingerprint as the canonical 16-hex-digit string used
 /// across exports, trace files and tools/trace_inspect.
 [[nodiscard]] std::string fingerprint_to_hex(std::uint64_t fingerprint);

@@ -49,12 +49,25 @@ Aggregate aggregate_results(const std::vector<RunResult>& results) {
   std::vector<double> messages;
   std::vector<double> per_dec_messages;
   std::vector<double> events;
+  std::vector<double> wl_rps;
+  std::vector<double> wl_p50;
+  std::vector<double> wl_p99;
+  std::vector<double> wl_p999;
 
   for (const RunResult& result : results) {
     ++agg.runs;
     agg.wall_seconds_total += result.wall_seconds;
     messages.push_back(static_cast<double>(result.messages_sent));
     events.push_back(static_cast<double>(result.events_processed));
+    if (result.workload.enabled) {
+      ++agg.workload_runs;
+      agg.workload_submitted += result.workload.submitted;
+      agg.workload_decided += result.workload.decided;
+      wl_rps.push_back(result.workload.requests_per_sec);
+      wl_p50.push_back(result.workload.latency_p50_ms);
+      wl_p99.push_back(result.workload.latency_p99_ms);
+      wl_p999.push_back(result.workload.latency_p999_ms);
+    }
     if (!result.terminated) {
       ++agg.timeouts;
       continue;
@@ -69,6 +82,10 @@ Aggregate aggregate_results(const std::vector<RunResult>& results) {
   agg.messages = summarize(std::move(messages));
   agg.per_decision_messages = summarize(std::move(per_dec_messages));
   agg.events = summarize(std::move(events));
+  agg.workload_rps = summarize(std::move(wl_rps));
+  agg.workload_p50_ms = summarize(std::move(wl_p50));
+  agg.workload_p99_ms = summarize(std::move(wl_p99));
+  agg.workload_p999_ms = summarize(std::move(wl_p999));
   return agg;
 }
 
@@ -86,7 +103,14 @@ bool equivalent(const Aggregate& a, const Aggregate& b) noexcept {
          summaries_equal(a.per_decision_latency_ms, b.per_decision_latency_ms) &&
          summaries_equal(a.messages, b.messages) &&
          summaries_equal(a.per_decision_messages, b.per_decision_messages) &&
-         summaries_equal(a.events, b.events);
+         summaries_equal(a.events, b.events) &&
+         a.workload_runs == b.workload_runs &&
+         a.workload_submitted == b.workload_submitted &&
+         a.workload_decided == b.workload_decided &&
+         summaries_equal(a.workload_rps, b.workload_rps) &&
+         summaries_equal(a.workload_p50_ms, b.workload_p50_ms) &&
+         summaries_equal(a.workload_p99_ms, b.workload_p99_ms) &&
+         summaries_equal(a.workload_p999_ms, b.workload_p999_ms);
 }
 
 Aggregate run_repeated(const SimConfig& base, std::size_t repeats) {

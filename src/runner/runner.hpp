@@ -36,6 +36,18 @@ struct Aggregate {
   Summary events;
   double wall_seconds_total = 0.0;
 
+  /// Request-level workload aggregates, populated only when runs carried a
+  /// client workload (`workload_runs > 0`, see $.workload). Every
+  /// workload-enabled run contributes — including timed-out ones, whose
+  /// stats are finalized at the horizon and are just as real.
+  std::size_t workload_runs = 0;
+  std::uint64_t workload_submitted = 0;  ///< total across workload runs
+  std::uint64_t workload_decided = 0;    ///< total across workload runs
+  Summary workload_rps;      ///< decided requests per simulated second
+  Summary workload_p50_ms;   ///< per-run request-latency p50
+  Summary workload_p99_ms;   ///< per-run request-latency p99
+  Summary workload_p999_ms;  ///< per-run request-latency p99.9
+
   /// Simulated seconds per decision, mean (negative when nothing decided).
   [[nodiscard]] double mean_latency_sec() const noexcept {
     return per_decision_latency_ms.mean / 1e3;

@@ -13,6 +13,7 @@
 #include "faults/fault_injector.hpp"
 #include "protocols/registry.hpp"
 #include "sim/windowed.hpp"
+#include "workload/workload_manager.hpp"
 
 namespace bftsim {
 
@@ -69,6 +70,13 @@ class Controller::NodeCtx final : public Context {
       return;
     }
     c_.cancel_timer(id);
+  }
+
+  ProposalBatch next_proposal(std::uint64_t slot, Value fresh) override {
+    // on_propose touches only this node's arrival stream (client
+    // affinity), so the call is lane-safe under the windowed engine.
+    if (c_.workload_ == nullptr) return ProposalBatch{fresh, 0, 0};
+    return c_.workload_->on_propose(id_, slot, fresh, now());
   }
 
   void report_decision(Value value) override {
@@ -255,6 +263,14 @@ Controller::Controller(SimConfig cfg)
     wan_ = std::make_unique<WanModel>(cfg_.net, cfg_.n,
                                       run_rng_.fork(0x77616e));  // "wan"
     if (wan_->gossip()) gossip_seen_.resize(cfg_.n);
+  }
+
+  // Client workload generator. Like the fault and WAN RNGs, the workload
+  // RNG is forked off run_rng_ only when a workload is selected, so
+  // workload-free runs keep every stream aligned with the recorded goldens.
+  if (cfg_.workload.enabled()) {
+    workload_ = std::make_unique<WorkloadManager>(
+        cfg_.workload, cfg_.n, run_rng_.fork(0x776c));  // "wl"
   }
 }
 
@@ -750,6 +766,7 @@ void Controller::schedule_system_event(Time at, std::uint64_t tag) {
 
 void Controller::report_decision(NodeId node, Value value) {
   const std::uint64_t height = decided_count_[node]++;
+  if (workload_ != nullptr) workload_->on_decide(value, now_);
   metrics_.on_decision(Decision{node, now_, height, value});
   if (trace_sink_) {
     trace_sink_->on_record(TraceRecord{TraceKind::kDecide, now_, node, kNoNode,
@@ -880,21 +897,31 @@ RunResult Controller::run() {
           "path (controllers overriding schedule_network_delivery are "
           "serial-only)");
     }
-    if (attacker_passive_) {
+    // Closed-loop workloads resubmit requests at decision times, which only
+    // the serial engine observes in order; open-loop workloads are per-node
+    // streams and stay windowed-parallel safe.
+    const bool workload_serial =
+        workload_ != nullptr && workload_->serial_only();
+    if (attacker_passive_ && !workload_serial) {
       win_ = std::make_unique<WindowedEngine>(*this);
       return win_->run();
     }
-    // Graceful degradation: a global attacker's observation order is not
-    // lane-independent, so an attack-carrying run cannot execute on the
-    // windowed driver. Instead of refusing the config (which would kill
-    // whole sweeps that set a global engine.intra_jobs), deterministically
-    // fall back to the serial engine for this run and record the decision.
+    // Graceful degradation: a global attacker's observation order (and a
+    // closed-loop workload's resubmission order) is not lane-independent,
+    // so such a run cannot execute on the windowed driver. Instead of
+    // refusing the config (which would kill whole sweeps that set a global
+    // engine.intra_jobs), deterministically fall back to the serial engine
+    // for this run and record the decision.
     warnings_.push_back(RunWarning{
         "engine-serial-fallback",
-        "attack \"" + cfg_.attack +
-            "\" is serial-only: engine.intra_jobs=" +
-            std::to_string(cfg_.engine.intra_jobs) +
-            " ignored, run executed on the serial engine"});
+        attacker_passive_
+            ? "closed-loop workload is serial-only: engine.intra_jobs=" +
+                  std::to_string(cfg_.engine.intra_jobs) +
+                  " ignored, run executed on the serial engine"
+            : "attack \"" + cfg_.attack +
+                  "\" is serial-only: engine.intra_jobs=" +
+                  std::to_string(cfg_.engine.intra_jobs) +
+                  " ignored, run executed on the serial engine"});
   }
 
   attacker_->on_start(*atk_ctx_);
@@ -960,6 +987,13 @@ RunResult Controller::make_result(TerminationReason reason) {
     if (is_honest(i)) result.honest.push_back(i);
   }
   result.trace = std::move(trace_);
+  if (workload_ != nullptr) {
+    // Books close at the termination time, or at the horizon for every
+    // non-decided outcome — a config constant, so the measured span is
+    // identical whichever engine executed the run.
+    result.workload =
+        workload_->finalize(stopped_ ? termination_time_ : horizon_);
+  }
   if (trace_sink_ != nullptr) {
     trace_sink_->flush();  // throws when a streaming sink's storage failed
     result.trace_fingerprint = trace_sink_->fingerprint();

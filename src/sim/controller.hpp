@@ -32,6 +32,7 @@ namespace bftsim {
 
 class FaultInjector;
 class WindowedEngine;
+class WorkloadManager;
 
 /// Drives one simulation run. Construct with a validated SimConfig, call
 /// run() once. The packet-level baseline simulator subclasses this and
@@ -199,6 +200,9 @@ class Controller {
   /// WAN transport backend; nullptr unless cfg.net is enabled, so the
   /// classic network path costs one null check per send.
   std::unique_ptr<WanModel> wan_;
+  /// Client workload generator; nullptr unless cfg.workload is enabled, so
+  /// workload-free proposals cost one null check in next_proposal.
+  std::unique_ptr<WorkloadManager> workload_;
   /// Per-node sets of gossip ids already accepted (duplicate suppression);
   /// sized only under the gossip backend.
   std::vector<std::unordered_set<std::uint64_t>> gossip_seen_;

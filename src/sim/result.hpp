@@ -11,6 +11,7 @@
 #include "core/types.hpp"
 #include "obs/profile.hpp"
 #include "obs/timeline.hpp"
+#include "workload/workload_stats.hpp"
 
 namespace bftsim {
 
@@ -76,6 +77,11 @@ struct RunResult {
   // selected $.net.backend = "gossip".
   std::uint64_t gossip_relayed = 0;    ///< copies forwarded by relayers
   std::uint64_t gossip_duplicates = 0; ///< received copies suppressed
+
+  /// Request-level workload results (conservation counters, requests/sec,
+  /// latency percentiles); `workload.enabled` is false unless the run
+  /// selected $.workload. See workload/workload_stats.hpp.
+  WorkloadStats workload;
 
   /// Non-fatal configuration deviations (see RunWarning); empty for runs
   /// that executed exactly as configured.

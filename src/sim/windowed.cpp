@@ -13,6 +13,7 @@
 #include "core/log.hpp"
 #include "faults/fault_injector.hpp"
 #include "sim/controller.hpp"
+#include "workload/workload_manager.hpp"
 
 namespace bftsim {
 
@@ -534,6 +535,10 @@ bool WindowedEngine::merge_window() {
     }
     std::stable_sort(decisions.begin(), decisions.end(), by_time_key);
     for (const DecisionProduct& d : decisions) {
+      // The workload decide hook runs at the barrier in merged order — the
+      // same (at, key) order the serial engine produces — so request-level
+      // latencies are lane-count-invariant like every other product.
+      if (c_.workload_ != nullptr) c_.workload_->on_decide(d.value, d.at);
       c_.metrics_.on_decision(Decision{d.node, d.at, d.height, d.value});
       BFTSIM_LOG(kDebug, "node " << d.node << " decided height " << d.height
                                  << " value " << d.value << " at "

@@ -1,0 +1,23 @@
+// The result of asking the workload layer for a proposal payload.
+//
+// Lives in its own tiny header so both protocols/node.hpp (the Context
+// API) and workload/workload_manager.hpp can name it without either
+// depending on the other.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace bftsim {
+
+/// What a proposer should put in its next fresh proposal. Without a
+/// workload (or when no request is ready) this is the protocol's own
+/// minted value with an empty body — exactly the pre-workload behavior.
+struct ProposalBatch {
+  Value value = kBottom;          ///< value to propose (batch digest or fresh)
+  std::uint32_t requests = 0;     ///< client requests carried by the proposal
+  std::uint32_t body_bytes = 0;   ///< wire bytes the batch adds to the payload
+};
+
+}  // namespace bftsim

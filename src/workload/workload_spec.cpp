@@ -1,0 +1,144 @@
+#include "workload/workload_spec.hpp"
+
+#include "core/config_check.hpp"
+
+namespace bftsim {
+
+namespace {
+
+using cfgcheck::fail;
+using cfgcheck::int_in;
+using cfgcheck::number_in;
+using cfgcheck::require_keys;
+
+constexpr double kMaxRateRps = 1e9;
+constexpr std::int64_t kMaxClients = 1'000'000'000'000;  // millions and beyond
+constexpr std::int64_t kMaxWindow = 1'000'000;
+constexpr double kMaxThinkMs = 1e7;
+constexpr std::int64_t kMaxRequestBytes = 1 << 20;
+constexpr std::int64_t kMaxBatch = 1 << 20;
+constexpr double kMaxWaitMs = 1e7;
+
+[[nodiscard]] std::string mode_name(WorkloadSpec::Mode mode) {
+  switch (mode) {
+    case WorkloadSpec::Mode::kOpen: return "open";
+    case WorkloadSpec::Mode::kClosed: return "closed";
+  }
+  return "?";
+}
+
+[[nodiscard]] std::string arrival_name(WorkloadSpec::Arrival arrival) {
+  switch (arrival) {
+    case WorkloadSpec::Arrival::kPoisson: return "poisson";
+    case WorkloadSpec::Arrival::kFixed: return "fixed";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void WorkloadSpec::validate(const std::string& path) const {
+  if (rate_rps < 0.0 || rate_rps > kMaxRateRps) {
+    fail(path + ".rate_rps",
+         "must be within [0, " + std::to_string(kMaxRateRps) + "]");
+  }
+  if (open() && clients > 0) {
+    fail(path + ".clients",
+         "clients is a closed-loop setting (set \"mode\": \"closed\")");
+  }
+  if (closed() && rate_rps > 0.0) {
+    fail(path + ".rate_rps",
+         "rate_rps is an open-loop setting (set \"mode\": \"open\")");
+  }
+  if (window < 1 || window > kMaxWindow) {
+    fail(path + ".window",
+         "must be within [1, " + std::to_string(kMaxWindow) + "]");
+  }
+  if (think_ms < 0.0 || think_ms > kMaxThinkMs) {
+    fail(path + ".think_ms",
+         "must be within [0, " + std::to_string(kMaxThinkMs) + "]");
+  }
+  if (max_batch < 1 || max_batch > kMaxBatch) {
+    fail(path + ".max_batch",
+         "must be within [1, " + std::to_string(kMaxBatch) + "]");
+  }
+  if (request_bytes < 1 || request_bytes > kMaxRequestBytes) {
+    fail(path + ".request_bytes",
+         "must be within [1, " + std::to_string(kMaxRequestBytes) + "]");
+  }
+  // The proposal body field is 32-bit; a full batch must fit.
+  const std::uint64_t body = static_cast<std::uint64_t>(max_batch) *
+                             static_cast<std::uint64_t>(request_bytes);
+  if (body > 0xffffffffULL) {
+    fail(path + ".max_batch",
+         "max_batch * request_bytes must fit 32 bits (got " +
+             std::to_string(body) + " bytes)");
+  }
+  if (max_wait_ms < 0.0 || max_wait_ms > kMaxWaitMs) {
+    fail(path + ".max_wait_ms",
+         "must be within [0, " + std::to_string(kMaxWaitMs) + "]");
+  }
+}
+
+json::Value WorkloadSpec::to_json() const {
+  json::Object o;
+  o["mode"] = mode_name(mode);
+  o["arrival"] = arrival_name(arrival);
+  if (open()) {
+    o["rate_rps"] = rate_rps;
+  } else {
+    o["clients"] = static_cast<std::int64_t>(clients);
+    o["window"] = static_cast<std::int64_t>(window);
+    o["think_ms"] = think_ms;
+  }
+  o["request_bytes"] = static_cast<std::int64_t>(request_bytes);
+  o["max_batch"] = static_cast<std::int64_t>(max_batch);
+  o["max_wait_ms"] = max_wait_ms;
+  return json::Value{std::move(o)};
+}
+
+WorkloadSpec WorkloadSpec::from_json(const json::Value& v,
+                                     const std::string& path) {
+  require_keys(v, path,
+               {"mode", "arrival", "rate_rps", "clients", "window", "think_ms",
+                "request_bytes", "max_batch", "max_wait_ms"});
+  WorkloadSpec spec;
+  const std::string mode = v.get_string("mode", "open");
+  if (mode == "open") {
+    spec.mode = Mode::kOpen;
+  } else if (mode == "closed") {
+    spec.mode = Mode::kClosed;
+  } else {
+    fail(path + ".mode",
+         "unknown mode \"" + mode + "\" (expected \"open\" or \"closed\")");
+  }
+  const std::string arrival = v.get_string("arrival", "poisson");
+  if (arrival == "poisson") {
+    spec.arrival = Arrival::kPoisson;
+  } else if (arrival == "fixed") {
+    spec.arrival = Arrival::kFixed;
+  } else {
+    fail(path + ".arrival", "unknown arrival \"" + arrival +
+                                "\" (expected \"poisson\" or \"fixed\")");
+  }
+  spec.rate_rps =
+      number_in(v, path, "rate_rps", spec.rate_rps, 0.0, kMaxRateRps);
+  spec.clients = static_cast<std::uint64_t>(
+      int_in(v, path, "clients", static_cast<std::int64_t>(spec.clients), 0,
+             kMaxClients));
+  spec.window = static_cast<std::uint32_t>(
+      int_in(v, path, "window", spec.window, 1, kMaxWindow));
+  spec.think_ms =
+      number_in(v, path, "think_ms", spec.think_ms, 0.0, kMaxThinkMs);
+  spec.request_bytes = static_cast<std::uint32_t>(
+      int_in(v, path, "request_bytes", spec.request_bytes, 1,
+             kMaxRequestBytes));
+  spec.max_batch = static_cast<std::uint32_t>(
+      int_in(v, path, "max_batch", spec.max_batch, 1, kMaxBatch));
+  spec.max_wait_ms =
+      number_in(v, path, "max_wait_ms", spec.max_wait_ms, 0.0, kMaxWaitMs);
+  spec.validate(path);
+  return spec;
+}
+
+}  // namespace bftsim

@@ -1,0 +1,81 @@
+// Configuration of the client workload generator ($.workload).
+//
+// The simulator's protocols decide slots; the workload layer makes those
+// slots carry client requests. Two loop disciplines:
+//
+//   - open loop: requests arrive at an aggregate rate regardless of how
+//     fast the system decides (Poisson or fixed-interval arrivals). The
+//     aggregate rate is split evenly across nodes as per-node arrival
+//     streams ("client affinity"), which keeps the generator lane-safe
+//     under the windowed-parallel engine: a proposer only ever batches
+//     requests from its own stream.
+//   - closed loop: a fixed client population, each client keeping `window`
+//     requests outstanding and thinking `think_ms` between a decision and
+//     its next request. Resubmission timing depends on decision order, so
+//     closed-loop runs always execute on the serial engine (the controller
+//     falls back with a RunWarning, mirroring attacked runs).
+//
+// Millions of simulated clients cost O(n) state: each node holds one
+// aggregated arrival stream / client-count, never per-client objects.
+// See docs/WORKLOADS.md for semantics and the determinism argument.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/json.hpp"
+
+namespace bftsim {
+
+/// Parsed $.workload block; part of SimConfig (held by value, like WanSpec).
+/// The default-constructed spec is disabled: a config without $.workload
+/// decides empty slots bit-identically to older releases.
+struct WorkloadSpec {
+  enum class Mode : std::uint8_t { kOpen, kClosed };
+  enum class Arrival : std::uint8_t { kPoisson, kFixed };
+
+  Mode mode = Mode::kOpen;
+  Arrival arrival = Arrival::kPoisson;
+
+  /// Open loop: aggregate request arrival rate (requests/second) across
+  /// the whole system; split evenly over the n per-node streams.
+  double rate_rps = 0.0;
+
+  /// Closed loop: simulated client population (aggregated per node,
+  /// round-robin) and per-client outstanding-request window.
+  std::uint64_t clients = 0;
+  std::uint32_t window = 1;
+  /// Closed loop: think time between a client's decision and its next
+  /// request (milliseconds).
+  double think_ms = 0.0;
+
+  /// Wire bytes charged per request in a proposal body.
+  std::uint32_t request_bytes = 256;
+  /// Batching: at most this many requests per proposal ...
+  std::uint32_t max_batch = 256;
+  /// ... and, when fewer are pending, propose empty until the oldest
+  /// pending request has waited this long (0 = ship whatever is pending).
+  double max_wait_ms = 0.0;
+
+  [[nodiscard]] bool open() const noexcept { return mode == Mode::kOpen; }
+  [[nodiscard]] bool closed() const noexcept { return mode == Mode::kClosed; }
+  /// True when the generator is selected (gates both the controller's
+  /// WorkloadManager construction and JSON emission).
+  [[nodiscard]] bool enabled() const noexcept {
+    return open() ? rate_rps > 0.0 : clients > 0;
+  }
+
+  /// Structural / cross-field invariants (positive rate in open mode, a
+  /// client population in closed mode, batch byte total within the uint32
+  /// body field); throws the canonical path-aware config error.
+  void validate(const std::string& path = "$.workload") const;
+
+  [[nodiscard]] json::Value to_json() const;
+  /// Strict parse: unknown keys / out-of-range numbers / cross-field
+  /// conflicts throw a single-line "config error at $.workload..." naming
+  /// the offending path.
+  [[nodiscard]] static WorkloadSpec from_json(
+      const json::Value& v, const std::string& path = "$.workload");
+};
+
+}  // namespace bftsim

@@ -1,0 +1,51 @@
+// Request-level results of a workload-driven run, attached to RunResult.
+//
+// The conservation identity pins the bookkeeping:
+//
+//   submitted == decided + pending_end + batched_undecided
+//
+// Every request a client submitted is, at run end, exactly one of decided
+// (its batch was reported by the protocol), still pending at its origin
+// node, or riding a batch that was proposed but never decided (an orphaned
+// proposal of a losing proposer or a deposed leader — there is no client
+// retransmission). tests/workload asserts this across all protocols.
+#pragma once
+
+#include <cstdint>
+
+namespace bftsim {
+
+struct WorkloadStats {
+  bool enabled = false;
+
+  std::uint64_t submitted = 0;  ///< requests born within the run
+  std::uint64_t decided = 0;    ///< requests whose batch was decided (once)
+  std::uint64_t batched = 0;    ///< requests placed into some proposal
+  std::uint64_t pending_end = 0;         ///< still queued at a node at end
+  std::uint64_t batched_undecided = 0;   ///< batched but never decided
+  std::uint64_t batches = 0;             ///< non-empty proposals formed
+  std::uint64_t empty_proposals = 0;     ///< proposals minted with no requests
+  std::uint64_t empty_decisions = 0;     ///< decided values carrying no batch
+  /// Decide reports for a batch that was already decided. Every node
+  /// reports each decision, so n-1 re-reports per decided batch are normal;
+  /// requests and latency are counted once, at the first report.
+  std::uint64_t duplicate_decides = 0;
+  /// Closed loop only: high-water mark of client-outstanding requests
+  /// (bounded by clients * window). 0 in open-loop runs.
+  std::uint64_t max_in_flight = 0;
+
+  double duration_ms = 0.0;       ///< measured span the rate is taken over
+  double requests_per_sec = 0.0;  ///< decided / duration
+
+  /// Request latency (birth -> decision) percentiles in milliseconds,
+  /// via percentile_sorted's linear-interpolation rule. Zero when no
+  /// request was decided.
+  double latency_mean_ms = 0.0;
+  double latency_min_ms = 0.0;
+  double latency_max_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_p999_ms = 0.0;
+};
+
+}  // namespace bftsim

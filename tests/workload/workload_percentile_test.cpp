@@ -1,0 +1,78 @@
+// Pins the percentile arithmetic behind the request-latency report
+// (WorkloadStats latency_p50/p99/p999): percentile_sorted uses the linear
+// interpolation rule pos = q * (n - 1), so exact ranks, single samples and
+// tied samples all have one defensible answer. Any change to the rule moves
+// every recorded golden; these tests name it directly.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/stats.hpp"
+
+namespace bftsim {
+namespace {
+
+TEST(WorkloadPercentileTest, ExactRanksOnUniformGrid) {
+  // 0..100: pos = q * 100 lands on integer ranks for round percentiles.
+  std::vector<double> v;
+  for (int i = 0; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.50), 50.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.90), 90.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.99), 99.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 1.0), 100.0);
+}
+
+TEST(WorkloadPercentileTest, InterpolatesBetweenRanks) {
+  // Two samples: pos = q, linear between the endpoints.
+  const std::vector<double> v{10.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.99), 19.9);
+  // Four samples: p999 sits 0.997 of the way from rank 2 to rank 3.
+  const std::vector<double> w{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(w, 0.999), 3.0 + 0.997);
+}
+
+TEST(WorkloadPercentileTest, SingleSampleIsEveryPercentile) {
+  const std::vector<double> v{7.25};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.0), 7.25);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.50), 7.25);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.99), 7.25);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.999), 7.25);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 1.0), 7.25);
+}
+
+TEST(WorkloadPercentileTest, TiesCollapseToTheTiedValue) {
+  // Interpolating between equal neighbors yields the tied value exactly.
+  const std::vector<double> v{5.0, 5.0, 5.0, 5.0, 9.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.70), 5.0);
+  // p99: pos = 3.96, between the last 5.0 and the 9.0.
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.99), 5.0 + 0.96 * 4.0);
+}
+
+TEST(WorkloadPercentileTest, PercentilesAreMonotoneInQ) {
+  const std::vector<double> v{0.5, 1.0, 2.5, 2.5, 3.0, 10.0, 50.0, 51.0};
+  double prev = percentile_sorted(v, 0.0);
+  for (const double q : {0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const double cur = percentile_sorted(v, q);
+    EXPECT_LE(prev, cur) << "q=" << q;
+    prev = cur;
+  }
+}
+
+TEST(WorkloadPercentileTest, TailPercentilesOrderedOnSkewedSample) {
+  // The shape the workload report relies on: p50 <= p99 <= p999 always.
+  std::vector<double> v;
+  for (int i = 0; i < 2000; ++i) v.push_back(i < 1990 ? 1.0 : 100.0 + i);
+  const double p50 = percentile_sorted(v, 0.50);
+  const double p99 = percentile_sorted(v, 0.99);
+  const double p999 = percentile_sorted(v, 0.999);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_DOUBLE_EQ(p50, 1.0);
+  EXPECT_GT(p999, p99);
+}
+
+}  // namespace
+}  // namespace bftsim

@@ -1,0 +1,223 @@
+// $.workload configuration tests: strict path-aware parsing, the
+// validation error battery (every message names the offending JSON path),
+// round-trips through to_json, and the enabled() gating that keeps
+// workload-free configs byte-identical to previous releases.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/json.hpp"
+#include "workload/workload_spec.hpp"
+
+namespace bftsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Defaults and enabling
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadSpecTest, DefaultIsDisabled) {
+  const WorkloadSpec spec;
+  EXPECT_FALSE(spec.enabled());
+  EXPECT_TRUE(spec.open());
+  EXPECT_FALSE(spec.closed());
+}
+
+TEST(WorkloadSpecTest, OpenLoopEnabledByPositiveRate) {
+  WorkloadSpec spec;
+  spec.rate_rps = 100.0;
+  EXPECT_TRUE(spec.enabled());
+}
+
+TEST(WorkloadSpecTest, ClosedLoopEnabledByClients) {
+  WorkloadSpec spec;
+  spec.mode = WorkloadSpec::Mode::kClosed;
+  EXPECT_FALSE(spec.enabled());
+  spec.clients = 10;
+  EXPECT_TRUE(spec.enabled());
+  EXPECT_TRUE(spec.closed());
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadSpecTest, ParsesOpenLoopBlock) {
+  const WorkloadSpec spec = WorkloadSpec::from_json(json::parse(
+      R"({"mode": "open", "arrival": "fixed", "rate_rps": 250.5,
+          "request_bytes": 512, "max_batch": 64, "max_wait_ms": 10})"));
+  EXPECT_TRUE(spec.open());
+  EXPECT_EQ(spec.arrival, WorkloadSpec::Arrival::kFixed);
+  EXPECT_DOUBLE_EQ(spec.rate_rps, 250.5);
+  EXPECT_EQ(spec.request_bytes, 512u);
+  EXPECT_EQ(spec.max_batch, 64u);
+  EXPECT_DOUBLE_EQ(spec.max_wait_ms, 10.0);
+}
+
+TEST(WorkloadSpecTest, ParsesClosedLoopBlock) {
+  const WorkloadSpec spec = WorkloadSpec::from_json(json::parse(
+      R"({"mode": "closed", "clients": 1000000, "window": 4,
+          "think_ms": 50})"));
+  EXPECT_TRUE(spec.closed());
+  EXPECT_TRUE(spec.enabled());
+  EXPECT_EQ(spec.clients, 1'000'000u);
+  EXPECT_EQ(spec.window, 4u);
+  EXPECT_DOUBLE_EQ(spec.think_ms, 50.0);
+}
+
+TEST(WorkloadSpecTest, DefaultsFillUnsetKeys) {
+  const WorkloadSpec spec =
+      WorkloadSpec::from_json(json::parse(R"({"rate_rps": 10})"));
+  EXPECT_EQ(spec.arrival, WorkloadSpec::Arrival::kPoisson);
+  EXPECT_EQ(spec.request_bytes, 256u);
+  EXPECT_EQ(spec.max_batch, 256u);
+  EXPECT_DOUBLE_EQ(spec.max_wait_ms, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Round-trips
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadSpecTest, OpenLoopRoundTripsThroughJson) {
+  WorkloadSpec spec;
+  spec.rate_rps = 123.25;
+  spec.arrival = WorkloadSpec::Arrival::kFixed;
+  spec.request_bytes = 100;
+  spec.max_batch = 7;
+  spec.max_wait_ms = 2.5;
+  const WorkloadSpec back = WorkloadSpec::from_json(spec.to_json());
+  EXPECT_EQ(back.to_json().dump(2), spec.to_json().dump(2));
+  EXPECT_DOUBLE_EQ(back.rate_rps, 123.25);
+  EXPECT_EQ(back.max_batch, 7u);
+}
+
+TEST(WorkloadSpecTest, ClosedLoopRoundTripsThroughJson) {
+  WorkloadSpec spec;
+  spec.mode = WorkloadSpec::Mode::kClosed;
+  spec.clients = 5'000'000;
+  spec.window = 2;
+  spec.think_ms = 75.0;
+  const WorkloadSpec back = WorkloadSpec::from_json(spec.to_json());
+  EXPECT_EQ(back.to_json().dump(2), spec.to_json().dump(2));
+  EXPECT_EQ(back.clients, 5'000'000u);
+  EXPECT_EQ(back.window, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Error battery: every rejection names the offending JSON path
+// ---------------------------------------------------------------------------
+
+/// Expects the strict parse of `text` to throw mentioning `needle`.
+void expect_config_error(const std::string& text, const std::string& needle) {
+  try {
+    (void)WorkloadSpec::from_json(json::parse(text));
+    FAIL() << "expected config error containing: " << needle;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(WorkloadSpecErrorTest, NegativeRateNamesPath) {
+  expect_config_error(R"({"rate_rps": -1})", "$.workload.rate_rps");
+}
+
+TEST(WorkloadSpecErrorTest, ZeroMaxBatchNamesPath) {
+  expect_config_error(R"({"rate_rps": 10, "max_batch": 0})",
+                      "$.workload.max_batch");
+}
+
+TEST(WorkloadSpecErrorTest, UnknownKeyNamesPath) {
+  expect_config_error(R"({"rate_rps": 10, "ratelimit": 5})",
+                      "$.workload.ratelimit: unknown key");
+}
+
+TEST(WorkloadSpecErrorTest, UnknownModeRejected) {
+  expect_config_error(R"({"mode": "burst"})", "$.workload.mode");
+}
+
+TEST(WorkloadSpecErrorTest, UnknownArrivalRejected) {
+  expect_config_error(R"({"arrival": "pareto"})", "$.workload.arrival");
+}
+
+TEST(WorkloadSpecErrorTest, ClientsInOpenModeRejected) {
+  expect_config_error(R"({"mode": "open", "clients": 5})",
+                      "$.workload.clients");
+}
+
+TEST(WorkloadSpecErrorTest, RateInClosedModeRejected) {
+  expect_config_error(R"({"mode": "closed", "clients": 5, "rate_rps": 10})",
+                      "$.workload.rate_rps");
+}
+
+TEST(WorkloadSpecErrorTest, ZeroWindowRejected) {
+  expect_config_error(R"({"mode": "closed", "clients": 5, "window": 0})",
+                      "$.workload.window");
+}
+
+TEST(WorkloadSpecErrorTest, ZeroRequestBytesRejected) {
+  expect_config_error(R"({"rate_rps": 10, "request_bytes": 0})",
+                      "$.workload.request_bytes");
+}
+
+TEST(WorkloadSpecErrorTest, NegativeThinkRejected) {
+  expect_config_error(R"({"mode": "closed", "clients": 5, "think_ms": -3})",
+                      "$.workload.think_ms");
+}
+
+TEST(WorkloadSpecErrorTest, NegativeMaxWaitRejected) {
+  expect_config_error(R"({"rate_rps": 10, "max_wait_ms": -0.5})",
+                      "$.workload.max_wait_ms");
+}
+
+TEST(WorkloadSpecErrorTest, BatchBodyMustFit32Bits) {
+  // 1 MiB requests x 1 Mi batch = 2^40 bytes: over the 32-bit body field.
+  expect_config_error(
+      R"({"rate_rps": 10, "request_bytes": 1048576, "max_batch": 1048576})",
+      "$.workload.max_batch");
+}
+
+// ---------------------------------------------------------------------------
+// SimConfig integration: gating and round-trip
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadConfigTest, DisabledWorkloadOmittedFromConfigJson) {
+  const SimConfig cfg;
+  EXPECT_EQ(cfg.to_json().dump(2).find("workload"), std::string::npos);
+}
+
+TEST(WorkloadConfigTest, EnabledWorkloadRoundTripsThroughSimConfig) {
+  SimConfig cfg;
+  cfg.workload.rate_rps = 42.0;
+  cfg.workload.max_batch = 9;
+  const SimConfig back = SimConfig::from_json(cfg.to_json());
+  EXPECT_TRUE(back.workload.enabled());
+  EXPECT_DOUBLE_EQ(back.workload.rate_rps, 42.0);
+  EXPECT_EQ(back.workload.max_batch, 9u);
+  EXPECT_EQ(back.to_json().dump(2), cfg.to_json().dump(2));
+}
+
+TEST(WorkloadConfigTest, SimConfigParseNamesWorkloadPath) {
+  SimConfig cfg;
+  json::Value doc = cfg.to_json();
+  doc.as_object()["workload"] = json::parse(R"({"rate_rps": -5})");
+  try {
+    (void)SimConfig::from_json(doc);
+    FAIL() << "expected config error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("$.workload.rate_rps"),
+              std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(WorkloadConfigTest, ValidateRunsWorkloadChecks) {
+  SimConfig cfg;
+  cfg.workload.rate_rps = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bftsim

@@ -49,6 +49,13 @@
 // machine-portable per-event-cost ratio) must stay above the --tolerance
 // floor of the reference ratio.
 //
+// When both files carry a "client_workload" record (the request generator
+// vs request-free runs on the same base config; see docs/WORKLOADS.md),
+// every matched mode must have been deterministic ("deterministic": true)
+// and its relative_throughput (mode events/sec over no-workload
+// events/sec) must stay above the --tolerance floor of the reference
+// ratio.
+//
 // Usage:
 //   bench_gate --current micro.json --reference BENCH_engine.json
 //              [--tolerance 0.25] [--mem-tolerance 0.35]
@@ -451,8 +458,62 @@ int main(int argc, char** argv) {
       }
     }
 
+    // --- Client workload: per-mode determinism + relative-throughput floor.
+    // Like the WAN gate, relative_throughput compares two serial runs on
+    // the same machine, so it holds under --allow-thread-mismatch too.
+    int workload_compared = 0;
+    const Value* wl_ref = reference_doc.as_object().find("client_workload");
+    const Value* wl_cur = current_doc.as_object().find("client_workload");
+    if (wl_ref != nullptr && wl_cur != nullptr && wl_ref->is_object() &&
+        wl_cur->is_object()) {
+      const Value* ref_rows = wl_ref->as_object().find("modes");
+      const Value* cur_rows = wl_cur->as_object().find("modes");
+      if (ref_rows != nullptr && cur_rows != nullptr && ref_rows->is_array() &&
+          cur_rows->is_array()) {
+        for (const Value& cur : cur_rows->as_array()) {
+          const std::string mode = cur.get_string("mode", "");
+          const double measured = cur.get_number("relative_throughput", 0.0);
+          const bool deterministic =
+              cur.as_object().find("deterministic") != nullptr &&
+              cur.as_object().at("deterministic").as_bool();
+          const bftsim::json::Array& refs = ref_rows->as_array();
+          const auto ref = std::find_if(
+              refs.begin(), refs.end(),
+              [&](const Value& r) { return r.get_string("mode", "") == mode; });
+          if (ref == refs.end()) {
+            std::printf("SKIP  wload %-12s %.2fx baseline (no reference)\n",
+                        mode.c_str(), measured);
+            continue;
+          }
+          ++workload_compared;
+          const double ref_relative =
+              ref->get_number("relative_throughput", 0.0);
+          bool ok = true;
+          if (!deterministic) {
+            ok = false;
+            ++regressions;
+            std::printf("FAIL  wload %-12s same-seed runs diverged\n",
+                        mode.c_str());
+          }
+          if (ref_relative > 0.0 &&
+              measured < (1.0 - tolerance) * ref_relative) {
+            ok = false;
+            ++regressions;
+            std::printf(
+                "FAIL  wload %-12s %.2fx baseline vs ref %.2fx (%.0f%%)\n",
+                mode.c_str(), measured, ref_relative,
+                100.0 * measured / ref_relative);
+          }
+          if (ok) {
+            std::printf("OK    wload %-12s %.2fx baseline vs ref %.2fx\n",
+                        mode.c_str(), measured, ref_relative);
+          }
+        }
+      }
+    }
+
     if (compared == 0 && scale_compared == 0 && intra_compared == 0 &&
-        hook_compared == 0 && wan_compared == 0) {
+        hook_compared == 0 && wan_compared == 0 && workload_compared == 0) {
       std::fprintf(stderr, "nothing matched between %s and %s\n",
                    current_path.c_str(), reference_path.c_str());
       return 2;
@@ -462,15 +523,15 @@ int main(int argc, char** argv) {
                    "or >%.0f%% more memory)\n",
                    regressions,
                    compared + scale_compared + intra_compared + hook_compared +
-                       wan_compared,
+                       wan_compared + workload_compared,
                    100.0 * tolerance, 100.0 * mem_tolerance);
       return 1;
     }
     std::printf("all %d workloads, %d scaling points, %d intra-speedup, "
-                "%d attacker-hook and %d wan-backend records within "
-                "tolerance\n",
+                "%d attacker-hook, %d wan-backend and %d client-workload "
+                "records within tolerance\n",
                 compared, scale_compared, intra_compared, hook_compared,
-                wan_compared);
+                wan_compared, workload_compared);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_gate: %s\n", e.what());

@@ -227,6 +227,50 @@ std::vector<AggregatePoint> wan_points() {
   return points;
 }
 
+/// Client workload points (src/workload/; see docs/WORKLOADS.md): one
+/// aggregate pair per generator mode — open-loop Poisson, open-loop fixed
+/// with a batching timeout, closed-loop (serial fallback), and an open-loop
+/// windowed-parallel run. These pin the "wl" RNG fork, the per-node arrival
+/// streams, the batch digests and the request-latency percentile math; the
+/// CI workload-matrix job replays them under ASan/UBSan.
+std::vector<AggregatePoint> workload_points() {
+  std::vector<AggregatePoint> points;
+
+  // decisions=10: pbft proposes sequence k+1 only after k decides, and the
+  // seq-1 proposal at t=0 predates every open-loop arrival — later
+  // sequences are what carry batches.
+  SimConfig cfg =
+      experiment_config("pbft", 16, 1000, DelaySpec::normal(250, 50));
+  cfg.decisions = 10;
+  cfg.workload.rate_rps = 200.0;
+  cfg.workload.max_batch = 16;
+  points.push_back(AggregatePoint{"workload/pbft/open-poisson", cfg, 2});
+
+  cfg = experiment_config("hotstuff-ns", 16, 1000, DelaySpec::normal(250, 50));
+  cfg.workload.rate_rps = 100.0;
+  cfg.workload.arrival = WorkloadSpec::Arrival::kFixed;
+  cfg.workload.max_batch = 8;
+  cfg.workload.max_wait_ms = 50.0;
+  points.push_back(
+      AggregatePoint{"workload/hotstuff-ns/open-fixed-wait", cfg, 2});
+
+  cfg = experiment_config("tendermint", 16, 1000, DelaySpec::normal(250, 50));
+  cfg.workload.mode = WorkloadSpec::Mode::kClosed;
+  cfg.workload.clients = 1000;
+  cfg.workload.window = 2;
+  cfg.workload.think_ms = 100.0;
+  points.push_back(AggregatePoint{"workload/tendermint/closed-loop", cfg, 2});
+
+  // Open-loop workloads stay legal on the windowed-parallel driver; this
+  // point pins the merge-barrier decide order feeding the latency vector.
+  cfg = experiment_config("librabft", 16, 1000, DelaySpec::normal(250, 50));
+  cfg.workload.rate_rps = 150.0;
+  cfg.engine.intra_jobs = 2;
+  points.push_back(AggregatePoint{"workload/librabft/open-windowed", cfg, 2});
+
+  return points;
+}
+
 struct SinglePoint {
   std::string name;
   SimConfig cfg;
@@ -274,6 +318,21 @@ std::vector<SinglePoint> wan_single_points() {
   cfg.net = WanSpec::from_json(
       json::parse(R"({"backend": "gossip", "fanout": 3})"));
   points.push_back(SinglePoint{"wan/pbft/gossip-counters", cfg, false});
+  return points;
+}
+
+/// Workload single-run points: one open-loop run recorded with its full
+/// request-level record (conservation counters and latency percentiles),
+/// pinning batch formation and decide-order latency accounting exactly.
+std::vector<SinglePoint> workload_single_points() {
+  std::vector<SinglePoint> points;
+  SimConfig cfg =
+      experiment_config("pbft", 16, 1000, DelaySpec::normal(250, 50));
+  cfg.seed = 7;
+  cfg.decisions = 10;
+  cfg.workload.rate_rps = 300.0;
+  cfg.workload.max_batch = 32;
+  points.push_back(SinglePoint{"workload/pbft/open-counters", cfg, false});
   return points;
 }
 
@@ -363,12 +422,46 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.gossip_relayed));
   }
 
+  json::Array workload_array;
+  for (const AggregatePoint& point : workload_points()) {
+    std::printf("recording %-45s ...", point.name.c_str());
+    std::fflush(stdout);
+    const Aggregate agg = run_repeated(point.cfg, point.repeats);
+    json::Object o;
+    o["name"] = point.name;
+    o["repeats"] = static_cast<std::int64_t>(point.repeats);
+    o["config"] = point.cfg.to_json();
+    o["aggregate"] = aggregate_to_json(agg);
+    workload_array.push_back(json::Value{std::move(o)});
+    std::printf(" done (%zu runs, %llu requests decided)\n", agg.runs,
+                static_cast<unsigned long long>(agg.workload_decided));
+  }
+
+  json::Array workload_single_array;
+  for (const SinglePoint& point : workload_single_points()) {
+    std::printf("recording %-45s ...", point.name.c_str());
+    std::fflush(stdout);
+    const RunResult r = run_simulation(point.cfg);
+    json::Object o;
+    o["name"] = point.name;
+    o["config"] = point.cfg.to_json();
+    json::Value result = single_result_to_json(r);
+    result.as_object()["workload"] = workload_to_json(r.workload);
+    o["result"] = std::move(result);
+    workload_single_array.push_back(json::Value{std::move(o)});
+    std::printf(" done (%llu events, %llu requests decided)\n",
+                static_cast<unsigned long long>(r.events_processed),
+                static_cast<unsigned long long>(r.workload.decided));
+  }
+
   json::Object top;
   top["generated_by"] = "tools/record_goldens";
   top["aggregate_points"] = json::Value{std::move(aggregate_array)};
   top["single_points"] = json::Value{std::move(single_array)};
   top["wan_points"] = json::Value{std::move(wan_array)};
   top["wan_single_points"] = json::Value{std::move(wan_single_array)};
+  top["workload_points"] = json::Value{std::move(workload_array)};
+  top["workload_single_points"] = json::Value{std::move(workload_single_array)};
   write_json_file(out_path, json::Value{std::move(top)});
   std::printf("goldens written to %s\n", out_path.c_str());
   return 0;
